@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks of the substrate crates: simulation
+//! throughput, graph preprocessing, AIG lowering, autograd forward/backward
+//! and the dual-attention aggregation. These back the engineering claims in
+//! DESIGN.md and catch performance regressions.
+//!
+//! Run: `cargo bench -p deepseq-bench --bench perf_micro`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepseq_core::encoding::initial_states;
+use deepseq_core::train::{train, TrainOptions, TrainSample};
+use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
+use deepseq_data::designs::ptc;
+use deepseq_data::random::{random_circuit, CircuitSpec};
+use deepseq_netlist::{lower_to_aig, Levels};
+use deepseq_nn::Matrix;
+use deepseq_sim::{simulate, SimOptions, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulation(c: &mut Criterion) {
+    let netlist = ptc();
+    let lowered = lower_to_aig(&netlist).expect("valid design");
+    let workload = Workload::uniform(lowered.aig.num_pis(), 0.5);
+    let opts = SimOptions {
+        cycles: 64,
+        warmup: 4,
+        seed: 0,
+    };
+    c.bench_function("simulate_ptc_64cycles_x64lanes", |b| {
+        b.iter(|| simulate(&lowered.aig, &workload, &opts))
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let netlist = ptc();
+    c.bench_function("lower_ptc_to_aig", |b| b.iter(|| lower_to_aig(&netlist)));
+}
+
+fn bench_levelization(c: &mut Criterion) {
+    let netlist = ptc();
+    let lowered = lower_to_aig(&netlist).expect("valid design");
+    c.bench_function("levelize_ptc", |b| b.iter(|| Levels::build(&lowered.aig)));
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let netlist = ptc();
+    let lowered = lower_to_aig(&netlist).expect("valid design");
+    c.bench_function("circuit_graph_build_ptc", |b| {
+        b.iter(|| CircuitGraph::build(&lowered.aig))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let aig = random_circuit("m", &CircuitSpec::default(), &mut rng);
+    let config = DeepSeqConfig {
+        hidden_dim: 32,
+        iterations: 4,
+        ..DeepSeqConfig::default()
+    };
+    let model = DeepSeq::new(config);
+    let graph = CircuitGraph::build(&aig);
+    let workload = Workload::uniform(aig.num_pis(), 0.5);
+    let h0 = initial_states(&aig, &workload, 32, 0);
+    c.bench_function("deepseq_inference_200node_d32_t4", |b| {
+        b.iter(|| model.predict(&graph, &h0))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let aig = random_circuit("m", &CircuitSpec::default(), &mut rng);
+    let config = DeepSeqConfig {
+        hidden_dim: 32,
+        iterations: 4,
+        ..DeepSeqConfig::default()
+    };
+    let workload = Workload::uniform(aig.num_pis(), 0.5);
+    let sample = TrainSample::generate(
+        &aig,
+        &workload,
+        32,
+        &SimOptions {
+            cycles: 64,
+            warmup: 4,
+            seed: 0,
+        },
+        0,
+    );
+    c.bench_function("deepseq_train_step_200node_d32_t4", |b| {
+        b.iter_batched(
+            || DeepSeq::new(config),
+            |mut model| {
+                train(
+                    &mut model,
+                    std::slice::from_ref(&sample),
+                    &TrainOptions {
+                        epochs: 1,
+                        ..TrainOptions::default()
+                    },
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(128, 64, |r, col| ((r * 7 + col) % 13) as f32 * 0.1);
+    let b = Matrix::from_fn(64, 64, |r, col| ((r + col * 3) % 17) as f32 * 0.1);
+    c.bench_function("matmul_128x64x64", |bch| bch.iter(|| a.matmul(&b)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation, bench_lowering, bench_levelization,
+              bench_graph_build, bench_inference, bench_train_step, bench_matmul
+}
+criterion_main!(benches);

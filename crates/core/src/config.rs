@@ -1,0 +1,174 @@
+//! Model configuration.
+
+use std::fmt;
+
+/// Aggregation function used to combine predecessor messages (paper
+/// Section III-B and Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Aggregator {
+    /// Convolutional sum (Kipf & Welling style): linear transform then sum.
+    ConvSum,
+    /// Additive attention over predecessors (Veličković / Thost & Chen).
+    Attention,
+    /// The paper's dual attention (Eq. 5–7): logic attention over
+    /// predecessors plus a transition gate against the previous state,
+    /// concatenated.
+    #[default]
+    DualAttention,
+}
+
+impl fmt::Display for Aggregator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregator::ConvSum => write!(f, "Conv. Sum"),
+            Aggregator::Attention => write!(f, "Attention"),
+            Aggregator::DualAttention => write!(f, "Dual Attention"),
+        }
+    }
+}
+
+/// Information propagation scheme (paper Fig. 2 and Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PropagationScheme {
+    /// DAG-ConvGNN baseline: a single forward + reverse pass.
+    DagConv,
+    /// DAG-RecGNN baseline: `T` recursive forward + reverse passes, without
+    /// the flip-flop update step.
+    DagRec,
+    /// The paper's customized scheme: `T` × (forward pass, reverse pass,
+    /// flip-flop copy-update), mimicking clocked operation.
+    #[default]
+    Custom,
+}
+
+impl PropagationScheme {
+    /// True if the scheme repeats propagation `T` times.
+    pub fn is_recurrent(self) -> bool {
+        !matches!(self, PropagationScheme::DagConv)
+    }
+
+    /// True if flip-flops copy their D-input representation each iteration
+    /// (paper Fig. 2, step 4).
+    pub fn updates_ffs(self) -> bool {
+        matches!(self, PropagationScheme::Custom)
+    }
+}
+
+impl fmt::Display for PropagationScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropagationScheme::DagConv => write!(f, "DAG-ConvGNN"),
+            PropagationScheme::DagRec => write!(f, "DAG-RecGNN"),
+            PropagationScheme::Custom => write!(f, "Customized"),
+        }
+    }
+}
+
+/// Hyper-parameters of a [`DeepSeq`](crate::model::DeepSeq) model.
+///
+/// The paper's full-scale setting is `hidden_dim = 64`, `iterations = 10`
+/// (Section IV-A3); [`DeepSeqConfig::default`] uses a CPU-budget-friendly
+/// scale that preserves all behaviours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeepSeqConfig {
+    /// Hidden state dimension (paper: 64).
+    pub hidden_dim: usize,
+    /// Number of propagation iterations `T` (paper: 10). Ignored by
+    /// [`PropagationScheme::DagConv`].
+    pub iterations: usize,
+    /// Aggregation function.
+    pub aggregator: Aggregator,
+    /// Propagation scheme.
+    pub scheme: PropagationScheme,
+    /// Seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for DeepSeqConfig {
+    fn default() -> Self {
+        DeepSeqConfig {
+            hidden_dim: 32,
+            iterations: 4,
+            aggregator: Aggregator::DualAttention,
+            scheme: PropagationScheme::Custom,
+            seed: 0,
+        }
+    }
+}
+
+impl DeepSeqConfig {
+    /// The paper's full-scale configuration (`d = 64`, `T = 10`).
+    pub fn paper_scale() -> Self {
+        DeepSeqConfig {
+            hidden_dim: 64,
+            iterations: 10,
+            ..DeepSeqConfig::default()
+        }
+    }
+
+    /// Configuration of the DAG-ConvGNN baseline with the given aggregator.
+    pub fn dag_conv(aggregator: Aggregator) -> Self {
+        DeepSeqConfig {
+            aggregator,
+            scheme: PropagationScheme::DagConv,
+            ..DeepSeqConfig::default()
+        }
+    }
+
+    /// Configuration of the DAG-RecGNN baseline with the given aggregator.
+    pub fn dag_rec(aggregator: Aggregator) -> Self {
+        DeepSeqConfig {
+            aggregator,
+            scheme: PropagationScheme::DagRec,
+            ..DeepSeqConfig::default()
+        }
+    }
+
+    /// Effective number of iterations (1 for single-pass schemes).
+    pub fn effective_iterations(&self) -> usize {
+        if self.scheme.is_recurrent() {
+            self.iterations.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_choices() {
+        let c = DeepSeqConfig::default();
+        assert_eq!(c.aggregator, Aggregator::DualAttention);
+        assert_eq!(c.scheme, PropagationScheme::Custom);
+        let p = DeepSeqConfig::paper_scale();
+        assert_eq!(p.hidden_dim, 64);
+        assert_eq!(p.iterations, 10);
+    }
+
+    #[test]
+    fn scheme_flags() {
+        assert!(!PropagationScheme::DagConv.is_recurrent());
+        assert!(PropagationScheme::DagRec.is_recurrent());
+        assert!(PropagationScheme::Custom.is_recurrent());
+        assert!(PropagationScheme::Custom.updates_ffs());
+        assert!(!PropagationScheme::DagRec.updates_ffs());
+    }
+
+    #[test]
+    fn effective_iterations() {
+        let mut c = DeepSeqConfig::default();
+        c.iterations = 7;
+        assert_eq!(c.effective_iterations(), 7);
+        c.scheme = PropagationScheme::DagConv;
+        assert_eq!(c.effective_iterations(), 1);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Aggregator::ConvSum.to_string(), "Conv. Sum");
+        assert_eq!(PropagationScheme::DagRec.to_string(), "DAG-RecGNN");
+    }
+}

@@ -1,0 +1,126 @@
+//! Input encodings and supervision targets.
+//!
+//! Paper, Section III-B: the PI rows of the initial embedding matrix carry
+//! the workload — "if the logic-1 probability of a particular PI is 0.1 and
+//! `hv` has 64 dimensions, then all dimensions of `hv` contain the value
+//! 0.1"; the remaining rows are initialized randomly and PIs stay *fixed*
+//! during propagation. The supervision per node is a 2-d transition
+//! probability vector (`0→1`, `1→0`) and a 1-d logic-1 probability.
+
+use deepseq_netlist::SeqAig;
+use deepseq_nn::Matrix;
+use deepseq_sim::{NodeProbabilities, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the initial hidden-state matrix `h⁰` (`n×d`): PI rows filled with
+/// their workload logic-1 probability, other rows uniform random in `[0,1)`.
+pub fn initial_states(
+    aig: &SeqAig,
+    workload: &Workload,
+    hidden_dim: usize,
+    seed: u64,
+) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = aig.len();
+    let mut h = Matrix::from_fn(n, hidden_dim, |_, _| rng.gen::<f32>());
+    for (i, pi) in aig.pis().iter().enumerate() {
+        let p = workload.p1(i) as f32;
+        for c in 0..hidden_dim {
+            h.set(pi.index(), c, p);
+        }
+    }
+    h
+}
+
+/// Transition-probability targets (`n×2`: columns `p01`, `p10`).
+pub fn tr_targets(probs: &NodeProbabilities) -> Matrix {
+    Matrix::from_fn(probs.len(), 2, |r, c| {
+        if c == 0 {
+            probs.p01[r] as f32
+        } else {
+            probs.p10[r] as f32
+        }
+    })
+}
+
+/// Logic-probability targets (`n×1`).
+pub fn lg_targets(probs: &NodeProbabilities) -> Matrix {
+    Matrix::from_fn(probs.len(), 1, |r, _| probs.p1[r] as f32)
+}
+
+/// Generic 2-column targets from two per-node vectors (used by the
+/// reliability fine-tuning head: `e01`, `e10`).
+pub fn pair_targets(a: &[f64], b: &[f64]) -> Matrix {
+    assert_eq!(a.len(), b.len(), "pair_targets length mismatch");
+    Matrix::from_fn(a.len(), 2, |r, c| if c == 0 { a[r] as f32 } else { b[r] as f32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_sim::PiStimulus;
+
+    fn sample() -> SeqAig {
+        let mut aig = SeqAig::new("s");
+        let _a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let _n = aig.add_not(b);
+        aig
+    }
+
+    #[test]
+    fn pi_rows_encode_workload() {
+        let aig = sample();
+        let w = Workload::new(vec![
+            PiStimulus::independent(0.1),
+            PiStimulus::independent(0.9),
+        ]);
+        let h = initial_states(&aig, &w, 8, 0);
+        for c in 0..8 {
+            assert!((h.get(0, c) - 0.1).abs() < 1e-6);
+            assert!((h.get(1, c) - 0.9).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn non_pi_rows_random_in_unit_interval() {
+        let aig = sample();
+        let w = Workload::uniform(2, 0.5);
+        let h = initial_states(&aig, &w, 16, 1);
+        let row = h.row(2);
+        assert!(row.iter().all(|&v| (0.0..1.0).contains(&v)));
+        // Not all identical (random, not constant).
+        assert!(row.iter().any(|&v| (v - row[0]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn initial_states_deterministic_per_seed() {
+        let aig = sample();
+        let w = Workload::uniform(2, 0.5);
+        assert_eq!(initial_states(&aig, &w, 8, 7), initial_states(&aig, &w, 8, 7));
+        assert_ne!(initial_states(&aig, &w, 8, 7), initial_states(&aig, &w, 8, 8));
+    }
+
+    #[test]
+    fn target_shapes() {
+        let probs = NodeProbabilities {
+            p1: vec![0.5, 0.25],
+            p01: vec![0.1, 0.2],
+            p10: vec![0.1, 0.2],
+        };
+        let tr = tr_targets(&probs);
+        let lg = lg_targets(&probs);
+        assert_eq!(tr.shape(), (2, 2));
+        assert_eq!(lg.shape(), (2, 1));
+        assert_eq!(tr.get(1, 0), 0.2);
+        assert_eq!(lg.get(0, 0), 0.5);
+    }
+
+    #[test]
+    fn pair_targets_interleave() {
+        let t = pair_targets(&[0.1, 0.2], &[0.3, 0.4]);
+        assert_eq!(t.get(0, 1), 0.3);
+        assert_eq!(t.get(1, 0), 0.2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Preprocessed circuit graph — everything the model needs per circuit,
+//! computed once and reused across training epochs.
+//!
+//! The customized propagation scheme (paper Fig. 2) needs, per logic level:
+//! the nodes updated at that level and, per updated node, its predecessor
+//! (forward pass) or successor (reverse pass) edges as flat `(neighbor,
+//! segment)` lists ready for segment-softmax/-sum ops. FF cycle cutting is
+//! inherited from [`Levels`].
+
+use deepseq_netlist::aig::{SeqAig, NUM_NODE_TYPES};
+use deepseq_netlist::level::Levels;
+use deepseq_nn::Matrix;
+
+/// One batch of node updates: all nodes of one logic level (forward) or one
+/// reverse-order rank (reverse), with their incoming message edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelBatch {
+    /// Node ids updated by this batch, in ascending id order.
+    pub nodes: Vec<u32>,
+    /// Flat message edges: `(neighbor node id, segment index into `nodes`)`.
+    /// Sorted by segment.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl LevelBatch {
+    /// Number of nodes updated.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the batch updates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A circuit prepared for model consumption.
+#[derive(Debug, Clone)]
+pub struct CircuitGraph {
+    /// Design name.
+    pub name: String,
+    /// Node count.
+    pub num_nodes: usize,
+    /// One-hot gate-type features, `n×4` (paper Section III-B).
+    pub features: Matrix,
+    /// Primary input node ids.
+    pub pis: Vec<u32>,
+    /// Flip-flop `(ff, d_input)` pairs for the copy-update step (Fig. 2
+    /// step 4).
+    pub ff_pairs: Vec<(u32, u32)>,
+    /// Forward batches: levels 1..=depth (level 0 sources are never updated
+    /// by the forward pass).
+    pub forward: Vec<LevelBatch>,
+    /// Reverse batches: decreasing level order; every non-PI node with at
+    /// least one fanout is updated from its successors.
+    pub reverse: Vec<LevelBatch>,
+    /// Logic depth (number of forward batches).
+    pub depth: usize,
+}
+
+impl CircuitGraph {
+    /// Preprocesses an AIG. The graph must pass
+    /// [`SeqAig::validate`](deepseq_netlist::SeqAig::validate).
+    pub fn build(aig: &SeqAig) -> Self {
+        let levels = Levels::build(aig);
+        let n = aig.len();
+
+        let mut features = Matrix::zeros(n, NUM_NODE_TYPES);
+        for (id, node) in aig.iter() {
+            features.set(id.index(), node.type_index(), 1.0);
+        }
+
+        let pis: Vec<u32> = aig.pis().iter().map(|p| p.0).collect();
+        let ff_pairs: Vec<(u32, u32)> = aig
+            .ffs()
+            .iter()
+            .map(|&ff| {
+                let d = aig.ff_fanin(ff).expect("validated AIG has connected FFs");
+                (ff.0, d.0)
+            })
+            .collect();
+
+        // Forward: one batch per level ≥ 1; every node there is AND/NOT.
+        let mut forward = Vec::new();
+        for level in 1..levels.num_levels() {
+            let mut nodes = Vec::new();
+            let mut edges = Vec::new();
+            for &id in levels.level(level) {
+                let seg = nodes.len() as u32;
+                nodes.push(id.0);
+                for pred in aig.comb_fanins(id) {
+                    edges.push((pred.0, seg));
+                }
+            }
+            forward.push(LevelBatch { nodes, edges });
+        }
+
+        // Reverse: walk levels from deep to shallow; a node is updated from
+        // its successors (fanouts, including FF D-input edges). PIs keep
+        // their workload-encoded state and are never updated (paper
+        // Section III-B); nodes without fanouts have nothing to aggregate.
+        let fanouts = aig.fanout_lists();
+        let mut reverse = Vec::new();
+        for level in (0..levels.num_levels()).rev() {
+            let mut nodes = Vec::new();
+            let mut edges = Vec::new();
+            for &id in levels.level(level) {
+                if aig.node(id).is_pi() || fanouts[id.index()].is_empty() {
+                    continue;
+                }
+                let seg = nodes.len() as u32;
+                nodes.push(id.0);
+                for &succ in &fanouts[id.index()] {
+                    edges.push((succ.0, seg));
+                }
+            }
+            if !nodes.is_empty() {
+                reverse.push(LevelBatch { nodes, edges });
+            }
+        }
+
+        CircuitGraph {
+            name: aig.name().to_string(),
+            num_nodes: n,
+            features,
+            pis,
+            ff_pairs,
+            depth: forward.len(),
+            forward,
+            reverse,
+        }
+    }
+
+    /// Total forward message edges (diagnostics).
+    pub fn num_forward_edges(&self) -> usize {
+        self.forward.iter().map(|b| b.edges.len()).sum()
+    }
+
+    /// Total reverse message edges (diagnostics).
+    pub fn num_reverse_edges(&self) -> usize {
+        self.reverse.iter().map(|b| b.edges.len()).sum()
+    }
+}
+
+/// Builds graphs for a slice of circuits.
+pub fn build_graphs(circuits: &[SeqAig]) -> Vec<CircuitGraph> {
+    circuits.iter().map(CircuitGraph::build).collect()
+}
+
+/// Merges several circuit graphs into one batched graph ("topological
+/// batching", Thost & Chen [16], used by the paper to speed up training).
+///
+/// Node ids are offset per circuit; forward batches are merged by logic
+/// level and reverse batches by reverse rank, which preserves the
+/// dependency order within each circuit while letting one tape op process
+/// all circuits of a batch at once. A model forward on the merged graph is
+/// mathematically identical to independent forwards on the parts.
+///
+/// # Panics
+/// Panics if `graphs` is empty.
+pub fn merge_graphs(graphs: &[&CircuitGraph]) -> CircuitGraph {
+    assert!(!graphs.is_empty(), "merge_graphs needs at least one graph");
+    let total_nodes: usize = graphs.iter().map(|g| g.num_nodes).sum();
+    let mut features = Matrix::zeros(total_nodes, NUM_NODE_TYPES);
+    let mut pis = Vec::new();
+    let mut ff_pairs = Vec::new();
+    let max_fwd = graphs.iter().map(|g| g.forward.len()).max().unwrap_or(0);
+    let max_rev = graphs.iter().map(|g| g.reverse.len()).max().unwrap_or(0);
+    let mut forward: Vec<LevelBatch> = (0..max_fwd)
+        .map(|_| LevelBatch {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        })
+        .collect();
+    let mut reverse: Vec<LevelBatch> = (0..max_rev)
+        .map(|_| LevelBatch {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        })
+        .collect();
+
+    let mut offset = 0u32;
+    for graph in graphs {
+        for r in 0..graph.num_nodes {
+            for c in 0..NUM_NODE_TYPES {
+                features.set(offset as usize + r, c, graph.features.get(r, c));
+            }
+        }
+        pis.extend(graph.pis.iter().map(|&p| p + offset));
+        ff_pairs.extend(graph.ff_pairs.iter().map(|&(ff, d)| (ff + offset, d + offset)));
+        for (level, batch) in graph.forward.iter().enumerate() {
+            let merged = &mut forward[level];
+            let seg_base = merged.nodes.len() as u32;
+            merged.nodes.extend(batch.nodes.iter().map(|&v| v + offset));
+            merged
+                .edges
+                .extend(batch.edges.iter().map(|&(u, s)| (u + offset, s + seg_base)));
+        }
+        for (rank, batch) in graph.reverse.iter().enumerate() {
+            let merged = &mut reverse[rank];
+            let seg_base = merged.nodes.len() as u32;
+            merged.nodes.extend(batch.nodes.iter().map(|&v| v + offset));
+            merged
+                .edges
+                .extend(batch.edges.iter().map(|&(u, s)| (u + offset, s + seg_base)));
+        }
+        offset += graph.num_nodes as u32;
+    }
+
+    CircuitGraph {
+        name: format!("batch[{}]", graphs.len()),
+        num_nodes: total_nodes,
+        features,
+        pis,
+        ff_pairs,
+        depth: forward.len(),
+        forward,
+        reverse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SeqAig {
+        let mut aig = SeqAig::new("s");
+        let a = aig.add_pi("a"); // 0, level 0
+        let q = aig.add_ff("q", false); // 1, level 0
+        let n = aig.add_not(a); // 2, level 1
+        let g = aig.add_and(n, q); // 3, level 2
+        aig.connect_ff(q, g).unwrap();
+        aig.set_output(g, "y");
+        aig
+    }
+
+    #[test]
+    fn features_are_one_hot() {
+        let g = CircuitGraph::build(&sample());
+        assert_eq!(g.features.shape(), (4, 4));
+        for r in 0..4 {
+            let row = g.features.row(r);
+            assert_eq!(row.iter().sum::<f32>(), 1.0);
+        }
+        // Node 0 is a PI (type 0), node 3 an AND (type 1).
+        assert_eq!(g.features.get(0, 0), 1.0);
+        assert_eq!(g.features.get(3, 1), 1.0);
+    }
+
+    #[test]
+    fn forward_batches_follow_levels() {
+        let g = CircuitGraph::build(&sample());
+        assert_eq!(g.depth, 2);
+        assert_eq!(g.forward[0].nodes, vec![2]); // NOT at level 1
+        assert_eq!(g.forward[0].edges, vec![(0, 0)]);
+        assert_eq!(g.forward[1].nodes, vec![3]); // AND at level 2
+        assert_eq!(g.forward[1].edges, vec![(2, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn reverse_batches_skip_pis_and_sinks() {
+        let g = CircuitGraph::build(&sample());
+        // Reverse order: AND (level 2, successor = FF via D edge),
+        // NOT (level 1, successor = AND), FF (level 0, successor = AND).
+        // The PI is skipped despite having the NOT as fanout.
+        let all_nodes: Vec<u32> = g.reverse.iter().flat_map(|b| b.nodes.clone()).collect();
+        assert!(all_nodes.contains(&3));
+        assert!(all_nodes.contains(&2));
+        assert!(all_nodes.contains(&1));
+        assert!(!all_nodes.contains(&0));
+    }
+
+    #[test]
+    fn ff_pairs_point_to_d_inputs() {
+        let g = CircuitGraph::build(&sample());
+        assert_eq!(g.ff_pairs, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn edge_counts() {
+        let g = CircuitGraph::build(&sample());
+        assert_eq!(g.num_forward_edges(), 3); // NOT(1) + AND(2)
+        // Reverse edges: AND→FF, NOT→AND, FF→AND = one per updated node here.
+        assert_eq!(g.num_reverse_edges(), 3);
+    }
+
+    #[test]
+    fn segments_are_sorted_and_dense() {
+        let g = CircuitGraph::build(&sample());
+        for batch in g.forward.iter().chain(&g.reverse) {
+            let mut last = 0;
+            for &(_, seg) in &batch.edges {
+                assert!(seg as usize <= batch.nodes.len());
+                assert!(seg >= last);
+                last = seg;
+            }
+        }
+    }
+
+    #[test]
+    fn build_graphs_maps_all() {
+        let gs = build_graphs(&[sample(), sample()]);
+        assert_eq!(gs.len(), 2);
+    }
+
+    fn other_sample() -> SeqAig {
+        let mut aig = SeqAig::new("t");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let n = aig.add_not(g);
+        aig.set_output(n, "y");
+        aig
+    }
+
+    #[test]
+    fn merge_offsets_nodes_and_edges() {
+        let g1 = CircuitGraph::build(&sample()); // 4 nodes
+        let g2 = CircuitGraph::build(&other_sample()); // 4 nodes
+        let merged = merge_graphs(&[&g1, &g2]);
+        assert_eq!(merged.num_nodes, 8);
+        assert_eq!(merged.pis.len(), g1.pis.len() + g2.pis.len());
+        assert_eq!(merged.ff_pairs.len(), 1);
+        // Second circuit's PI ids are offset by 4.
+        assert!(merged.pis.contains(&4));
+        // Every edge references a valid node and segment.
+        for batch in merged.forward.iter().chain(&merged.reverse) {
+            for &(u, s) in &batch.edges {
+                assert!((u as usize) < merged.num_nodes);
+                assert!((s as usize) < batch.nodes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_depth_is_max_depth() {
+        let g1 = CircuitGraph::build(&sample()); // depth 2
+        let g2 = CircuitGraph::build(&other_sample()); // depth 2
+        let merged = merge_graphs(&[&g1, &g2]);
+        assert_eq!(merged.depth, 2);
+        // Features stacked in order.
+        assert_eq!(merged.features.rows(), 8);
+        assert_eq!(merged.features.row(0), g1.features.row(0));
+        assert_eq!(merged.features.row(4), g2.features.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one graph")]
+    fn merge_empty_panics() {
+        let _ = merge_graphs(&[]);
+    }
+}

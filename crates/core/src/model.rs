@@ -1,0 +1,494 @@
+//! The DeepSeq model (paper Fig. 1): customized propagation over the
+//! cycle-cut circuit graph, per-direction aggregation + GRU combine, and two
+//! independent MLP regressor heads for transition (`TR`) and logic (`LG`)
+//! probabilities.
+
+use deepseq_netlist::aig::NUM_NODE_TYPES;
+use deepseq_nn::{GruCell, Matrix, Mlp, Params, ParamsError, Tape, VarId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aggregate::AggregatorLayer;
+use crate::config::{Aggregator, DeepSeqConfig, PropagationScheme};
+use crate::graph::{CircuitGraph, LevelBatch};
+
+/// Node-level predictions of one forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predictions {
+    /// `n×2` transition probabilities (`0→1`, `1→0`).
+    pub tr: Matrix,
+    /// `n×1` logic-1 probabilities.
+    pub lg: Matrix,
+}
+
+/// Variable handles returned by [`DeepSeq::forward`] for loss construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardVars {
+    /// Final hidden states, `n×d`.
+    pub hidden: VarId,
+    /// `TR` head output after sigmoid, `n×2`.
+    pub tr: VarId,
+    /// `LG` head output after sigmoid, `n×1`.
+    pub lg: VarId,
+}
+
+/// One propagation direction: aggregation + GRU combine.
+#[derive(Debug, Clone)]
+struct DirectionLayer {
+    agg: AggregatorLayer,
+    gru: GruCell,
+}
+
+impl DirectionLayer {
+    fn new(
+        params: &mut Params,
+        name: &str,
+        aggregator: Aggregator,
+        hidden_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let agg = AggregatorLayer::new(params, &format!("{name}.agg"), aggregator, hidden_dim, rng);
+        let input_dim = agg.output_dim(hidden_dim) + NUM_NODE_TYPES;
+        DirectionLayer {
+            agg,
+            gru: GruCell::new(params, &format!("{name}.gru"), input_dim, hidden_dim, rng),
+        }
+    }
+}
+
+/// The DeepSeq model (and, by configuration, the DAG-ConvGNN / DAG-RecGNN
+/// baselines of Table II).
+///
+/// # Example
+///
+/// ```
+/// use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
+/// use deepseq_core::encoding::initial_states;
+/// use deepseq_netlist::SeqAig;
+/// use deepseq_sim::Workload;
+///
+/// let mut aig = SeqAig::new("toggle");
+/// let q = aig.add_ff("q", false);
+/// let n = aig.add_not(q);
+/// aig.connect_ff(q, n)?;
+///
+/// let model = DeepSeq::new(DeepSeqConfig::default());
+/// let graph = CircuitGraph::build(&aig);
+/// let h0 = initial_states(&aig, &Workload::uniform(0, 0.5), model.config().hidden_dim, 0);
+/// let preds = model.predict(&graph, &h0);
+/// assert_eq!(preds.tr.shape(), (2, 2));
+/// assert_eq!(preds.lg.shape(), (2, 1));
+/// # Ok::<(), deepseq_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeepSeq {
+    config: DeepSeqConfig,
+    params: Params,
+    forward_layer: DirectionLayer,
+    reverse_layer: DirectionLayer,
+    tr_head: Mlp,
+    lg_head: Mlp,
+}
+
+impl DeepSeq {
+    /// Builds a model with freshly initialized weights (seeded by
+    /// `config.seed`).
+    pub fn new(config: DeepSeqConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = Params::new();
+        let d = config.hidden_dim;
+        let forward_layer =
+            DirectionLayer::new(&mut params, "fwd", config.aggregator, d, &mut rng);
+        let reverse_layer =
+            DirectionLayer::new(&mut params, "rev", config.aggregator, d, &mut rng);
+        // "2 independent sets of 3-MLPs" (Section IV-A3), one per task.
+        let tr_head = Mlp::new(&mut params, "tr_head", &[d, d, d, 2], &mut rng);
+        let lg_head = Mlp::new(&mut params, "lg_head", &[d, d, d, 1], &mut rng);
+        DeepSeq {
+            config,
+            params,
+            forward_layer,
+            reverse_layer,
+            tr_head,
+            lg_head,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DeepSeqConfig {
+        &self.config
+    }
+
+    /// The parameter store (weights).
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Mutable parameter store (for optimizer steps).
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    /// Records the full forward computation on `tape` and returns handles to
+    /// hidden states and both head outputs.
+    ///
+    /// `init_h` is the `n×d` initial state matrix from
+    /// [`initial_states`](crate::encoding::initial_states); PI rows stay
+    /// fixed throughout (they are never listed in any update batch).
+    pub fn forward(&self, tape: &mut Tape, graph: &CircuitGraph, init_h: &Matrix) -> ForwardVars {
+        assert_eq!(
+            init_h.shape(),
+            (graph.num_nodes, self.config.hidden_dim),
+            "init_h must be n×hidden_dim"
+        );
+        let h0 = tape.input(init_h.clone());
+        let feats = tape.input(graph.features.clone());
+        // `cur[v]` points at the tape row currently holding h_v.
+        let mut cur: Vec<(VarId, usize)> = (0..graph.num_nodes).map(|i| (h0, i)).collect();
+
+        for _t in 0..self.config.effective_iterations() {
+            // Step 2 (Fig. 2): forward, levelized, FF states read not written.
+            for batch in &graph.forward {
+                self.run_batch(tape, &self.forward_layer, feats, batch, &mut cur);
+            }
+            // Step 3: reverse pass over successors.
+            for batch in &graph.reverse {
+                self.run_batch(tape, &self.reverse_layer, feats, batch, &mut cur);
+            }
+            // Step 4: FFs copy their D-input representation (clock edge).
+            if self.config.scheme.updates_ffs() {
+                for &(ff, d) in &graph.ff_pairs {
+                    cur[ff as usize] = cur[d as usize];
+                }
+            }
+        }
+
+        let hidden = tape.gather_rows(cur);
+        let tr_raw = self.tr_head.forward(tape, &self.params, hidden);
+        let tr = tape.sigmoid(tr_raw);
+        let lg_raw = self.lg_head.forward(tape, &self.params, hidden);
+        let lg = tape.sigmoid(lg_raw);
+        ForwardVars { hidden, tr, lg }
+    }
+
+    fn run_batch(
+        &self,
+        tape: &mut Tape,
+        layer: &DirectionLayer,
+        feats: VarId,
+        batch: &LevelBatch,
+        cur: &mut [(VarId, usize)],
+    ) {
+        if batch.nodes.is_empty() {
+            return;
+        }
+        let node_prev =
+            tape.gather_rows(batch.nodes.iter().map(|&v| cur[v as usize]).collect());
+        let edge_prev = tape.gather_rows(
+            batch
+                .edges
+                .iter()
+                .map(|&(_, seg)| cur[batch.nodes[seg as usize] as usize])
+                .collect(),
+        );
+        let edge_msgs =
+            tape.gather_rows(batch.edges.iter().map(|&(u, _)| cur[u as usize]).collect());
+        let segments: Vec<usize> = batch.edges.iter().map(|&(_, s)| s as usize).collect();
+        let m = layer.agg.aggregate(
+            tape,
+            &self.params,
+            node_prev,
+            edge_prev,
+            edge_msgs,
+            &segments,
+            batch.nodes.len(),
+        );
+        let x = tape.gather_rows(batch.nodes.iter().map(|&v| (feats, v as usize)).collect());
+        let input = tape.concat_cols(m, x);
+        let h_new = layer.gru.forward(tape, &self.params, input, node_prev);
+        for (i, &v) in batch.nodes.iter().enumerate() {
+            cur[v as usize] = (h_new, i);
+        }
+    }
+
+    /// Runs inference and returns concrete prediction matrices.
+    pub fn predict(&self, graph: &CircuitGraph, init_h: &Matrix) -> Predictions {
+        let mut tape = Tape::new();
+        let vars = self.forward(&mut tape, graph, init_h);
+        Predictions {
+            tr: tape.value(vars.tr).clone(),
+            lg: tape.value(vars.lg).clone(),
+        }
+    }
+
+    /// Graph-level readout (Eq. 2): mean-pools the final node states into a
+    /// single `1×d` circuit embedding. The paper lists netlist-level
+    /// embeddings as future work (Section VI); this readout makes the
+    /// pre-trained node representations usable for circuit-level tasks such
+    /// as netlist classification.
+    pub fn embed_graph(&self, graph: &CircuitGraph, init_h: &Matrix) -> Matrix {
+        let mut tape = Tape::new();
+        let vars = self.forward(&mut tape, graph, init_h);
+        let hidden = tape.value(vars.hidden);
+        let (n, d) = hidden.shape();
+        let mut pooled = Matrix::zeros(1, d);
+        for r in 0..n {
+            for c in 0..d {
+                pooled.set(0, c, pooled.get(0, c) + hidden.get(r, c));
+            }
+        }
+        pooled.scale_assign(1.0 / n.max(1) as f32);
+        pooled
+    }
+
+    /// Serializes configuration + weights to a self-contained string.
+    pub fn save_to_string(&self) -> String {
+        let c = &self.config;
+        let mut out = format!(
+            "deepseq-model v1 hidden={} iters={} agg={} scheme={} seed={}\n",
+            c.hidden_dim,
+            c.iterations,
+            aggregator_tag(c.aggregator),
+            scheme_tag(c.scheme),
+            c.seed
+        );
+        out.push_str(&self.params.save_to_string());
+        out
+    }
+
+    /// Restores a model saved by [`DeepSeq::save_to_string`].
+    ///
+    /// # Errors
+    /// Returns [`ParamsError`] on malformed input.
+    pub fn from_checkpoint(text: &str) -> Result<Self, ParamsError> {
+        let (header, rest) = text.split_once('\n').ok_or(ParamsError::BadHeader)?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("deepseq-model") || fields.next() != Some("v1") {
+            return Err(ParamsError::BadHeader);
+        }
+        let mut config = DeepSeqConfig::default();
+        for field in fields {
+            let (key, value) = field.split_once('=').ok_or(ParamsError::BadHeader)?;
+            match key {
+                "hidden" => config.hidden_dim = parse_usize(value)?,
+                "iters" => config.iterations = parse_usize(value)?,
+                "seed" => config.seed = parse_usize(value)? as u64,
+                "agg" => {
+                    config.aggregator = match value {
+                        "convsum" => Aggregator::ConvSum,
+                        "attention" => Aggregator::Attention,
+                        "dual" => Aggregator::DualAttention,
+                        _ => return Err(ParamsError::BadHeader),
+                    }
+                }
+                "scheme" => {
+                    config.scheme = match value {
+                        "dagconv" => PropagationScheme::DagConv,
+                        "dagrec" => PropagationScheme::DagRec,
+                        "custom" => PropagationScheme::Custom,
+                        _ => return Err(ParamsError::BadHeader),
+                    }
+                }
+                _ => return Err(ParamsError::BadHeader),
+            }
+        }
+        let mut model = DeepSeq::new(config);
+        model.params.load_from_string(rest)?;
+        Ok(model)
+    }
+}
+
+fn aggregator_tag(a: Aggregator) -> &'static str {
+    match a {
+        Aggregator::ConvSum => "convsum",
+        Aggregator::Attention => "attention",
+        Aggregator::DualAttention => "dual",
+    }
+}
+
+fn scheme_tag(s: PropagationScheme) -> &'static str {
+    match s {
+        PropagationScheme::DagConv => "dagconv",
+        PropagationScheme::DagRec => "dagrec",
+        PropagationScheme::Custom => "custom",
+    }
+}
+
+fn parse_usize(s: &str) -> Result<usize, ParamsError> {
+    s.parse().map_err(|_| ParamsError::BadHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_netlist::SeqAig;
+    use deepseq_sim::Workload;
+
+    fn sample_aig() -> SeqAig {
+        let mut aig = SeqAig::new("s");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let n = aig.add_not(g);
+        let q = aig.add_ff("q", false);
+        let g2 = aig.add_and(q, n);
+        aig.connect_ff(q, g2).unwrap();
+        aig.set_output(g2, "y");
+        aig
+    }
+
+    fn small_config(aggregator: Aggregator, scheme: PropagationScheme) -> DeepSeqConfig {
+        DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            aggregator,
+            scheme,
+            seed: 1,
+        }
+    }
+
+    fn predict_with(config: DeepSeqConfig) -> Predictions {
+        let aig = sample_aig();
+        let model = DeepSeq::new(config);
+        let graph = CircuitGraph::build(&aig);
+        let w = Workload::uniform(2, 0.5);
+        let h0 = crate::encoding::initial_states(&aig, &w, config.hidden_dim, 3);
+        model.predict(&graph, &h0)
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        for agg in [Aggregator::ConvSum, Aggregator::Attention, Aggregator::DualAttention] {
+            for scheme in [
+                PropagationScheme::DagConv,
+                PropagationScheme::DagRec,
+                PropagationScheme::Custom,
+            ] {
+                let p = predict_with(small_config(agg, scheme));
+                assert_eq!(p.tr.shape(), (6, 2));
+                assert_eq!(p.lg.shape(), (6, 1));
+                for &v in p.tr.data().iter().chain(p.lg.data()) {
+                    assert!((0.0..=1.0).contains(&v), "{agg:?}/{scheme:?}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_scheme_differs_from_dag_rec() {
+        // The FF copy step must change the outcome on a circuit with FFs.
+        let p_custom = predict_with(small_config(
+            Aggregator::DualAttention,
+            PropagationScheme::Custom,
+        ));
+        let p_rec = predict_with(small_config(
+            Aggregator::DualAttention,
+            PropagationScheme::DagRec,
+        ));
+        assert_ne!(p_custom.lg, p_rec.lg);
+    }
+
+    #[test]
+    fn recurrence_changes_predictions() {
+        let p_conv = predict_with(small_config(
+            Aggregator::Attention,
+            PropagationScheme::DagConv,
+        ));
+        let p_rec = predict_with(small_config(
+            Aggregator::Attention,
+            PropagationScheme::DagRec,
+        ));
+        assert_ne!(p_conv.lg, p_rec.lg);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_input() {
+        let c = small_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        assert_eq!(predict_with(c), predict_with(c));
+    }
+
+    #[test]
+    fn workload_affects_predictions() {
+        let aig = sample_aig();
+        let c = small_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        let model = DeepSeq::new(c);
+        let graph = CircuitGraph::build(&aig);
+        let h_low = crate::encoding::initial_states(&aig, &Workload::uniform(2, 0.1), 8, 3);
+        let h_high = crate::encoding::initial_states(&aig, &Workload::uniform(2, 0.9), 8, 3);
+        let p_low = model.predict(&graph, &h_low);
+        let p_high = model.predict(&graph, &h_high);
+        assert_ne!(p_low.lg, p_high.lg);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let aig = sample_aig();
+        let c = small_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        let model = DeepSeq::new(c);
+        let graph = CircuitGraph::build(&aig);
+        let h0 = crate::encoding::initial_states(&aig, &Workload::uniform(2, 0.5), 8, 3);
+        let before = model.predict(&graph, &h0);
+        let text = model.save_to_string();
+        let restored = DeepSeq::from_checkpoint(&text).unwrap();
+        let after = restored.predict(&graph, &h0);
+        assert_eq!(before, after);
+        assert_eq!(restored.config(), model.config());
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        assert!(DeepSeq::from_checkpoint("nonsense").is_err());
+        assert!(DeepSeq::from_checkpoint("deepseq-model v2 hidden=8\nx").is_err());
+    }
+
+    #[test]
+    fn pi_rows_unaffected_by_propagation() {
+        // PI hidden states stay fixed, so PI predictions depend only on h0:
+        // two circuits differing away from the PI keep identical PI rows.
+        let aig = sample_aig();
+        let c = small_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        let model = DeepSeq::new(c);
+        let graph = CircuitGraph::build(&aig);
+        let w = Workload::uniform(2, 0.5);
+        let h0 = crate::encoding::initial_states(&aig, &w, 8, 3);
+        let mut tape = Tape::new();
+        let vars = model.forward(&mut tape, &graph, &h0);
+        let hidden = tape.value(vars.hidden);
+        for (i, pi) in graph.pis.iter().enumerate() {
+            let _ = i;
+            for c in 0..8 {
+                assert_eq!(hidden.get(*pi as usize, c), h0.get(*pi as usize, c));
+            }
+        }
+    }
+
+    #[test]
+    fn graph_embedding_is_pooled_and_input_sensitive() {
+        let aig = sample_aig();
+        let c = small_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        let model = DeepSeq::new(c);
+        let graph = CircuitGraph::build(&aig);
+        let h_low = crate::encoding::initial_states(&aig, &Workload::uniform(2, 0.1), 8, 3);
+        let h_high = crate::encoding::initial_states(&aig, &Workload::uniform(2, 0.9), 8, 3);
+        let e_low = model.embed_graph(&graph, &h_low);
+        let e_high = model.embed_graph(&graph, &h_high);
+        assert_eq!(e_low.shape(), (1, 8));
+        assert_ne!(e_low, e_high, "embedding must reflect the workload");
+        assert!(e_low.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pure_combinational_circuit_works() {
+        let mut aig = SeqAig::new("comb");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        aig.set_output(g, "y");
+        let c = small_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        let model = DeepSeq::new(c);
+        let graph = CircuitGraph::build(&aig);
+        let h0 = crate::encoding::initial_states(&aig, &Workload::uniform(2, 0.5), 8, 0);
+        let p = model.predict(&graph, &h0);
+        assert_eq!(p.lg.rows(), 3);
+    }
+}

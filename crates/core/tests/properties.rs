@@ -1,0 +1,164 @@
+//! Property-based tests for the DeepSeq model: predictions must be valid
+//! probabilities on arbitrary circuits, propagation must respect the fixed
+//! PI constraint, and graph preprocessing must be structurally sound.
+
+use deepseq_core::encoding::initial_states;
+use deepseq_core::{Aggregator, CircuitGraph, DeepSeq, DeepSeqConfig, PropagationScheme};
+use deepseq_netlist::{NodeId, SeqAig};
+use deepseq_sim::Workload;
+use proptest::prelude::*;
+
+fn arb_seq_aig() -> impl Strategy<Value = SeqAig> {
+    (1usize..5, 0usize..4, 1usize..25, any::<u64>()).prop_map(|(n_pi, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("prop");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        let mut ffs = Vec::new();
+        for i in 0..n_ff {
+            ffs.push(aig.add_ff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = aig.len();
+            if next(3) == 0 {
+                aig.add_not(NodeId(next(len) as u32));
+            } else {
+                aig.add_and(NodeId(next(len) as u32), NodeId(next(len) as u32));
+            }
+        }
+        let len = aig.len();
+        for &ff in &ffs {
+            aig.connect_ff(ff, NodeId(next(len) as u32)).unwrap();
+        }
+        aig.set_output(NodeId((len - 1) as u32), "out");
+        aig
+    })
+}
+
+fn tiny_config(aggregator: Aggregator, scheme: PropagationScheme) -> DeepSeqConfig {
+    DeepSeqConfig {
+        hidden_dim: 8,
+        iterations: 2,
+        aggregator,
+        scheme,
+        seed: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn predictions_are_probabilities(aig in arb_seq_aig(), p1 in 0.0f64..1.0) {
+        let config = tiny_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        let model = DeepSeq::new(config);
+        let graph = CircuitGraph::build(&aig);
+        let w = Workload::uniform(aig.num_pis(), p1);
+        let h0 = initial_states(&aig, &w, config.hidden_dim, 1);
+        let preds = model.predict(&graph, &h0);
+        prop_assert_eq!(preds.tr.shape(), (aig.len(), 2));
+        prop_assert_eq!(preds.lg.shape(), (aig.len(), 1));
+        for &v in preds.tr.data().iter().chain(preds.lg.data()) {
+            prop_assert!((0.0..=1.0).contains(&v), "prediction {v} out of range");
+        }
+    }
+
+    #[test]
+    fn all_variants_run_on_random_circuits(aig in arb_seq_aig()) {
+        for scheme in [PropagationScheme::DagConv, PropagationScheme::DagRec, PropagationScheme::Custom] {
+            for agg in [Aggregator::ConvSum, Aggregator::Attention, Aggregator::DualAttention] {
+                let config = tiny_config(agg, scheme);
+                let model = DeepSeq::new(config);
+                let graph = CircuitGraph::build(&aig);
+                let w = Workload::uniform(aig.num_pis(), 0.5);
+                let h0 = initial_states(&aig, &w, config.hidden_dim, 1);
+                let preds = model.predict(&graph, &h0);
+                prop_assert!(preds.lg.data().iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn graph_batches_cover_every_gate_once(aig in arb_seq_aig()) {
+        let graph = CircuitGraph::build(&aig);
+        // Forward batches update exactly the AND/NOT nodes.
+        let mut updated = vec![0usize; aig.len()];
+        for batch in &graph.forward {
+            for &v in &batch.nodes {
+                updated[v as usize] += 1;
+            }
+        }
+        for (id, node) in aig.iter() {
+            let expected = usize::from(node.is_and() || node.is_not());
+            prop_assert_eq!(updated[id.index()], expected, "node {}", id);
+        }
+    }
+
+    #[test]
+    fn reverse_batches_never_touch_pis(aig in arb_seq_aig()) {
+        let graph = CircuitGraph::build(&aig);
+        for batch in &graph.reverse {
+            for &v in &batch.nodes {
+                prop_assert!(!aig.node(NodeId(v)).is_pi());
+            }
+        }
+    }
+
+    #[test]
+    fn segments_reference_valid_nodes(aig in arb_seq_aig()) {
+        let graph = CircuitGraph::build(&aig);
+        for batch in graph.forward.iter().chain(&graph.reverse) {
+            for &(neighbor, seg) in &batch.edges {
+                prop_assert!((seg as usize) < batch.nodes.len());
+                prop_assert!((neighbor as usize) < aig.len());
+            }
+        }
+    }
+
+    #[test]
+    fn pi_rows_stay_fixed(aig in arb_seq_aig(), p1 in 0.0f64..1.0) {
+        let config = tiny_config(Aggregator::DualAttention, PropagationScheme::Custom);
+        let model = DeepSeq::new(config);
+        let graph = CircuitGraph::build(&aig);
+        let w = Workload::uniform(aig.num_pis(), p1);
+        let h0 = initial_states(&aig, &w, config.hidden_dim, 1);
+        let mut tape = deepseq_nn::Tape::new();
+        let vars = model.forward(&mut tape, &graph, &h0);
+        let hidden = tape.value(vars.hidden);
+        for &pi in &graph.pis {
+            for c in 0..config.hidden_dim {
+                prop_assert_eq!(hidden.get(pi as usize, c), h0.get(pi as usize, c));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_random_configs(
+        aig in arb_seq_aig(),
+        hidden in 4usize..12,
+        iters in 1usize..4,
+    ) {
+        let config = DeepSeqConfig {
+            hidden_dim: hidden,
+            iterations: iters,
+            aggregator: Aggregator::DualAttention,
+            scheme: PropagationScheme::Custom,
+            seed: 9,
+        };
+        let model = DeepSeq::new(config);
+        let graph = CircuitGraph::build(&aig);
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let h0 = initial_states(&aig, &w, hidden, 2);
+        let before = model.predict(&graph, &h0);
+        let restored = DeepSeq::from_checkpoint(&model.save_to_string()).unwrap();
+        let after = restored.predict(&graph, &h0);
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,472 @@
+//! Reusable structural hardware blocks (counters, shift registers, adders,
+//! arbiters…) over the generic [`Netlist`] representation.
+//!
+//! The six large test designs of the paper (Table IV) are OpenCores IPs; the
+//! [`designs`](crate::designs) module rebuilds analogous circuits from these
+//! blocks at roughly the paper's node counts.
+
+use deepseq_netlist::netlist::{GateId, GateKind, Netlist};
+
+/// A constant-0 signal (a self-feeding DFF initialized to 0).
+pub fn const_zero(nl: &mut Netlist, name: &str) -> GateId {
+    let z = nl.add_dff(format!("{name}_const0"), false);
+    nl.connect_dff(z, z).expect("z is a DFF");
+    z
+}
+
+/// A constant-1 signal.
+pub fn const_one(nl: &mut Netlist, name: &str) -> GateId {
+    let o = nl.add_dff(format!("{name}_const1"), true);
+    nl.connect_dff(o, o).expect("o is a DFF");
+    o
+}
+
+/// A bank of D flip-flops loading `d` every cycle; returns the Q outputs.
+pub fn register(nl: &mut Netlist, name: &str, d: &[GateId]) -> Vec<GateId> {
+    d.iter()
+        .enumerate()
+        .map(|(i, &di)| {
+            let q = nl.add_dff(format!("{name}_q{i}"), false);
+            nl.connect_dff(q, di).expect("q is a DFF");
+            q
+        })
+        .collect()
+}
+
+/// A register with a load-enable: `q' = en ? d : q`.
+pub fn register_en(nl: &mut Netlist, name: &str, d: &[GateId], en: GateId) -> Vec<GateId> {
+    d.iter()
+        .enumerate()
+        .map(|(i, &di)| {
+            let q = nl.add_dff(format!("{name}_q{i}"), false);
+            let next = nl.add_gate(GateKind::Mux, vec![en, q, di]);
+            nl.connect_dff(q, next).expect("q is a DFF");
+            q
+        })
+        .collect()
+}
+
+/// Binary up-counter with enable; returns Q bits, LSB first.
+pub fn counter(nl: &mut Netlist, name: &str, bits: usize, en: GateId) -> Vec<GateId> {
+    let qs: Vec<GateId> = (0..bits)
+        .map(|i| nl.add_dff(format!("{name}_c{i}"), false))
+        .collect();
+    let mut carry = en;
+    for (i, &q) in qs.iter().enumerate() {
+        let next = nl.add_gate(GateKind::Xor, vec![q, carry]);
+        nl.connect_dff(q, next).expect("q is a DFF");
+        if i + 1 < bits {
+            carry = nl.add_gate(GateKind::And, vec![q, carry]);
+        }
+    }
+    qs
+}
+
+/// Serial-in shift register; returns all stage outputs, oldest last.
+pub fn shift_register(nl: &mut Netlist, name: &str, input: GateId, len: usize) -> Vec<GateId> {
+    let mut prev = input;
+    let mut stages = Vec::with_capacity(len);
+    for i in 0..len {
+        let q = nl.add_dff(format!("{name}_s{i}"), false);
+        nl.connect_dff(q, prev).expect("q is a DFF");
+        stages.push(q);
+        prev = q;
+    }
+    stages
+}
+
+/// Fibonacci LFSR over `bits` stages with feedback taps (1-based stage
+/// indices); stage 0 is seeded to 1 so the register never locks up.
+///
+/// # Panics
+/// Panics if `taps` is empty or a tap exceeds `bits`.
+pub fn lfsr(nl: &mut Netlist, name: &str, bits: usize, taps: &[usize]) -> Vec<GateId> {
+    assert!(!taps.is_empty(), "lfsr needs at least one tap");
+    assert!(taps.iter().all(|&t| t >= 1 && t <= bits), "tap out of range");
+    let qs: Vec<GateId> = (0..bits)
+        .map(|i| {
+            // Seed 0b…001.
+            nl.add_dff(format!("{name}_l{i}"), i == 0)
+        })
+        .collect();
+    let tap_signals: Vec<GateId> = taps.iter().map(|&t| qs[t - 1]).collect();
+    let feedback = if tap_signals.len() == 1 {
+        nl.add_gate(GateKind::Buf, vec![tap_signals[0]])
+    } else {
+        nl.add_gate(GateKind::Xor, tap_signals)
+    };
+    // Shift: q0 <- feedback, q_{i} <- q_{i-1}.
+    nl.connect_dff(qs[0], feedback).expect("q0 is a DFF");
+    for i in 1..bits {
+        nl.connect_dff(qs[i], qs[i - 1]).expect("qi is a DFF");
+    }
+    qs
+}
+
+/// Ripple-carry adder; returns `(sum_bits, carry_out)`.
+///
+/// # Panics
+/// Panics if `a` and `b` have different widths.
+pub fn ripple_adder(
+    nl: &mut Netlist,
+    a: &[GateId],
+    b: &[GateId],
+    carry_in: GateId,
+) -> (Vec<GateId>, GateId) {
+    assert_eq!(a.len(), b.len(), "adder width mismatch");
+    let mut carry = carry_in;
+    let mut sums = Vec::with_capacity(a.len());
+    for (&ai, &bi) in a.iter().zip(b) {
+        let axb = nl.add_gate(GateKind::Xor, vec![ai, bi]);
+        let sum = nl.add_gate(GateKind::Xor, vec![axb, carry]);
+        let t1 = nl.add_gate(GateKind::And, vec![ai, bi]);
+        let t2 = nl.add_gate(GateKind::And, vec![axb, carry]);
+        carry = nl.add_gate(GateKind::Or, vec![t1, t2]);
+        sums.push(sum);
+    }
+    (sums, carry)
+}
+
+/// Equality comparator over two equal-width buses.
+pub fn equals(nl: &mut Netlist, a: &[GateId], b: &[GateId]) -> GateId {
+    assert_eq!(a.len(), b.len(), "comparator width mismatch");
+    let bit_eq: Vec<GateId> = a
+        .iter()
+        .zip(b)
+        .map(|(&ai, &bi)| nl.add_gate(GateKind::Xnor, vec![ai, bi]))
+        .collect();
+    and_tree(nl, &bit_eq)
+}
+
+/// `a < b` over equal-width buses (unsigned, ripple borrow).
+pub fn less_than(nl: &mut Netlist, a: &[GateId], b: &[GateId]) -> GateId {
+    assert_eq!(a.len(), b.len(), "comparator width mismatch");
+    // borrow_{i+1} = (!a_i & b_i) | ((a_i XNOR b_i) & borrow_i)
+    let mut borrow = const_zero(nl, "lt");
+    for (&ai, &bi) in a.iter().zip(b) {
+        let na = nl.add_gate(GateKind::Not, vec![ai]);
+        let t1 = nl.add_gate(GateKind::And, vec![na, bi]);
+        let eq = nl.add_gate(GateKind::Xnor, vec![ai, bi]);
+        let t2 = nl.add_gate(GateKind::And, vec![eq, borrow]);
+        borrow = nl.add_gate(GateKind::Or, vec![t1, t2]);
+    }
+    borrow
+}
+
+/// Balanced AND reduction tree.
+pub fn and_tree(nl: &mut Netlist, xs: &[GateId]) -> GateId {
+    reduce_tree(nl, xs, GateKind::And)
+}
+
+/// Balanced OR reduction tree.
+pub fn or_tree(nl: &mut Netlist, xs: &[GateId]) -> GateId {
+    reduce_tree(nl, xs, GateKind::Or)
+}
+
+fn reduce_tree(nl: &mut Netlist, xs: &[GateId], kind: GateKind) -> GateId {
+    assert!(!xs.is_empty(), "reduction over empty input");
+    let mut layer: Vec<GateId> = xs.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(nl.add_gate(kind, vec![pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Per-bit 2:1 mux over two buses: `sel ? b : a`.
+pub fn mux_bus(nl: &mut Netlist, sel: GateId, a: &[GateId], b: &[GateId]) -> Vec<GateId> {
+    assert_eq!(a.len(), b.len(), "mux width mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| nl.add_gate(GateKind::Mux, vec![sel, ai, bi]))
+        .collect()
+}
+
+/// Mux tree selecting one of `inputs.len()` equal-width buses with binary
+/// select lines (`sels.len() = ceil(log2(inputs))`, LSB first). Missing
+/// inputs repeat the last bus.
+pub fn mux_tree(nl: &mut Netlist, sels: &[GateId], inputs: &[Vec<GateId>]) -> Vec<GateId> {
+    assert!(!inputs.is_empty(), "mux tree over no inputs");
+    let mut layer: Vec<Vec<GateId>> = inputs.to_vec();
+    for &sel in sels {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(mux_bus(nl, sel, &pair[0], &pair[1]));
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+        if layer.len() == 1 {
+            break;
+        }
+    }
+    layer.swap_remove(0)
+}
+
+/// Binary decoder: `2^sels.len()` one-hot outputs.
+pub fn decoder(nl: &mut Netlist, sels: &[GateId]) -> Vec<GateId> {
+    let n = 1usize << sels.len();
+    let nots: Vec<GateId> = sels
+        .iter()
+        .map(|&s| nl.add_gate(GateKind::Not, vec![s]))
+        .collect();
+    (0..n)
+        .map(|value| {
+            let literals: Vec<GateId> = sels
+                .iter()
+                .enumerate()
+                .map(|(bit, &s)| if (value >> bit) & 1 == 1 { s } else { nots[bit] })
+                .collect();
+            and_tree(nl, &literals)
+        })
+        .collect()
+}
+
+/// Fixed-priority arbiter: `grant_i = req_i ∧ ¬(req_0 ∨ … ∨ req_{i-1})`.
+pub fn priority_arbiter(nl: &mut Netlist, reqs: &[GateId]) -> Vec<GateId> {
+    let mut grants = Vec::with_capacity(reqs.len());
+    let mut any_before: Option<GateId> = None;
+    for &req in reqs {
+        let grant = match any_before {
+            None => nl.add_gate(GateKind::Buf, vec![req]),
+            Some(prev) => {
+                let n = nl.add_gate(GateKind::Not, vec![prev]);
+                nl.add_gate(GateKind::And, vec![req, n])
+            }
+        };
+        grants.push(grant);
+        any_before = Some(match any_before {
+            None => req,
+            Some(prev) => nl.add_gate(GateKind::Or, vec![prev, req]),
+        });
+    }
+    grants
+}
+
+/// Round-robin arbiter: a rotating pointer (counter advanced on any grant)
+/// masks the requests; masked requests win first, otherwise plain priority.
+pub fn round_robin_arbiter(nl: &mut Netlist, name: &str, reqs: &[GateId]) -> Vec<GateId> {
+    let n = reqs.len();
+    let ptr_bits = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let any_req = or_tree(nl, reqs);
+    let ptr = counter(nl, &format!("{name}_ptr"), ptr_bits.max(1), any_req);
+    let onehot = decoder(nl, &ptr);
+    // mask_i = 1 for i >= ptr: thermometer from the one-hot pointer.
+    let mut masked = Vec::with_capacity(n);
+    let mut thermo: Option<GateId> = None;
+    for i in 0..n {
+        thermo = Some(match thermo {
+            None => nl.add_gate(GateKind::Buf, vec![onehot[i]]),
+            Some(prev) => nl.add_gate(GateKind::Or, vec![prev, onehot[i]]),
+        });
+        let m = thermo.expect("set above");
+        masked.push(nl.add_gate(GateKind::And, vec![reqs[i], m]));
+    }
+    let masked_grants = priority_arbiter(nl, &masked);
+    let plain_grants = priority_arbiter(nl, reqs);
+    let any_masked = or_tree(nl, &masked);
+    // grant = any_masked ? masked_grant : plain_grant
+    (0..n)
+        .map(|i| nl.add_gate(GateKind::Mux, vec![any_masked, plain_grants[i], masked_grants[i]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_sim::{simulate_netlist, SimOptions, Workload};
+
+    fn opts() -> SimOptions {
+        SimOptions {
+            cycles: 600,
+            warmup: 32,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn counter_bit_rates_halve() {
+        let mut nl = Netlist::new("cnt");
+        let one = const_one(&mut nl, "t");
+        let qs = counter(&mut nl, "c", 4, one);
+        for (i, q) in qs.iter().enumerate() {
+            nl.set_output(*q, format!("q{i}"));
+        }
+        let r = simulate_netlist(&nl, &Workload::uniform(0, 0.5), &opts());
+        // Bit i toggles every 2^i cycles: p01 = 2^-(i+1).
+        for (i, q) in qs.iter().enumerate() {
+            let expected = 0.5f64.powi(i as i32 + 1);
+            let p01 = r.probs.p01[q.index()];
+            assert!(
+                (p01 - expected).abs() < 0.02,
+                "bit {i}: p01 {p01} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_disabled_holds() {
+        let mut nl = Netlist::new("cnt");
+        let zero = const_zero(&mut nl, "t");
+        let qs = counter(&mut nl, "c", 3, zero);
+        nl.set_output(qs[0], "q0");
+        let r = simulate_netlist(&nl, &Workload::uniform(0, 0.5), &opts());
+        assert_eq!(r.probs.toggle_rate(qs[0].index()), 0.0);
+    }
+
+    #[test]
+    fn shift_register_delays_probability() {
+        let mut nl = Netlist::new("sr");
+        let d = nl.add_input("d");
+        let stages = shift_register(&mut nl, "s", d, 5);
+        nl.set_output(*stages.last().unwrap(), "out");
+        let r = simulate_netlist(&nl, &Workload::uniform(1, 0.3), &opts());
+        for s in &stages {
+            assert!((r.probs.p1[s.index()] - 0.3).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn lfsr_is_balanced_and_never_locks() {
+        let mut nl = Netlist::new("lfsr");
+        // x^4 + x^3 + 1 maximal-length taps.
+        let qs = lfsr(&mut nl, "l", 4, &[4, 3]);
+        nl.set_output(qs[3], "out");
+        let r = simulate_netlist(&nl, &Workload::uniform(0, 0.5), &opts());
+        // Max-length LFSR emits 8 ones per 15-cycle period: p1 = 8/15.
+        let p1 = r.probs.p1[qs[3].index()];
+        assert!((p1 - 8.0 / 15.0).abs() < 0.05, "p1 {p1}");
+        assert!(r.probs.toggle_rate(qs[0].index()) > 0.0);
+    }
+
+    #[test]
+    fn adder_matches_truth_table() {
+        let mut nl = Netlist::new("add");
+        let a0 = nl.add_input("a0");
+        let b0 = nl.add_input("b0");
+        let zero = const_zero(&mut nl, "t");
+        let (sums, cout) = ripple_adder(&mut nl, &[a0], &[b0], zero);
+        nl.set_output(sums[0], "s");
+        nl.set_output(cout, "c");
+        let r = simulate_netlist(&nl, &Workload::uniform(2, 0.5), &opts());
+        // s = a XOR b: p1 = 0.5; c = a AND b: p1 = 0.25.
+        assert!((r.probs.p1[sums[0].index()] - 0.5).abs() < 0.03);
+        assert!((r.probs.p1[cout.index()] - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn equals_fires_at_expected_rate() {
+        let mut nl = Netlist::new("eq");
+        let a: Vec<GateId> = (0..3).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<GateId> = (0..3).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let eq = equals(&mut nl, &a, &b);
+        nl.set_output(eq, "eq");
+        let r = simulate_netlist(&nl, &Workload::uniform(6, 0.5), &opts());
+        // P(a == b) for 3 random bits = (1/2)^3.
+        assert!((r.probs.p1[eq.index()] - 0.125).abs() < 0.02);
+    }
+
+    #[test]
+    fn less_than_uniform_rate() {
+        let mut nl = Netlist::new("lt");
+        let a: Vec<GateId> = (0..3).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<GateId> = (0..3).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let lt = less_than(&mut nl, &a, &b);
+        nl.set_output(lt, "lt");
+        let r = simulate_netlist(&nl, &Workload::uniform(6, 0.5), &opts());
+        // P(a < b) for uniform 3-bit values = (64 - 8) / 2 / 64 = 0.4375.
+        assert!((r.probs.p1[lt.index()] - 0.4375).abs() < 0.03);
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let mut nl = Netlist::new("dec");
+        let s: Vec<GateId> = (0..2).map(|i| nl.add_input(format!("s{i}"))).collect();
+        let outs = decoder(&mut nl, &s);
+        assert_eq!(outs.len(), 4);
+        let hot = or_tree(&mut nl, &outs);
+        nl.set_output(hot, "any");
+        let r = simulate_netlist(&nl, &Workload::uniform(2, 0.5), &opts());
+        // Exactly one output is always hot.
+        assert!((r.probs.p1[hot.index()] - 1.0).abs() < 1e-9);
+        for o in &outs {
+            assert!((r.probs.p1[o.index()] - 0.25).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn priority_arbiter_grants_exclusively() {
+        let mut nl = Netlist::new("arb");
+        let reqs: Vec<GateId> = (0..3).map(|i| nl.add_input(format!("r{i}"))).collect();
+        let grants = priority_arbiter(&mut nl, &reqs);
+        // At most one grant: OR of pairwise ANDs must be 0.
+        let g01 = nl.add_gate(GateKind::And, vec![grants[0], grants[1]]);
+        let g02 = nl.add_gate(GateKind::And, vec![grants[0], grants[2]]);
+        let g12 = nl.add_gate(GateKind::And, vec![grants[1], grants[2]]);
+        let overlap = or_tree(&mut nl, &[g01, g02, g12]);
+        nl.set_output(overlap, "overlap");
+        let r = simulate_netlist(&nl, &Workload::uniform(3, 0.5), &opts());
+        assert_eq!(r.probs.p1[overlap.index()], 0.0);
+        // Grant 0 tracks request 0 exactly.
+        assert!((r.probs.p1[grants[0].index()] - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn round_robin_arbiter_grants_exclusively() {
+        let mut nl = Netlist::new("rr");
+        let reqs: Vec<GateId> = (0..4).map(|i| nl.add_input(format!("r{i}"))).collect();
+        let grants = round_robin_arbiter(&mut nl, "rr", &reqs);
+        let mut overlaps = Vec::new();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                overlaps.push(nl.add_gate(GateKind::And, vec![grants[i], grants[j]]));
+            }
+        }
+        let overlap = or_tree(&mut nl, &overlaps);
+        let any_grant = or_tree(&mut nl, &grants);
+        let any_req = or_tree(&mut nl, &reqs);
+        // A request must imply a grant: any_req AND NOT any_grant == 0.
+        let ng = nl.add_gate(GateKind::Not, vec![any_grant]);
+        let starved = nl.add_gate(GateKind::And, vec![any_req, ng]);
+        nl.set_output(overlap, "overlap");
+        nl.set_output(starved, "starved");
+        let r = simulate_netlist(&nl, &Workload::uniform(4, 0.4), &opts());
+        assert_eq!(r.probs.p1[overlap.index()], 0.0, "two grants at once");
+        assert_eq!(r.probs.p1[starved.index()], 0.0, "request starved");
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let mut nl = Netlist::new("mt");
+        let sels: Vec<GateId> = (0..2).map(|i| nl.add_input(format!("s{i}"))).collect();
+        let buses: Vec<Vec<GateId>> = (0..4)
+            .map(|i| vec![nl.add_input(format!("d{i}"))])
+            .collect();
+        let out = mux_tree(&mut nl, &sels, &buses);
+        nl.set_output(out[0], "y");
+        assert!(nl.validate().is_ok());
+        let r = simulate_netlist(&nl, &Workload::uniform(6, 0.5), &opts());
+        assert!((r.probs.p1[out[0].index()] - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn constants_hold_their_values() {
+        let mut nl = Netlist::new("c");
+        let z = const_zero(&mut nl, "a");
+        let o = const_one(&mut nl, "b");
+        nl.set_output(z, "z");
+        nl.set_output(o, "o");
+        let r = simulate_netlist(&nl, &Workload::uniform(0, 0.5), &opts());
+        assert_eq!(r.probs.p1[z.index()], 0.0);
+        assert_eq!(r.probs.p1[o.index()], 1.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Training dataset assembly — the three benchmark families of Table I.
+//!
+//! | Benchmark | # Subcircuits | # Nodes (µ ± σ) |
+//! |---|---|---|
+//! | ISCAS'89 | 1 159 | 148.88 ± 87.56 |
+//! | ITC'99 | 1 691 | 272.6 ± 108.33 |
+//! | OpenCores | 7 684 | 211.41 ± 81.37 |
+//!
+//! [`Family`] encodes those statistics; [`generate_family`] draws synthetic
+//! subcircuits matching them (see [`crate::random`] for why synthesis stands
+//! in for the real files). Counts are scaled by a budget factor for CPU
+//! training; the distribution parameters are untouched.
+
+use deepseq_netlist::{FamilyStats, SeqAig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::random::{random_circuit, sample_spec};
+
+/// The benchmark families of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// ISCAS'89 sequential benchmarks (controller-heavy, small).
+    Iscas89,
+    /// ITC'99 benchmarks (larger, deeper).
+    Itc99,
+    /// OpenCores designs (datapath-heavy).
+    Opencores,
+}
+
+impl Family {
+    /// All families, in Table I order.
+    pub fn all() -> [Family; 3] {
+        [Family::Iscas89, Family::Itc99, Family::Opencores]
+    }
+
+    /// Display name as in Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Iscas89 => "ISCAS'89",
+            Family::Itc99 => "ITC'99",
+            Family::Opencores => "Opencores",
+        }
+    }
+
+    /// Paper subcircuit count (Table I).
+    pub fn paper_count(self) -> usize {
+        match self {
+            Family::Iscas89 => 1_159,
+            Family::Itc99 => 1_691,
+            Family::Opencores => 7_684,
+        }
+    }
+
+    /// Node count distribution `(mean, std)` from Table I.
+    pub fn size_distribution(self) -> (f64, f64) {
+        match self {
+            Family::Iscas89 => (148.88, 87.56),
+            Family::Itc99 => (272.6, 108.33),
+            Family::Opencores => (211.41, 81.37),
+        }
+    }
+
+    /// Structural flavour: `(pi_fraction, ff_fraction)` of total nodes.
+    /// Controllers (ISCAS'89) carry relatively more state; datapath designs
+    /// (OpenCores) more reconvergent logic.
+    pub fn flavour(self) -> (f64, f64) {
+        match self {
+            Family::Iscas89 => (0.08, 0.10),
+            Family::Itc99 => (0.05, 0.07),
+            Family::Opencores => (0.06, 0.08),
+        }
+    }
+}
+
+/// Generates `count` random subcircuits following a family's statistics.
+pub fn generate_family(family: Family, count: usize, seed: u64) -> Vec<SeqAig> {
+    let mut rng = StdRng::seed_from_u64(seed ^ family_tag(family));
+    let (mean, std) = family.size_distribution();
+    let (pi_frac, ff_frac) = family.flavour();
+    (0..count)
+        .map(|i| {
+            let spec = sample_spec(mean, std, pi_frac, ff_frac, &mut rng);
+            random_circuit(&format!("{}_{i}", family.name()), &spec, &mut rng)
+        })
+        .collect()
+}
+
+fn family_tag(family: Family) -> u64 {
+    match family {
+        Family::Iscas89 => 0x1111,
+        Family::Itc99 => 0x2222,
+        Family::Opencores => 0x3333,
+    }
+}
+
+/// A labelled training corpus: circuits grouped by family.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// `(family, circuits)` pairs in Table I order.
+    pub families: Vec<(Family, Vec<SeqAig>)>,
+}
+
+impl Corpus {
+    /// Generates a corpus with `budget` total circuits, distributed across
+    /// families proportionally to the paper counts (Table I).
+    pub fn generate(budget: usize, seed: u64) -> Self {
+        let total_paper: usize = Family::all().iter().map(|f| f.paper_count()).sum();
+        let families = Family::all()
+            .into_iter()
+            .map(|f| {
+                let share = (budget as f64 * f.paper_count() as f64 / total_paper as f64)
+                    .round()
+                    .max(1.0) as usize;
+                (f, generate_family(f, share, seed))
+            })
+            .collect();
+        Corpus { families }
+    }
+
+    /// All circuits flattened.
+    pub fn circuits(&self) -> Vec<&SeqAig> {
+        self.families
+            .iter()
+            .flat_map(|(_, cs)| cs.iter())
+            .collect()
+    }
+
+    /// Total circuit count.
+    pub fn len(&self) -> usize {
+        self.families.iter().map(|(_, cs)| cs.len()).sum()
+    }
+
+    /// True if the corpus has no circuits.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-family statistics (one row of Table I per entry).
+    pub fn stats(&self) -> Vec<FamilyStats> {
+        self.families
+            .iter()
+            .map(|(f, cs)| FamilyStats::of(f.name(), cs.iter()))
+            .collect()
+    }
+}
+
+/// Samples one random workload seed per circuit (the paper randomly
+/// generates one workload per netlist).
+pub fn workload_seeds(count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_metadata_matches_table1() {
+        assert_eq!(Family::Iscas89.paper_count(), 1_159);
+        assert_eq!(Family::Itc99.paper_count(), 1_691);
+        assert_eq!(Family::Opencores.paper_count(), 7_684);
+        let (m, s) = Family::Itc99.size_distribution();
+        assert_eq!(m, 272.6);
+        assert_eq!(s, 108.33);
+    }
+
+    #[test]
+    fn generated_family_tracks_distribution() {
+        let circuits = generate_family(Family::Opencores, 120, 0);
+        let stats = FamilyStats::of("test", circuits.iter());
+        let (mean, _) = Family::Opencores.size_distribution();
+        assert_eq!(stats.count, 120);
+        assert!(
+            (stats.mean_nodes - mean).abs() < 30.0,
+            "mean {} vs target {mean}",
+            stats.mean_nodes
+        );
+        assert!(stats.std_nodes > 30.0, "std too small: {}", stats.std_nodes);
+    }
+
+    #[test]
+    fn all_generated_circuits_validate() {
+        for family in Family::all() {
+            for aig in generate_family(family, 15, 1) {
+                assert!(aig.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_distributes_proportionally() {
+        let corpus = Corpus::generate(100, 0);
+        assert_eq!(corpus.families.len(), 3);
+        // OpenCores dominates Table I (73% of circuits).
+        let opencores = corpus
+            .families
+            .iter()
+            .find(|(f, _)| *f == Family::Opencores)
+            .map(|(_, cs)| cs.len())
+            .unwrap();
+        assert!(opencores >= 60, "opencores share {opencores}");
+        assert!((95..=105).contains(&corpus.len()), "total {}", corpus.len());
+    }
+
+    #[test]
+    fn corpus_stats_have_three_rows() {
+        let corpus = Corpus::generate(30, 2);
+        let stats = corpus.stats();
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.count > 0));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_family(Family::Iscas89, 5, 42);
+        let b = generate_family(Family::Iscas89, 5, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+        }
+    }
+
+    #[test]
+    fn workload_seeds_are_distinct() {
+        let seeds = workload_seeds(50, 0);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 50);
+    }
+}

@@ -1,0 +1,232 @@
+//! Output-cone subcircuit extraction (paper Section III: "we extract
+//! sub-circuits of sizes in range 150 to 300 nodes from open source
+//! benchmarks").
+//!
+//! A cone is grown backwards from a root node. Nodes whose fanins do not fit
+//! the budget become *boundary* nodes and are converted into fresh primary
+//! inputs of the subcircuit; flip-flops are kept as flip-flops when their D
+//! cone is included, otherwise they also become PIs.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use deepseq_netlist::aig::{AigNode, NodeId, SeqAig};
+use rand::Rng;
+
+/// Options for cone extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractOptions {
+    /// Stop growing once this many nodes are collected (paper: 150–300).
+    pub max_nodes: usize,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions { max_nodes: 300 }
+    }
+}
+
+/// Extracts the cone rooted at `root` from `aig`.
+///
+/// Returns `None` when the root is a PI (an empty cone).
+pub fn extract_cone(aig: &SeqAig, root: NodeId, opts: &ExtractOptions) -> Option<SeqAig> {
+    if aig.node(root).is_pi() {
+        return None;
+    }
+    // Backward BFS with a node budget.
+    let mut selected: HashSet<NodeId> = HashSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    selected.insert(root);
+    while let Some(v) = queue.pop_front() {
+        if selected.len() >= opts.max_nodes {
+            break;
+        }
+        let fanins: Vec<NodeId> = match *aig.node(v) {
+            AigNode::And(a, b) => vec![a, b],
+            AigNode::Not(a) => vec![a],
+            AigNode::Ff { d: Some(d), .. } => vec![d],
+            _ => Vec::new(),
+        };
+        for f in fanins {
+            if selected.len() >= opts.max_nodes {
+                break;
+            }
+            if selected.insert(f) {
+                queue.push_back(f);
+            }
+        }
+    }
+
+    // A selected node stays internal only if all its fanins are selected;
+    // otherwise it becomes a boundary PI.
+    let is_internal = |v: NodeId| -> bool {
+        match *aig.node(v) {
+            AigNode::Pi => false,
+            AigNode::And(a, b) => selected.contains(&a) && selected.contains(&b),
+            AigNode::Not(a) => selected.contains(&a),
+            AigNode::Ff { d: Some(d), .. } => selected.contains(&d),
+            AigNode::Ff { d: None, .. } => false,
+        }
+    };
+
+    // Rebuild in original id order (preserves topological validity).
+    let mut sub = SeqAig::new(format!("{}_cone_{}", aig.name(), root.0));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut ordered: Vec<NodeId> = selected.iter().copied().collect();
+    ordered.sort();
+    let mut ffs_to_connect = Vec::new();
+    for v in ordered {
+        let new_id = if !is_internal(v) {
+            sub.add_pi(format!("cut_{}", v.0))
+        } else {
+            match *aig.node(v) {
+                AigNode::And(a, b) => {
+                    let na = map[&a];
+                    let nb = map[&b];
+                    sub.add_and(na, nb)
+                }
+                AigNode::Not(a) => {
+                    let na = map[&a];
+                    sub.add_not(na)
+                }
+                AigNode::Ff { init, .. } => {
+                    let ff = sub.add_ff(format!("ff_{}", v.0), init);
+                    ffs_to_connect.push((v, ff));
+                    ff
+                }
+                AigNode::Pi => unreachable!("PIs are never internal"),
+            }
+        };
+        map.insert(v, new_id);
+    }
+    for (orig, new_ff) in ffs_to_connect {
+        let d = aig.ff_fanin(orig).expect("internal FFs have D inputs");
+        sub.connect_ff(new_ff, map[&d]).expect("new_ff is an FF");
+    }
+    sub.set_output(map[&root], "cone_out");
+    debug_assert!(sub.validate().is_ok());
+    Some(sub)
+}
+
+/// Extracts up to `count` cones from random gate roots.
+pub fn extract_random_cones<R: Rng + ?Sized>(
+    aig: &SeqAig,
+    count: usize,
+    opts: &ExtractOptions,
+    rng: &mut R,
+) -> Vec<SeqAig> {
+    let candidates: Vec<NodeId> = aig
+        .iter()
+        .filter(|(_, n)| !n.is_pi())
+        .map(|(id, _)| id)
+        .collect();
+    let mut cones = Vec::new();
+    let mut attempts = 0;
+    while cones.len() < count && attempts < count * 10 && !candidates.is_empty() {
+        attempts += 1;
+        let root = candidates[rng.gen_range(0..candidates.len())];
+        if let Some(cone) = extract_cone(aig, root, opts) {
+            if cone.len() >= 10 {
+                cones.push(cone);
+            }
+        }
+    }
+    cones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_circuit, CircuitSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big_circuit() -> SeqAig {
+        let mut rng = StdRng::seed_from_u64(7);
+        random_circuit(
+            "big",
+            &CircuitSpec {
+                num_pis: 10,
+                num_ffs: 20,
+                num_gates: 900,
+                ..CircuitSpec::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn cones_validate_and_respect_budget() {
+        let aig = big_circuit();
+        let mut rng = StdRng::seed_from_u64(8);
+        let cones = extract_random_cones(&aig, 10, &ExtractOptions { max_nodes: 200 }, &mut rng);
+        assert!(!cones.is_empty());
+        for cone in &cones {
+            assert!(cone.validate().is_ok());
+            // Boundary conversion may add a few extra PIs beyond the budget.
+            assert!(cone.len() <= 220, "cone too large: {}", cone.len());
+            assert_eq!(cone.outputs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn pi_root_yields_none() {
+        let aig = big_circuit();
+        let pi = aig.pis()[0];
+        assert!(extract_cone(&aig, pi, &ExtractOptions::default()).is_none());
+    }
+
+    #[test]
+    fn small_root_cone_is_complete() {
+        // A cone from a shallow node of a tiny circuit includes everything.
+        let mut aig = SeqAig::new("t");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let n = aig.add_not(g);
+        aig.set_output(n, "y");
+        let cone = extract_cone(&aig, n, &ExtractOptions::default()).unwrap();
+        assert_eq!(cone.len(), 4);
+        assert_eq!(cone.num_pis(), 2);
+        assert_eq!(cone.num_ands(), 1);
+        assert_eq!(cone.num_nots(), 1);
+    }
+
+    #[test]
+    fn ff_with_cut_cone_becomes_pi() {
+        let aig = big_circuit();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Tiny budget forces FF boundary conversion somewhere.
+        let cones = extract_random_cones(&aig, 5, &ExtractOptions { max_nodes: 20 }, &mut rng);
+        for cone in cones {
+            assert!(cone.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn cone_preserves_local_function() {
+        use deepseq_sim::{simulate, SimOptions, Workload};
+        // A pure-combinational cone over the full circuit computes the same
+        // probability at its root as the original circuit does.
+        let mut aig = SeqAig::new("c");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let n = aig.add_not(g);
+        let g2 = aig.add_and(n, a);
+        aig.set_output(g2, "y");
+        let cone = extract_cone(&aig, g2, &ExtractOptions::default()).unwrap();
+        let o = SimOptions {
+            cycles: 500,
+            warmup: 10,
+            seed: 3,
+        };
+        let w1 = Workload::uniform(2, 0.5);
+        let r_orig = simulate(&aig, &w1, &o);
+        let w2 = Workload::uniform(cone.num_pis(), 0.5);
+        let r_cone = simulate(&cone, &w2, &o);
+        let root_orig = r_orig.probs.p1[g2.index()];
+        let root_cone = r_cone.probs.p1[cone.outputs()[0].0.index()];
+        assert!((root_orig - root_cone).abs() < 0.05);
+    }
+}

@@ -1,0 +1,572 @@
+//! Sequential and-inverter graph (`SeqAig`).
+//!
+//! The DeepSeq paper pre-processes every circuit into an AIG whose only node
+//! types are primary inputs, 2-input AND gates, inverters and D flip-flops
+//! (Section III). Construction is *ordered*: combinational fanins must refer
+//! to already-created nodes, so the combinational part is a DAG by
+//! construction, and the only back edges are flip-flop D inputs (connected
+//! after the fact via [`SeqAig::connect_ff`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+
+/// Identifier of a node inside a [`SeqAig`] (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// A node of a sequential AIG.
+///
+/// `Ff` stores its D input as `Option` because flip-flop feedback is
+/// connected after the driven logic exists; [`SeqAig::validate`] rejects
+/// graphs with unconnected flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AigNode {
+    /// Primary input.
+    Pi,
+    /// 2-input AND gate.
+    And(NodeId, NodeId),
+    /// Inverter.
+    Not(NodeId),
+    /// D flip-flop with initial state `init`; `d` is its data input.
+    Ff {
+        /// Data input (None until [`SeqAig::connect_ff`] is called).
+        d: Option<NodeId>,
+        /// Power-on state.
+        init: bool,
+    },
+}
+
+impl AigNode {
+    /// True for primary inputs.
+    #[inline]
+    pub fn is_pi(&self) -> bool {
+        matches!(self, AigNode::Pi)
+    }
+
+    /// True for flip-flops.
+    #[inline]
+    pub fn is_ff(&self) -> bool {
+        matches!(self, AigNode::Ff { .. })
+    }
+
+    /// True for AND gates.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self, AigNode::And(_, _))
+    }
+
+    /// True for inverters.
+    #[inline]
+    pub fn is_not(&self) -> bool {
+        matches!(self, AigNode::Not(_))
+    }
+
+    /// One-hot gate-type index used as the node feature by the model
+    /// (paper, Section III-B: a 4-d vector per node).
+    ///
+    /// Order: `Pi = 0`, `And = 1`, `Not = 2`, `Ff = 3`.
+    #[inline]
+    pub fn type_index(&self) -> usize {
+        match self {
+            AigNode::Pi => 0,
+            AigNode::And(_, _) => 1,
+            AigNode::Not(_) => 2,
+            AigNode::Ff { .. } => 3,
+        }
+    }
+}
+
+/// Number of distinct node types (for one-hot encoding).
+pub const NUM_NODE_TYPES: usize = 4;
+
+/// A sequential and-inverter graph.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct SeqAig {
+    name: String,
+    nodes: Vec<AigNode>,
+    names: Vec<Option<String>>,
+    outputs: Vec<(NodeId, String)>,
+    name_index: HashMap<String, NodeId>,
+}
+
+impl SeqAig {
+    /// Creates an empty graph with a design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SeqAig {
+            name: name.into(),
+            ..SeqAig::default()
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes (PIs, gates and FFs together).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &AigNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[AigNode] {
+        &self.nodes
+    }
+
+    /// Iterates over `(id, node)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &AigNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// The optional signal name of a node.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.names[id.index()].as_deref()
+    }
+
+    /// Looks a node up by signal name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    fn push(&mut self, node: AigNode, name: Option<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        if let Some(ref n) = name {
+            self.name_index.insert(n.clone(), id);
+        }
+        self.names.push(name);
+        id
+    }
+
+    /// Adds a named primary input.
+    pub fn add_pi(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(AigNode::Pi, Some(name.into()))
+    }
+
+    /// Adds an anonymous 2-input AND gate.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a fanin id does not exist yet; ordered
+    /// construction is what keeps the combinational part acyclic.
+    pub fn add_and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        debug_assert!(a.index() < self.nodes.len());
+        debug_assert!(b.index() < self.nodes.len());
+        self.push(AigNode::And(a, b), None)
+    }
+
+    /// Adds an anonymous inverter.
+    pub fn add_not(&mut self, a: NodeId) -> NodeId {
+        debug_assert!(a.index() < self.nodes.len());
+        self.push(AigNode::Not(a), None)
+    }
+
+    /// Adds a named D flip-flop with the given power-on state. Its D input is
+    /// connected later via [`SeqAig::connect_ff`], which is what allows
+    /// feedback cycles.
+    pub fn add_ff(&mut self, name: impl Into<String>, init: bool) -> NodeId {
+        self.push(AigNode::Ff { d: None, init }, Some(name.into()))
+    }
+
+    /// Connects (or reconnects) the D input of flip-flop `ff` to `d`.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::NotAnFf`] if `ff` is not a flip-flop and
+    /// [`NetlistError::DanglingRef`] if `d` does not exist.
+    pub fn connect_ff(&mut self, ff: NodeId, d: NodeId) -> Result<(), NetlistError> {
+        if d.index() >= self.nodes.len() {
+            return Err(NetlistError::DanglingRef { node: ff, fanin: d });
+        }
+        match &mut self.nodes[ff.index()] {
+            AigNode::Ff { d: slot, .. } => {
+                *slot = Some(d);
+                Ok(())
+            }
+            _ => Err(NetlistError::NotAnFf { node: ff }),
+        }
+    }
+
+    /// Marks `id` as a primary output under the given name.
+    pub fn set_output(&mut self, id: NodeId, name: impl Into<String>) {
+        self.outputs.push((id, name.into()));
+    }
+
+    /// Attaches (or replaces) the signal name of an existing node. Used by
+    /// the netlist lowering to keep original gate names on fanout nodes.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn set_node_name(&mut self, id: NodeId, name: impl Into<String>) {
+        let name = name.into();
+        if let Some(old) = self.names[id.index()].take() {
+            self.name_index.remove(&old);
+        }
+        self.name_index.insert(name.clone(), id);
+        self.names[id.index()] = Some(name);
+    }
+
+    /// The primary outputs as `(node, name)` pairs.
+    pub fn outputs(&self) -> &[(NodeId, String)] {
+        &self.outputs
+    }
+
+    /// Ids of all primary inputs, in id order.
+    pub fn pis(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.is_pi())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all flip-flops, in id order.
+    pub fn ffs(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.is_ff())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_pi()).count()
+    }
+
+    /// Number of flip-flops.
+    pub fn num_ffs(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_ff()).count()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_and()).count()
+    }
+
+    /// Number of inverters.
+    pub fn num_nots(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_not()).count()
+    }
+
+    /// Combinational fanins of a node: AND/NOT inputs. Flip-flops and PIs
+    /// have none — the FF D input is a *sequential* edge, cut by the
+    /// customized propagation scheme (paper Fig. 2, step 1).
+    pub fn comb_fanins(&self, id: NodeId) -> CombFanins {
+        match self.nodes[id.index()] {
+            AigNode::And(a, b) => CombFanins::two(a, b),
+            AigNode::Not(a) => CombFanins::one(a),
+            AigNode::Pi | AigNode::Ff { .. } => CombFanins::none(),
+        }
+    }
+
+    /// The sequential fanin (D input) of a flip-flop, if `id` is a connected FF.
+    pub fn ff_fanin(&self, id: NodeId) -> Option<NodeId> {
+        match self.nodes[id.index()] {
+            AigNode::Ff { d, .. } => d,
+            _ => None,
+        }
+    }
+
+    /// Computes the fanout count of every node (combinational and sequential
+    /// edges both count; output markers do not).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.len()];
+        for (_, node) in self.iter() {
+            match *node {
+                AigNode::And(a, b) => {
+                    counts[a.index()] += 1;
+                    counts[b.index()] += 1;
+                }
+                AigNode::Not(a) => counts[a.index()] += 1,
+                AigNode::Ff { d: Some(d), .. } => counts[d.index()] += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Computes the combinational fanout adjacency (successor lists), with FF
+    /// D-input edges *included* as edges into the FF node. Used by the
+    /// reverse propagation layer.
+    pub fn fanout_lists(&self) -> Vec<Vec<NodeId>> {
+        let mut lists = vec![Vec::new(); self.len()];
+        for (id, node) in self.iter() {
+            match *node {
+                AigNode::And(a, b) => {
+                    lists[a.index()].push(id);
+                    lists[b.index()].push(id);
+                }
+                AigNode::Not(a) => lists[a.index()].push(id),
+                AigNode::Ff { d: Some(d), .. } => lists[d.index()].push(id),
+                _ => {}
+            }
+        }
+        lists
+    }
+
+    /// Checks the structural invariants.
+    ///
+    /// # Errors
+    /// * [`NetlistError::UnconnectedFf`] — an FF without a D input;
+    /// * [`NetlistError::ForwardCombEdge`] — an AND/NOT referencing a
+    ///   not-yet-created node (cannot happen through the safe API);
+    /// * [`NetlistError::DanglingRef`] — an out-of-range fanin.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let n = self.nodes.len() as u32;
+        for (id, node) in self.iter() {
+            let check = |fanin: NodeId| -> Result<(), NetlistError> {
+                if fanin.0 >= n {
+                    return Err(NetlistError::DanglingRef { node: id, fanin });
+                }
+                Ok(())
+            };
+            match *node {
+                AigNode::And(a, b) => {
+                    check(a)?;
+                    check(b)?;
+                    if a.0 >= id.0 || b.0 >= id.0 {
+                        let bad = if a.0 >= id.0 { a } else { b };
+                        return Err(NetlistError::ForwardCombEdge {
+                            node: id,
+                            fanin: bad,
+                        });
+                    }
+                }
+                AigNode::Not(a) => {
+                    check(a)?;
+                    if a.0 >= id.0 {
+                        return Err(NetlistError::ForwardCombEdge { node: id, fanin: a });
+                    }
+                }
+                AigNode::Ff { d, .. } => match d {
+                    None => return Err(NetlistError::UnconnectedFf { ff: id }),
+                    Some(d) => check(d)?,
+                },
+                AigNode::Pi => {}
+            }
+        }
+        for (out, _) in &self.outputs {
+            if out.0 >= n {
+                return Err(NetlistError::DanglingRef {
+                    node: *out,
+                    fanin: *out,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the (at most two) combinational fanins of a node.
+#[derive(Debug, Clone, Copy)]
+pub struct CombFanins {
+    items: [Option<NodeId>; 2],
+    pos: usize,
+}
+
+impl CombFanins {
+    fn none() -> Self {
+        CombFanins {
+            items: [None, None],
+            pos: 0,
+        }
+    }
+    fn one(a: NodeId) -> Self {
+        CombFanins {
+            items: [Some(a), None],
+            pos: 0,
+        }
+    }
+    fn two(a: NodeId, b: NodeId) -> Self {
+        CombFanins {
+            items: [Some(a), Some(b)],
+            pos: 0,
+        }
+    }
+}
+
+impl Iterator for CombFanins {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.pos < 2 {
+            let item = self.items[self.pos];
+            self.pos += 1;
+            if item.is_some() {
+                return item;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle_ff() -> SeqAig {
+        // q' = !q: a 1-bit toggle counter.
+        let mut aig = SeqAig::new("toggle");
+        let q = aig.add_ff("q", false);
+        let nq = aig.add_not(q);
+        aig.connect_ff(q, nq).unwrap();
+        aig.set_output(q, "out");
+        aig
+    }
+
+    #[test]
+    fn build_and_count() {
+        let mut aig = SeqAig::new("c");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let n = aig.add_not(g);
+        aig.set_output(n, "y");
+        assert_eq!(aig.len(), 4);
+        assert_eq!(aig.num_pis(), 2);
+        assert_eq!(aig.num_ands(), 1);
+        assert_eq!(aig.num_nots(), 1);
+        assert_eq!(aig.num_ffs(), 0);
+        assert_eq!(aig.outputs().len(), 1);
+        assert!(aig.validate().is_ok());
+    }
+
+    #[test]
+    fn ff_cycle_is_legal_and_validates() {
+        let aig = toggle_ff();
+        assert!(aig.validate().is_ok());
+        assert_eq!(aig.ff_fanin(NodeId(0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn unconnected_ff_rejected() {
+        let mut aig = SeqAig::new("bad");
+        let _ = aig.add_ff("q", false);
+        assert_eq!(
+            aig.validate(),
+            Err(NetlistError::UnconnectedFf { ff: NodeId(0) })
+        );
+    }
+
+    #[test]
+    fn connect_ff_on_non_ff_rejected() {
+        let mut aig = SeqAig::new("bad");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        assert_eq!(
+            aig.connect_ff(a, b),
+            Err(NetlistError::NotAnFf { node: a })
+        );
+    }
+
+    #[test]
+    fn connect_ff_dangling_rejected() {
+        let mut aig = SeqAig::new("bad");
+        let q = aig.add_ff("q", false);
+        assert_eq!(
+            aig.connect_ff(q, NodeId(42)),
+            Err(NetlistError::DanglingRef {
+                node: q,
+                fanin: NodeId(42)
+            })
+        );
+    }
+
+    #[test]
+    fn comb_fanins_by_kind() {
+        let mut aig = SeqAig::new("c");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let n = aig.add_not(g);
+        let q = aig.add_ff("q", true);
+        aig.connect_ff(q, n).unwrap();
+
+        assert_eq!(aig.comb_fanins(a).count(), 0);
+        assert_eq!(aig.comb_fanins(g).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(aig.comb_fanins(n).collect::<Vec<_>>(), vec![g]);
+        // FF D input is sequential, not combinational.
+        assert_eq!(aig.comb_fanins(q).count(), 0);
+        assert_eq!(aig.ff_fanin(q), Some(n));
+    }
+
+    #[test]
+    fn fanout_counts_include_ff_edges() {
+        let aig = toggle_ff();
+        let counts = aig.fanout_counts();
+        // q drives the NOT; the NOT drives the FF D pin.
+        assert_eq!(counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn fanout_lists_mirror_fanins() {
+        let mut aig = SeqAig::new("c");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let lists = aig.fanout_lists();
+        assert_eq!(lists[a.index()], vec![g]);
+        assert_eq!(lists[b.index()], vec![g]);
+        assert!(lists[g.index()].is_empty());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let aig = toggle_ff();
+        assert_eq!(aig.find("q"), Some(NodeId(0)));
+        assert_eq!(aig.find("nope"), None);
+        assert_eq!(aig.node_name(NodeId(0)), Some("q"));
+        assert_eq!(aig.node_name(NodeId(1)), None);
+    }
+
+    #[test]
+    fn type_indices_are_one_hot_range() {
+        let aig = toggle_ff();
+        for (_, node) in aig.iter() {
+            assert!(node.type_index() < NUM_NODE_TYPES);
+        }
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,300 @@
+//! ISCAS'89 `.bench` format reader and writer.
+//!
+//! The training corpus of the paper comes from ISCAS'89 / ITC'99 / OpenCores
+//! netlists, which are customarily distributed in the `.bench` format:
+//!
+//! ```text
+//! # s27 excerpt
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G14)
+//! G14 = NAND(G0, G10)
+//! G17 = NOT(G14)
+//! ```
+//!
+//! [`parse_bench`] produces a [`Netlist`]; [`write_bench`] serializes one
+//! back (round-trip stable up to formatting). This makes it possible to feed
+//! real benchmark files into the pipeline when they are available, while the
+//! synthetic generators in `deepseq-data` stand in for them offline.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::netlist::{GateId, GateKind, Netlist};
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// Supported gate keywords: `AND, OR, NAND, NOR, XOR, XNOR, NOT, BUF/BUFF,
+/// MUX, DFF`. Lines starting with `#` and blank lines are ignored.
+///
+/// # Errors
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UnknownSignal`] for references to undefined signals and
+/// [`NetlistError::DuplicateName`] for double definitions.
+pub fn parse_bench(text: &str) -> Result<Netlist, NetlistError> {
+    parse_bench_named(text, "bench")
+}
+
+/// Like [`parse_bench`] but sets a design name.
+///
+/// # Errors
+/// Same as [`parse_bench`].
+pub fn parse_bench_named(text: &str, name: &str) -> Result<Netlist, NetlistError> {
+    // Pass 1: scan definitions, record inputs and assignments.
+    struct Def<'a> {
+        line: usize,
+        target: &'a str,
+        kind: GateKind,
+        args: Vec<&'a str>,
+    }
+    let mut inputs: Vec<(usize, &str)> = Vec::new();
+    let mut outputs: Vec<(usize, &str)> = Vec::new();
+    let mut defs: Vec<Def> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(stripped, "INPUT") {
+            inputs.push((line, rest));
+        } else if let Some(rest) = strip_directive(stripped, "OUTPUT") {
+            outputs.push((line, rest));
+        } else if let Some(eq) = stripped.find('=') {
+            let target = stripped[..eq].trim();
+            let rhs = stripped[eq + 1..].trim();
+            let open = rhs.find('(').ok_or(NetlistError::Parse {
+                line,
+                msg: format!("expected GATE(...), got `{rhs}`"),
+            })?;
+            let close = rhs.rfind(')').ok_or(NetlistError::Parse {
+                line,
+                msg: "missing closing parenthesis".into(),
+            })?;
+            let kind = parse_kind(rhs[..open].trim()).ok_or_else(|| NetlistError::Parse {
+                line,
+                msg: format!("unknown gate `{}`", rhs[..open].trim()),
+            })?;
+            let args: Vec<&str> = rhs[open + 1..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            defs.push(Def {
+                line,
+                target,
+                kind,
+                args,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line,
+                msg: format!("unrecognized line `{stripped}`"),
+            });
+        }
+    }
+
+    // Pass 2: create gates (inputs first, then definitions), then wire fanins.
+    let mut netlist = Netlist::new(name);
+    let mut ids: HashMap<&str, GateId> = HashMap::new();
+    for (line, input) in &inputs {
+        if ids.contains_key(input) {
+            let _ = line;
+            return Err(NetlistError::DuplicateName((*input).into()));
+        }
+        ids.insert(input, netlist.add_input(*input));
+    }
+    for def in &defs {
+        if ids.contains_key(def.target) {
+            return Err(NetlistError::DuplicateName(def.target.into()));
+        }
+        let id = if def.kind == GateKind::Dff {
+            netlist.add_dff(def.target, false)
+        } else {
+            netlist.add_named_gate(def.kind, Vec::new(), def.target)
+        };
+        ids.insert(def.target, id);
+    }
+    for def in &defs {
+        let gid = ids[def.target];
+        let mut fanins = Vec::with_capacity(def.args.len());
+        for arg in &def.args {
+            let fid = *ids.get(arg).ok_or_else(|| NetlistError::UnknownSignal {
+                line: def.line,
+                name: (*arg).into(),
+            })?;
+            fanins.push(fid);
+        }
+        if def.kind == GateKind::Dff {
+            if fanins.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: def.line,
+                    msg: format!("DFF takes 1 argument, got {}", fanins.len()),
+                });
+            }
+            netlist.connect_dff(gid, fanins[0]).expect("gid is a DFF");
+        } else {
+            netlist.set_fanins(gid, fanins);
+        }
+    }
+    for (line, out) in &outputs {
+        let id = *ids.get(out).ok_or_else(|| NetlistError::UnknownSignal {
+            line: *line,
+            name: (*out).into(),
+        })?;
+        netlist.set_output(id, *out);
+    }
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+/// Serializes a netlist to `.bench` text. Anonymous gates receive synthetic
+/// `n<id>` names.
+pub fn write_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    let name_of = |id: GateId| -> String {
+        netlist
+            .gate(id)
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("n{}", id.0))
+    };
+    for input in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", name_of(input)));
+    }
+    for (o, _) in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", name_of(*o)));
+    }
+    for (id, gate) in netlist.iter() {
+        if gate.kind == GateKind::Input {
+            continue;
+        }
+        let args: Vec<String> = gate.fanins.iter().map(|f| name_of(*f)).collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            name_of(id),
+            gate.kind,
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+fn parse_kind(word: &str) -> Option<GateKind> {
+    match word.to_ascii_uppercase().as_str() {
+        "AND" => Some(GateKind::And),
+        "OR" => Some(GateKind::Or),
+        "NAND" => Some(GateKind::Nand),
+        "NOR" => Some(GateKind::Nor),
+        "XOR" => Some(GateKind::Xor),
+        "XNOR" => Some(GateKind::Xnor),
+        "NOT" | "INV" => Some(GateKind::Not),
+        "BUF" | "BUFF" => Some(GateKind::Buf),
+        "MUX" => Some(GateKind::Mux),
+        "DFF" | "FF" => Some(GateKind::Dff),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "\
+# tiny sequential example
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G10 = DFF(G14)
+G14 = NAND(G0, G10)
+G15 = OR(G1, G10)
+G17 = NOT(G14)
+";
+
+    #[test]
+    fn parse_counts() {
+        let nl = parse_bench(S27_LIKE).unwrap();
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.dffs().len(), 1);
+        assert_eq!(nl.count_kind(GateKind::Nand), 1);
+        assert_eq!(nl.count_kind(GateKind::Or), 1);
+        assert_eq!(nl.count_kind(GateKind::Not), 1);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn dff_feedback_resolved() {
+        let nl = parse_bench(S27_LIKE).unwrap();
+        let dff = nl.find("G10").unwrap();
+        let nand = nl.find("G14").unwrap();
+        assert_eq!(nl.gate(dff).fanins, vec![nand]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let nl = parse_bench(S27_LIKE).unwrap();
+        let text = write_bench(&nl);
+        let nl2 = parse_bench(&text).unwrap();
+        assert_eq!(nl.len(), nl2.len());
+        assert_eq!(nl.inputs().len(), nl2.inputs().len());
+        assert_eq!(nl.dffs().len(), nl2.dffs().len());
+        assert_eq!(nl.outputs().len(), nl2.outputs().len());
+        for (id, gate) in nl.iter() {
+            let other = nl2.find(gate.name.as_deref().unwrap_or("")).map(|g| nl2.gate(g));
+            if let Some(other) = other {
+                assert_eq!(gate.kind, other.kind, "kind mismatch for {id}");
+                assert_eq!(gate.fanins.len(), other.fanins.len());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_signal_reported() {
+        let err = parse_bench("INPUT(a)\nb = AND(a, ghost)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownSignal { name, .. } if name == "ghost"));
+    }
+
+    #[test]
+    fn duplicate_name_reported() {
+        let err = parse_bench("INPUT(a)\na = NOT(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName(n) if n == "a"));
+    }
+
+    #[test]
+    fn malformed_line_reported() {
+        let err = parse_bench("this is not bench\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_gate_reported() {
+        let err = parse_bench("INPUT(a)\nb = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let nl = parse_bench("\n# hi\nINPUT(x) # trailing\n\n").unwrap();
+        assert_eq!(nl.inputs().len(), 1);
+    }
+
+    #[test]
+    fn inv_and_buff_aliases() {
+        let nl = parse_bench("INPUT(a)\nb = INV(a)\nc = BUFF(b)\n").unwrap();
+        assert_eq!(nl.count_kind(GateKind::Not), 1);
+        assert_eq!(nl.count_kind(GateKind::Buf), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Error types shared by the netlist crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::aig::NodeId;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A flip-flop was left without a connected D input.
+    UnconnectedFf {
+        /// The offending flip-flop node.
+        ff: NodeId,
+    },
+    /// A node references a fanin id that does not exist.
+    DanglingRef {
+        /// The referencing node.
+        node: NodeId,
+        /// The missing fanin id.
+        fanin: NodeId,
+    },
+    /// `connect_ff` was called on a node that is not a flip-flop.
+    NotAnFf {
+        /// The node that was expected to be a flip-flop.
+        node: NodeId,
+    },
+    /// A combinational edge would point forward (violating construction order).
+    ForwardCombEdge {
+        /// The referencing node.
+        node: NodeId,
+        /// The fanin that is not older than `node`.
+        fanin: NodeId,
+    },
+    /// Two signals were declared with the same name.
+    DuplicateName(String),
+    /// A textual format could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A referenced signal name was never defined.
+    UnknownSignal {
+        /// 1-based line number of the reference.
+        line: usize,
+        /// The undefined name.
+        name: String,
+    },
+    /// The netlist contains a combinational cycle (a cycle not broken by a DFF).
+    CombinationalCycle {
+        /// One node on the cycle.
+        node: NodeId,
+    },
+    /// A gate has the wrong number of fanins for its kind.
+    BadArity {
+        /// The offending gate.
+        node: NodeId,
+        /// Expected fanin count.
+        expected: usize,
+        /// Actual fanin count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnconnectedFf { ff } => {
+                write!(f, "flip-flop {ff} has no connected D input")
+            }
+            NetlistError::DanglingRef { node, fanin } => {
+                write!(f, "node {node} references missing fanin {fanin}")
+            }
+            NetlistError::NotAnFf { node } => write!(f, "node {node} is not a flip-flop"),
+            NetlistError::ForwardCombEdge { node, fanin } => write!(
+                f,
+                "combinational node {node} references fanin {fanin} that is not older"
+            ),
+            NetlistError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+            NetlistError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            NetlistError::UnknownSignal { line, name } => {
+                write!(f, "unknown signal `{name}` at line {line}")
+            }
+            NetlistError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node {node}")
+            }
+            NetlistError::BadArity {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "gate {node} has {actual} fanins, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            NetlistError::UnconnectedFf { ff: NodeId(3) },
+            NetlistError::DanglingRef {
+                node: NodeId(1),
+                fanin: NodeId(9),
+            },
+            NetlistError::NotAnFf { node: NodeId(0) },
+            NetlistError::DuplicateName("clk".into()),
+            NetlistError::Parse {
+                line: 4,
+                msg: "bad token".into(),
+            },
+            NetlistError::UnknownSignal {
+                line: 2,
+                name: "g17".into(),
+            },
+            NetlistError::CombinationalCycle { node: NodeId(5) },
+            NetlistError::BadArity {
+                node: NodeId(7),
+                expected: 2,
+                actual: 3,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

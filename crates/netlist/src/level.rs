@@ -1,0 +1,189 @@
+//! Cycle cutting and levelization (paper Fig. 2, step 1).
+//!
+//! Flip-flop D inputs are the only back edges in a [`SeqAig`]. Treating every
+//! FF as a pseudo-primary-input (its incoming sequential edge removed) makes
+//! the remaining graph a DAG; nodes are then assigned *logic levels*:
+//! sources (PIs and FFs) at level 0, every AND/NOT one past the maximum of
+//! its fanins. The per-level node batches implement the "topological
+//! batching" of Thost & Chen used by the paper to speed up training.
+
+use crate::aig::{AigNode, NodeId, SeqAig};
+
+/// Levelization of a sequential AIG with FF cycles cut.
+#[derive(Debug, Clone)]
+pub struct Levels {
+    level_of: Vec<u32>,
+    levels: Vec<Vec<NodeId>>,
+}
+
+impl Levels {
+    /// Builds the levelization of `aig`.
+    ///
+    /// Sources (PIs and FFs-as-pseudo-inputs) are at level 0. The paper calls
+    /// this "moving FFs to logic level 1 (LL-1)"; only the numbering differs.
+    pub fn build(aig: &SeqAig) -> Self {
+        let n = aig.len();
+        let mut level_of = vec![0u32; n];
+        // Ordered construction guarantees comb fanins have smaller ids, so a
+        // single id-order scan computes levels.
+        for (id, node) in aig.iter() {
+            let lvl = match *node {
+                AigNode::Pi | AigNode::Ff { .. } => 0,
+                AigNode::And(a, b) => 1 + level_of[a.index()].max(level_of[b.index()]),
+                AigNode::Not(a) => 1 + level_of[a.index()],
+            };
+            level_of[id.index()] = lvl;
+        }
+        let depth = level_of.iter().copied().max().unwrap_or(0) as usize;
+        let mut levels = vec![Vec::new(); depth + 1];
+        for (id, _) in aig.iter() {
+            levels[level_of[id.index()] as usize].push(id);
+        }
+        Levels { level_of, levels }
+    }
+
+    /// The logic level of a node.
+    #[inline]
+    pub fn level_of(&self, id: NodeId) -> u32 {
+        self.level_of[id.index()]
+    }
+
+    /// Number of levels (depth + 1). At least 1 for a non-empty graph.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Circuit depth: the maximum logic level.
+    pub fn depth(&self) -> u32 {
+        (self.levels.len() - 1) as u32
+    }
+
+    /// The nodes at a given level, in id order.
+    pub fn level(&self, level: usize) -> &[NodeId] {
+        &self.levels[level]
+    }
+
+    /// All levels from sources to sinks (forward propagation order).
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.levels.iter().map(|v| v.as_slice())
+    }
+
+    /// All levels from sinks to sources (reverse propagation order),
+    /// used by the reverse layer (paper Fig. 2, step 3).
+    pub fn iter_rev(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.levels.iter().rev().map(|v| v.as_slice())
+    }
+
+    /// Forward topological order of all nodes (level by level).
+    pub fn forward_order(&self) -> Vec<NodeId> {
+        self.levels.iter().flatten().copied().collect()
+    }
+}
+
+/// Verifies that a levelization is consistent with the cycle-cut graph:
+/// every combinational edge goes from a strictly lower level to a higher one.
+///
+/// Returns the first violating `(fanin, node)` pair, or `None` if consistent.
+pub fn check_levels(aig: &SeqAig, levels: &Levels) -> Option<(NodeId, NodeId)> {
+    for (id, _) in aig.iter() {
+        for fanin in aig.comb_fanins(id) {
+            if levels.level_of(fanin) >= levels.level_of(id) {
+                return Some((fanin, id));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SeqAig {
+        // a ──┬─ not ─┐
+        //     │       and ── ff(q) ─┐ (feedback to and2 via q)
+        //     └────────┘            │
+        //        and2(q, a) ────────┘ output
+        let mut aig = SeqAig::new("diamond");
+        let a = aig.add_pi("a");
+        let n = aig.add_not(a);
+        let g = aig.add_and(a, n);
+        let q = aig.add_ff("q", false);
+        let g2 = aig.add_and(q, g);
+        aig.connect_ff(q, g2).unwrap();
+        aig.set_output(g2, "y");
+        aig
+    }
+
+    #[test]
+    fn sources_at_level_zero() {
+        let aig = diamond();
+        let levels = Levels::build(&aig);
+        assert_eq!(levels.level_of(NodeId(0)), 0); // PI
+        assert_eq!(levels.level_of(NodeId(3)), 0); // FF
+    }
+
+    #[test]
+    fn levels_increase_along_comb_edges() {
+        let aig = diamond();
+        let levels = Levels::build(&aig);
+        assert_eq!(check_levels(&aig, &levels), None);
+        assert_eq!(levels.level_of(NodeId(1)), 1); // not(a)
+        assert_eq!(levels.level_of(NodeId(2)), 2); // and(a, not(a))
+        assert_eq!(levels.level_of(NodeId(4)), 3); // and(q, g)
+        assert_eq!(levels.depth(), 3);
+    }
+
+    #[test]
+    fn level_batches_partition_nodes() {
+        let aig = diamond();
+        let levels = Levels::build(&aig);
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, aig.len());
+        let mut seen = vec![false; aig.len()];
+        for batch in levels.iter() {
+            for id in batch {
+                assert!(!seen[id.index()], "node listed twice");
+                seen[id.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn reverse_iteration_reverses_forward() {
+        let aig = diamond();
+        let levels = Levels::build(&aig);
+        let fwd: Vec<_> = levels.iter().collect();
+        let mut rev: Vec<_> = levels.iter_rev().collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn forward_order_is_topological() {
+        let aig = diamond();
+        let levels = Levels::build(&aig);
+        let order = levels.forward_order();
+        assert_eq!(order.len(), aig.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for (id, _) in aig.iter() {
+            for fanin in aig.comb_fanins(id) {
+                assert!(pos[&fanin] < pos[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_combinational_circuit() {
+        let mut aig = SeqAig::new("comb");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let levels = Levels::build(&aig);
+        assert_eq!(levels.num_levels(), 2);
+        assert_eq!(levels.level(0), &[a, b]);
+        assert_eq!(levels.level(1), &[g]);
+    }
+}

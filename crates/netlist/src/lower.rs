@@ -1,0 +1,323 @@
+//! Unoptimized lowering of a generic [`Netlist`] into a [`SeqAig`].
+//!
+//! The paper's inference flow (Section V-A2) requires test circuits with
+//! arbitrary gate types to be decomposed into AND/NOT combinations *without
+//! any optimization*, such that "the fanout gate in the resulting combination
+//! has the same switching activity as the original gate". [`lower_to_aig`]
+//! performs exactly that decomposition and records, per original gate, the
+//! AIG node whose value (and hence switching activity) equals the gate
+//! output.
+
+use crate::aig::{NodeId, SeqAig};
+use crate::error::NetlistError;
+use crate::netlist::{GateId, GateKind, Netlist};
+
+/// Result of lowering a [`Netlist`]: the AIG plus the per-gate fanout node map.
+#[derive(Debug, Clone)]
+pub struct LoweredNetlist {
+    /// The decomposed circuit.
+    pub aig: SeqAig,
+    /// For every original gate (indexed by [`GateId`]), the AIG node carrying
+    /// the same logic value. Probabilities recorded on these nodes are the
+    /// probabilities of the original gates (paper: "we only record
+    /// probabilities of the fanout gates in all converted combinations").
+    pub fanout_node: Vec<NodeId>,
+}
+
+impl LoweredNetlist {
+    /// The AIG node mirroring `gate`'s output.
+    pub fn node_for(&self, gate: GateId) -> NodeId {
+        self.fanout_node[gate.index()]
+    }
+}
+
+/// Decomposes `netlist` into a sequential AIG without optimization.
+///
+/// Gate-by-gate templates (N-input gates fold left over 2-input steps):
+///
+/// | Gate | AIG structure |
+/// |---|---|
+/// | `AND`  | chain of `And` |
+/// | `NAND` | `Not(And-chain)` |
+/// | `OR`   | `Not(And(Not a, Not b))` chain |
+/// | `NOR`  | `And(Not a, Not b)` chain |
+/// | `XOR`  | `Not(And(Not(And(a, Not b)), Not(And(Not a, b))))` per step |
+/// | `XNOR` | `Not(XOR step)` |
+/// | `MUX`  | `Not(And(Not(And(Not s, a)), Not(And(s, b))))` |
+/// | `BUF`  | wire (maps to its fanin's node) |
+/// | `DFF`  | `Ff` |
+///
+/// # Errors
+/// Propagates [`NetlistError::CombinationalCycle`] and validation failures
+/// from the input netlist.
+pub fn lower_to_aig(netlist: &Netlist) -> Result<LoweredNetlist, NetlistError> {
+    netlist.validate()?;
+    let order = netlist.topo_order()?;
+    let mut aig = SeqAig::new(netlist.name());
+    let invalid = NodeId(u32::MAX);
+    let mut map: Vec<NodeId> = vec![invalid; netlist.len()];
+
+    for gate_id in order {
+        let gate = netlist.gate(gate_id);
+        let ins = |map: &[NodeId]| -> Vec<NodeId> {
+            gate.fanins.iter().map(|f| map[f.index()]).collect()
+        };
+        let out = match gate.kind {
+            GateKind::Input => {
+                let name = gate
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("pi_{}", gate_id.0));
+                aig.add_pi(name)
+            }
+            GateKind::Dff => {
+                let name = gate
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("ff_{}", gate_id.0));
+                // D input connected in the fix-up pass below (it may be a
+                // feedback signal not lowered yet).
+                aig.add_ff(name, gate.init)
+            }
+            GateKind::Buf => ins(&map)[0],
+            GateKind::Not => aig.add_not(ins(&map)[0]),
+            GateKind::And => fold_and(&mut aig, &ins(&map)),
+            GateKind::Nand => {
+                let a = fold_and(&mut aig, &ins(&map));
+                aig.add_not(a)
+            }
+            GateKind::Or => {
+                let nor = fold_nor(&mut aig, &ins(&map));
+                aig.add_not(nor)
+            }
+            GateKind::Nor => fold_nor(&mut aig, &ins(&map)),
+            GateKind::Xor => fold_xor(&mut aig, &ins(&map)),
+            GateKind::Xnor => {
+                let x = fold_xor(&mut aig, &ins(&map));
+                aig.add_not(x)
+            }
+            GateKind::Mux => {
+                let v = ins(&map);
+                let (s, a, b) = (v[0], v[1], v[2]);
+                let ns = aig.add_not(s);
+                let t0 = aig.add_and(ns, a);
+                let t1 = aig.add_and(s, b);
+                let n0 = aig.add_not(t0);
+                let n1 = aig.add_not(t1);
+                let both_off = aig.add_and(n0, n1);
+                aig.add_not(both_off)
+            }
+        };
+        if let Some(name) = &gate.name {
+            if !matches!(gate.kind, GateKind::Input | GateKind::Dff | GateKind::Buf) {
+                aig.set_node_name(out, name.clone());
+            }
+        }
+        map[gate_id.index()] = out;
+    }
+
+    // Fix-up pass: connect FF D inputs (feedback edges may point anywhere).
+    for (gate_id, gate) in netlist.iter() {
+        if gate.kind == GateKind::Dff {
+            let d = map[gate.fanins[0].index()];
+            debug_assert_ne!(d, invalid, "topo order must cover all gates");
+            aig.connect_ff(map[gate_id.index()], d)?;
+        }
+    }
+
+    for (out, name) in netlist.outputs() {
+        aig.set_output(map[out.index()], name.clone());
+    }
+
+    aig.validate()?;
+    Ok(LoweredNetlist {
+        aig,
+        fanout_node: map,
+    })
+}
+
+/// Left fold of `And` over two or more operands (identity for a single one).
+fn fold_and(aig: &mut SeqAig, ins: &[NodeId]) -> NodeId {
+    let mut acc = ins[0];
+    for &next in &ins[1..] {
+        acc = aig.add_and(acc, next);
+    }
+    acc
+}
+
+/// `NOR(a, b, ...)` = `And(Not a, Not b, ...)` folded left.
+fn fold_nor(aig: &mut SeqAig, ins: &[NodeId]) -> NodeId {
+    let mut acc = aig.add_not(ins[0]);
+    for &next in &ins[1..] {
+        let n = aig.add_not(next);
+        acc = aig.add_and(acc, n);
+    }
+    acc
+}
+
+/// XOR folded left: `x ^ y = Not(And(Not(And(x, Not y)), Not(And(Not x, y))))`.
+fn fold_xor(aig: &mut SeqAig, ins: &[NodeId]) -> NodeId {
+    let mut acc = ins[0];
+    for &next in &ins[1..] {
+        let nx = aig.add_not(acc);
+        let ny = aig.add_not(next);
+        let t0 = aig.add_and(acc, ny);
+        let t1 = aig.add_and(nx, next);
+        let n0 = aig.add_not(t0);
+        let n1 = aig.add_not(t1);
+        let conj = aig.add_and(n0, n1);
+        acc = aig.add_not(conj);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::AigNode;
+
+    /// Evaluates the combinational part of a lowered AIG for given PI values
+    /// (no FFs in these tests).
+    fn eval(aig: &SeqAig, pi_values: &[(NodeId, bool)]) -> Vec<bool> {
+        let mut values = vec![false; aig.len()];
+        for &(pi, v) in pi_values {
+            values[pi.index()] = v;
+        }
+        for (id, node) in aig.iter() {
+            match *node {
+                AigNode::And(a, b) => values[id.index()] = values[a.index()] && values[b.index()],
+                AigNode::Not(a) => values[id.index()] = !values[a.index()],
+                _ => {}
+            }
+        }
+        values
+    }
+
+    fn truth_table(kind: GateKind, arity: usize) -> Vec<bool> {
+        // Reference semantics for comb gates.
+        let mut table = Vec::new();
+        for row in 0..(1usize << arity) {
+            let bits: Vec<bool> = (0..arity).map(|i| (row >> i) & 1 == 1).collect();
+            let out = match kind {
+                GateKind::And => bits.iter().all(|&b| b),
+                GateKind::Or => bits.iter().any(|&b| b),
+                GateKind::Nand => !bits.iter().all(|&b| b),
+                GateKind::Nor => !bits.iter().any(|&b| b),
+                GateKind::Xor => bits.iter().filter(|&&b| b).count() % 2 == 1,
+                GateKind::Xnor => bits.iter().filter(|&&b| b).count() % 2 == 0,
+                GateKind::Not => !bits[0],
+                GateKind::Buf => bits[0],
+                GateKind::Mux => {
+                    if bits[0] {
+                        bits[2]
+                    } else {
+                        bits[1]
+                    }
+                }
+                _ => unreachable!(),
+            };
+            table.push(out);
+        }
+        table
+    }
+
+    fn check_gate(kind: GateKind, arity: usize) {
+        let mut nl = Netlist::new("t");
+        let ins: Vec<_> = (0..arity).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let g = nl.add_gate(kind, ins.clone());
+        nl.set_output(g, "y");
+        let lowered = lower_to_aig(&nl).unwrap();
+        let expected = truth_table(kind, arity);
+        for row in 0..(1usize << arity) {
+            let assignment: Vec<_> = ins
+                .iter()
+                .enumerate()
+                .map(|(i, gid)| {
+                    (
+                        lowered.node_for(*gid),
+                        (row >> i) & 1 == 1,
+                    )
+                })
+                .collect();
+            let values = eval(&lowered.aig, &assignment);
+            let out = values[lowered.node_for(g).index()];
+            assert_eq!(
+                out, expected[row],
+                "{kind} arity {arity} row {row:b} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn and_or_nand_nor_match_truth_tables() {
+        for arity in [1, 2, 3, 4] {
+            check_gate(GateKind::And, arity);
+            check_gate(GateKind::Or, arity);
+            check_gate(GateKind::Nand, arity);
+            check_gate(GateKind::Nor, arity);
+        }
+    }
+
+    #[test]
+    fn xor_xnor_match_truth_tables() {
+        for arity in [1, 2, 3] {
+            check_gate(GateKind::Xor, arity);
+            check_gate(GateKind::Xnor, arity);
+        }
+    }
+
+    #[test]
+    fn not_buf_mux_match_truth_tables() {
+        check_gate(GateKind::Not, 1);
+        check_gate(GateKind::Buf, 1);
+        check_gate(GateKind::Mux, 3);
+    }
+
+    #[test]
+    fn dff_feedback_survives_lowering() {
+        let mut nl = Netlist::new("toggle");
+        let q = nl.add_dff("q", false);
+        let n = nl.add_gate(GateKind::Not, vec![q]);
+        nl.connect_dff(q, n).unwrap();
+        nl.set_output(q, "y");
+        let lowered = lower_to_aig(&nl).unwrap();
+        assert_eq!(lowered.aig.num_ffs(), 1);
+        assert_eq!(lowered.aig.num_nots(), 1);
+        let ff = lowered.node_for(q);
+        assert!(lowered.aig.node(ff).is_ff());
+        assert!(lowered.aig.ff_fanin(ff).is_some());
+    }
+
+    #[test]
+    fn buf_maps_to_fanin_node() {
+        let mut nl = Netlist::new("b");
+        let a = nl.add_input("a");
+        let b = nl.add_gate(GateKind::Buf, vec![a]);
+        nl.set_output(b, "y");
+        let lowered = lower_to_aig(&nl).unwrap();
+        assert_eq!(lowered.node_for(a), lowered.node_for(b));
+    }
+
+    #[test]
+    fn names_preserved_on_fanout_nodes() {
+        let mut nl = Netlist::new("named");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_named_gate(GateKind::Or, vec![a, b], "or_out");
+        nl.set_output(g, "y");
+        let lowered = lower_to_aig(&nl).unwrap();
+        assert_eq!(lowered.aig.find("or_out"), Some(lowered.node_for(g)));
+        assert_eq!(lowered.aig.find("a"), Some(lowered.node_for(a)));
+    }
+
+    #[test]
+    fn outputs_carried_over() {
+        let mut nl = Netlist::new("o");
+        let a = nl.add_input("a");
+        let n = nl.add_gate(GateKind::Not, vec![a]);
+        nl.set_output(n, "y");
+        let lowered = lower_to_aig(&nl).unwrap();
+        assert_eq!(lowered.aig.outputs().len(), 1);
+        assert_eq!(lowered.aig.outputs()[0].0, lowered.node_for(n));
+    }
+}

@@ -1,0 +1,471 @@
+//! Generic multi-gate-type netlist.
+//!
+//! Realistic designs (the power-estimation test circuits of Table IV) use a
+//! full standard-cell-style gate library. [`Netlist`] models those; the
+//! [`lower`](crate::lower) module decomposes a `Netlist` into a [`SeqAig`]
+//! *without optimization*, as required for inference (paper, Section V-A2).
+//!
+//! Unlike [`SeqAig`], gates may be declared in any order; [`Netlist::topo_order`]
+//! computes a topological order of the combinational part (DFF data edges cut)
+//! and detects combinational cycles.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::aig::NodeId;
+
+/// Identifier of a gate inside a [`Netlist`] (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Reference to a gate: alias kept for API clarity in downstream crates.
+pub type GateRef = GateId;
+
+/// The gate library supported by [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (no fanins).
+    Input,
+    /// N-input AND (N ≥ 1).
+    And,
+    /// N-input OR.
+    Or,
+    /// N-input NAND.
+    Nand,
+    /// N-input NOR.
+    Nor,
+    /// N-input XOR (odd parity).
+    Xor,
+    /// N-input XNOR (even parity).
+    Xnor,
+    /// Inverter (1 fanin).
+    Not,
+    /// Buffer (1 fanin).
+    Buf,
+    /// 2:1 multiplexer; fanins are `[select, a, b]`, output = `a` when
+    /// select is 0, `b` when select is 1.
+    Mux,
+    /// D flip-flop (1 fanin: the D input), with a power-on state.
+    Dff,
+}
+
+impl GateKind {
+    /// The exact fanin count this kind requires, or `None` for variadic kinds.
+    pub fn fixed_arity(self) -> Option<usize> {
+        match self {
+            GateKind::Input => Some(0),
+            GateKind::Not | GateKind::Buf | GateKind::Dff => Some(1),
+            GateKind::Mux => Some(3),
+            _ => None,
+        }
+    }
+
+    /// True for D flip-flops.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "INPUT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+            GateKind::Mux => "MUX",
+            GateKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Function of the gate.
+    pub kind: GateKind,
+    /// Fanin gate ids (semantics per [`GateKind`]).
+    pub fanins: Vec<GateId>,
+    /// Optional signal name.
+    pub name: Option<String>,
+    /// Power-on state — meaningful only for [`GateKind::Dff`].
+    pub init: bool,
+}
+
+/// A generic gate-level netlist.
+///
+/// # Example
+/// ```
+/// use deepseq_netlist::netlist::{GateKind, Netlist};
+///
+/// let mut nl = Netlist::new("half_adder");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let sum = nl.add_gate(GateKind::Xor, vec![a, b]);
+/// let carry = nl.add_gate(GateKind::And, vec![a, b]);
+/// nl.set_output(sum, "sum");
+/// nl.set_output(carry, "carry");
+/// assert_eq!(nl.len(), 4);
+/// nl.validate()?;
+/// # Ok::<(), deepseq_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    outputs: Vec<(GateId, String)>,
+    name_index: HashMap<String, GateId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with a design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of gates (inputs and DFFs included).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the netlist has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Iterates over `(id, gate)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i as u32), g))
+    }
+
+    /// Looks up a gate by signal name.
+    pub fn find(&self, name: &str) -> Option<GateId> {
+        self.name_index.get(name).copied()
+    }
+
+    fn push(&mut self, gate: Gate) -> GateId {
+        let id = GateId(self.gates.len() as u32);
+        if let Some(ref n) = gate.name {
+            self.name_index.insert(n.clone(), id);
+        }
+        self.gates.push(gate);
+        id
+    }
+
+    /// Adds a named primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> GateId {
+        self.push(Gate {
+            kind: GateKind::Input,
+            fanins: Vec::new(),
+            name: Some(name.into()),
+            init: false,
+        })
+    }
+
+    /// Adds an anonymous combinational gate.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<GateId>) -> GateId {
+        self.push(Gate {
+            kind,
+            fanins,
+            name: None,
+            init: false,
+        })
+    }
+
+    /// Adds a named combinational gate.
+    pub fn add_named_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<GateId>,
+        name: impl Into<String>,
+    ) -> GateId {
+        self.push(Gate {
+            kind,
+            fanins,
+            name: Some(name.into()),
+            init: false,
+        })
+    }
+
+    /// Adds a named D flip-flop with unconnected D input (connect with
+    /// [`Netlist::connect_dff`]).
+    pub fn add_dff(&mut self, name: impl Into<String>, init: bool) -> GateId {
+        self.push(Gate {
+            kind: GateKind::Dff,
+            fanins: Vec::new(),
+            name: Some(name.into()),
+            init,
+        })
+    }
+
+    /// Connects (or reconnects) the D input of `dff`.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::NotAnFf`] if `dff` is not a DFF.
+    pub fn connect_dff(&mut self, dff: GateId, d: GateId) -> Result<(), NetlistError> {
+        if self.gates[dff.index()].kind != GateKind::Dff {
+            return Err(NetlistError::NotAnFf {
+                node: NodeId(dff.0),
+            });
+        }
+        self.gates[dff.index()].fanins = vec![d];
+        Ok(())
+    }
+
+    /// Replaces the fanin list of a gate (used by parsers that create gates
+    /// before their fanins are known).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn set_fanins(&mut self, id: GateId, fanins: Vec<GateId>) {
+        self.gates[id.index()].fanins = fanins;
+    }
+
+    /// Marks `id` as a primary output under the given name.
+    pub fn set_output(&mut self, id: GateId, name: impl Into<String>) {
+        self.outputs.push((id, name.into()));
+    }
+
+    /// The primary outputs as `(gate, name)` pairs.
+    pub fn outputs(&self) -> &[(GateId, String)] {
+        &self.outputs
+    }
+
+    /// Ids of all primary inputs, in id order.
+    pub fn inputs(&self) -> Vec<GateId> {
+        self.iter()
+            .filter(|(_, g)| g.kind == GateKind::Input)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all D flip-flops, in id order.
+    pub fn dffs(&self) -> Vec<GateId> {
+        self.iter()
+            .filter(|(_, g)| g.kind == GateKind::Dff)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Count of gates of a given kind.
+    pub fn count_kind(&self, kind: GateKind) -> usize {
+        self.gates.iter().filter(|g| g.kind == kind).count()
+    }
+
+    /// Checks arity and reference validity.
+    ///
+    /// # Errors
+    /// * [`NetlistError::BadArity`] for wrong fanin counts (an unconnected
+    ///   DFF also reports arity 0 vs 1);
+    /// * [`NetlistError::DanglingRef`] for out-of-range fanins.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let n = self.gates.len() as u32;
+        for (id, gate) in self.iter() {
+            if let Some(arity) = gate.kind.fixed_arity() {
+                if gate.fanins.len() != arity {
+                    return Err(NetlistError::BadArity {
+                        node: NodeId(id.0),
+                        expected: arity,
+                        actual: gate.fanins.len(),
+                    });
+                }
+            } else if gate.fanins.is_empty() {
+                return Err(NetlistError::BadArity {
+                    node: NodeId(id.0),
+                    expected: 1,
+                    actual: 0,
+                });
+            }
+            for &fanin in &gate.fanins {
+                if fanin.0 >= n {
+                    return Err(NetlistError::DanglingRef {
+                        node: NodeId(id.0),
+                        fanin: NodeId(fanin.0),
+                    });
+                }
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Topological order of all gates over the cycle-cut graph (DFF data
+    /// edges removed; DFFs and inputs are sources).
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational part
+    /// is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        let n = self.gates.len();
+        // Kahn's algorithm over combinational edges.
+        let mut indeg = vec![0usize; n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, gate) in self.iter() {
+            if gate.kind.is_sequential() {
+                continue; // sequential edge: cut
+            }
+            for &fanin in &gate.fanins {
+                indeg[id.index()] += 1;
+                succs[fanin.index()].push(id.0);
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            order.push(GateId(g));
+            for &s in &succs[g as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a node with positive in-degree");
+            return Err(NetlistError::CombinationalCycle {
+                node: NodeId(stuck as u32),
+            });
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mux_register() -> Netlist {
+        // q' = sel ? d : q  (load-enable register)
+        let mut nl = Netlist::new("loadreg");
+        let sel = nl.add_input("sel");
+        let d = nl.add_input("d");
+        let q = nl.add_dff("q", false);
+        let mux = nl.add_gate(GateKind::Mux, vec![sel, q, d]);
+        nl.connect_dff(q, mux).unwrap();
+        nl.set_output(q, "q_out");
+        nl
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let nl = mux_register();
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.len(), 4);
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.dffs().len(), 1);
+        assert_eq!(nl.count_kind(GateKind::Mux), 1);
+    }
+
+    #[test]
+    fn unconnected_dff_fails_arity() {
+        let mut nl = Netlist::new("bad");
+        let _ = nl.add_dff("q", false);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::BadArity { expected: 1, actual: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn variadic_gate_needs_fanins() {
+        let mut nl = Netlist::new("bad");
+        let _ = nl.add_gate(GateKind::And, vec![]);
+        assert!(matches!(nl.validate(), Err(NetlistError::BadArity { .. })));
+    }
+
+    #[test]
+    fn dff_cycle_is_fine_comb_cycle_is_not() {
+        let nl = mux_register();
+        assert!(nl.topo_order().is_ok());
+
+        let mut bad = Netlist::new("ring");
+        let a = bad.add_input("a");
+        // Build g1 = AND(a, g2), g2 = NOT(g1): a combinational loop.
+        let g1 = bad.add_gate(GateKind::And, vec![a, GateId(2)]);
+        let _g2 = bad.add_gate(GateKind::Not, vec![g1]);
+        assert!(matches!(
+            bad.topo_order(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_comb_edges() {
+        let nl = mux_register();
+        let order = nl.topo_order().unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, g)| (*g, i)).collect();
+        for (id, gate) in nl.iter() {
+            if gate.kind.is_sequential() {
+                continue;
+            }
+            for fanin in &gate.fanins {
+                assert!(pos[fanin] < pos[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn mux_arity_enforced() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let _ = nl.add_gate(GateKind::Mux, vec![a, a]);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::BadArity { expected: 3, actual: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn find_and_display() {
+        let nl = mux_register();
+        assert_eq!(nl.find("sel"), Some(GateId(0)));
+        assert_eq!(GateId(3).to_string(), "g3");
+        assert_eq!(GateKind::Nand.to_string(), "NAND");
+    }
+}

@@ -1,0 +1,166 @@
+//! Circuit statistics used by Tables I and IV of the paper.
+
+use std::fmt;
+
+use crate::aig::SeqAig;
+use crate::level::Levels;
+
+/// Per-circuit structural statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Design name.
+    pub name: String,
+    /// Total node count (PIs + gates + FFs).
+    pub nodes: usize,
+    /// Primary inputs.
+    pub pis: usize,
+    /// Flip-flops.
+    pub ffs: usize,
+    /// AND gates.
+    pub ands: usize,
+    /// Inverters.
+    pub nots: usize,
+    /// Logic depth after FF cycle cut.
+    pub depth: u32,
+    /// Maximum fanout of any node.
+    pub max_fanout: u32,
+}
+
+impl CircuitStats {
+    /// Computes statistics for an AIG.
+    pub fn of(aig: &SeqAig) -> Self {
+        let levels = Levels::build(aig);
+        CircuitStats {
+            name: aig.name().to_string(),
+            nodes: aig.len(),
+            pis: aig.num_pis(),
+            ffs: aig.num_ffs(),
+            ands: aig.num_ands(),
+            nots: aig.num_nots(),
+            depth: levels.depth(),
+            max_fanout: aig.fanout_counts().into_iter().max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes ({} PI, {} FF, {} AND, {} NOT), depth {}, max fanout {}",
+            self.name,
+            self.nodes,
+            self.pis,
+            self.ffs,
+            self.ands,
+            self.nots,
+            self.depth,
+            self.max_fanout
+        )
+    }
+}
+
+/// Aggregate statistics over a family of circuits (one row of Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyStats {
+    /// Family / benchmark name.
+    pub name: String,
+    /// Number of circuits.
+    pub count: usize,
+    /// Mean node count.
+    pub mean_nodes: f64,
+    /// Standard deviation of node count.
+    pub std_nodes: f64,
+}
+
+impl FamilyStats {
+    /// Aggregates statistics over circuits with a family label.
+    pub fn of<'a>(name: impl Into<String>, circuits: impl IntoIterator<Item = &'a SeqAig>) -> Self {
+        let sizes: Vec<f64> = circuits.into_iter().map(|c| c.len() as f64).collect();
+        let count = sizes.len();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sizes.iter().sum::<f64>() / count as f64
+        };
+        let var = if count == 0 {
+            0.0
+        } else {
+            sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64
+        };
+        FamilyStats {
+            name: name.into(),
+            count,
+            mean_nodes: mean,
+            std_nodes: var.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for FamilyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} subcircuits, {:.2} ± {:.2} nodes",
+            self.name, self.count, self.mean_nodes, self.std_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SeqAig {
+        let mut aig = SeqAig::new("small");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let n = aig.add_not(g);
+        let q = aig.add_ff("q", false);
+        aig.connect_ff(q, n).unwrap();
+        aig.set_output(q, "y");
+        aig
+    }
+
+    #[test]
+    fn circuit_stats_counts() {
+        let stats = CircuitStats::of(&small());
+        assert_eq!(stats.nodes, 5);
+        assert_eq!(stats.pis, 2);
+        assert_eq!(stats.ffs, 1);
+        assert_eq!(stats.ands, 1);
+        assert_eq!(stats.nots, 1);
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.max_fanout, 1);
+    }
+
+    #[test]
+    fn family_stats_mean_std() {
+        let c1 = small(); // 5 nodes
+        let mut c2 = SeqAig::new("c2"); // 3 nodes
+        let a = c2.add_pi("a");
+        let b = c2.add_pi("b");
+        let _ = c2.add_and(a, b);
+        let fam = FamilyStats::of("fam", [&c1, &c2]);
+        assert_eq!(fam.count, 2);
+        assert!((fam.mean_nodes - 4.0).abs() < 1e-12);
+        assert!((fam.std_nodes - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_stats_empty() {
+        let fam = FamilyStats::of("empty", []);
+        assert_eq!(fam.count, 0);
+        assert_eq!(fam.mean_nodes, 0.0);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let s = CircuitStats::of(&small()).to_string();
+        assert!(s.contains("small"));
+        assert!(s.contains("5 nodes"));
+        let f = FamilyStats::of("fam", [&small()]).to_string();
+        assert!(f.contains("fam"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the netlist crate: random graphs must uphold the
+//! structural invariants the rest of the workspace relies on.
+
+use deepseq_netlist::level::{check_levels, Levels};
+use deepseq_netlist::netlist::{GateKind, Netlist};
+use deepseq_netlist::{lower_to_aig, AigNode, SeqAig};
+use proptest::prelude::*;
+
+/// Strategy: a random sequential AIG described by a seed-like recipe.
+/// Generates `n_pi` PIs, `n_ff` FFs, then `n_gate` gates whose fanins are
+/// drawn from already-created nodes; finally connects each FF to a random node.
+fn arb_seq_aig() -> impl Strategy<Value = SeqAig> {
+    (1usize..6, 0usize..5, 0usize..40, any::<u64>()).prop_map(|(n_pi, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("prop");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        let mut ffs = Vec::new();
+        for i in 0..n_ff {
+            ffs.push(aig.add_ff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = aig.len();
+            if next(3) == 0 {
+                let a = deepseq_netlist::NodeId(next(len) as u32);
+                aig.add_not(a);
+            } else {
+                let a = deepseq_netlist::NodeId(next(len) as u32);
+                let b = deepseq_netlist::NodeId(next(len) as u32);
+                aig.add_and(a, b);
+            }
+        }
+        let len = aig.len();
+        for &ff in &ffs {
+            let d = deepseq_netlist::NodeId(next(len) as u32);
+            aig.connect_ff(ff, d).expect("ff connect");
+        }
+        let last = deepseq_netlist::NodeId((len - 1) as u32);
+        aig.set_output(last, "out");
+        aig
+    })
+}
+
+/// Strategy: a random generic netlist (comb gates reference earlier gates,
+/// DFFs may reference anything — resolved at the end).
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (1usize..5, 0usize..4, 0usize..25, any::<u64>()).prop_map(|(n_in, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+            GateKind::Mux,
+        ];
+        let mut nl = Netlist::new("prop");
+        for i in 0..n_in {
+            nl.add_input(format!("in{i}"));
+        }
+        let mut dffs = Vec::new();
+        for i in 0..n_ff {
+            dffs.push(nl.add_dff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = nl.len();
+            let kind = kinds[next(kinds.len())];
+            let arity = match kind.fixed_arity() {
+                Some(a) => a,
+                None => 1 + next(3),
+            };
+            let fanins = (0..arity)
+                .map(|_| deepseq_netlist::GateId(next(len) as u32))
+                .collect();
+            nl.add_gate(kind, fanins);
+        }
+        let len = nl.len();
+        for &dff in &dffs {
+            let d = deepseq_netlist::GateId(next(len) as u32);
+            nl.connect_dff(dff, d).expect("dff connect");
+        }
+        nl.set_output(deepseq_netlist::GateId((len - 1) as u32), "out");
+        nl
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_aigs_validate(aig in arb_seq_aig()) {
+        prop_assert!(aig.validate().is_ok());
+    }
+
+    #[test]
+    fn levelization_is_consistent(aig in arb_seq_aig()) {
+        let levels = Levels::build(&aig);
+        prop_assert!(check_levels(&aig, &levels).is_none());
+        // Sources exactly at level 0.
+        for (id, node) in aig.iter() {
+            let is_source = matches!(node, AigNode::Pi | AigNode::Ff { .. });
+            prop_assert_eq!(levels.level_of(id) == 0, is_source);
+        }
+    }
+
+    #[test]
+    fn level_batches_partition(aig in arb_seq_aig()) {
+        let levels = Levels::build(&aig);
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(total, aig.len());
+    }
+
+    #[test]
+    fn fanout_counts_equal_edge_count(aig in arb_seq_aig()) {
+        let counts = aig.fanout_counts();
+        let edges: usize = aig.iter().map(|(id, node)| {
+            aig.comb_fanins(id).count() + usize::from(node.is_ff())
+        }).sum();
+        prop_assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), edges);
+    }
+
+    #[test]
+    fn random_netlists_lower_to_valid_aigs(nl in arb_netlist()) {
+        let lowered = lower_to_aig(&nl).expect("lowering must succeed on valid netlists");
+        prop_assert!(lowered.aig.validate().is_ok());
+        // Every original gate maps to a real node.
+        for (gid, _) in nl.iter() {
+            prop_assert!(lowered.node_for(gid).index() < lowered.aig.len());
+        }
+        // FF counts match.
+        prop_assert_eq!(nl.dffs().len(), lowered.aig.num_ffs());
+        prop_assert_eq!(nl.inputs().len(), lowered.aig.num_pis());
+    }
+
+    #[test]
+    fn bench_roundtrip_preserves_counts(nl in arb_netlist()) {
+        let text = deepseq_netlist::bench_io::write_bench(&nl);
+        let back = deepseq_netlist::bench_io::parse_bench(&text).expect("roundtrip parse");
+        prop_assert_eq!(nl.len(), back.len());
+        prop_assert_eq!(nl.inputs().len(), back.inputs().len());
+        prop_assert_eq!(nl.dffs().len(), back.dffs().len());
+        prop_assert_eq!(nl.outputs().len(), back.outputs().len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Minimal tensor + reverse-mode autograd engine for the DeepSeq
+//! reproduction.
+//!
+//! The original DeepSeq implementation uses PyTorch Geometric; nothing
+//! comparable exists offline in Rust, so this crate is the substrate built in
+//! its place. It provides exactly what the paper's model needs, and nothing
+//! more:
+//!
+//! * [`Matrix`] — dense row-major `f32` matrices;
+//! * [`Tape`] — a define-by-run reverse-mode autograd tape with the segment
+//!   ops (gather / segment-softmax / segment-sum) that make levelized
+//!   "topological batching" over circuit graphs efficient;
+//! * [`layers`] — [`Linear`], 3-layer [`Mlp`] regressor heads, [`GruCell`]
+//!   (the paper's Combine function, Eq. 8) and [`AdditiveAttention`]
+//!   (the scoring used by Eq. 5/6);
+//! * [`Adam`] — the optimizer used throughout the paper (lr `1e-4`);
+//! * [`Params`] / [`GradStore`] — named parameter store with a text
+//!   checkpoint format (no serialization dependencies).
+//!
+//! # Example: one training step
+//!
+//! ```
+//! use deepseq_nn::{Adam, Matrix, Mlp, Params, Tape};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut params = Params::new();
+//! let head = Mlp::new(&mut params, "head", &[4, 8, 1], &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//!
+//! let x = Matrix::full(3, 4, 0.5);
+//! let target = Matrix::full(3, 1, 0.25);
+//! let mut tape = Tape::new();
+//! let xv = tape.input(x);
+//! let pred = head.forward(&mut tape, &params, xv);
+//! let loss = tape.l1_loss(pred, &target);
+//! let grads = tape.backward(loss);
+//! opt.step(&mut params, &grads);
+//! assert!(tape.value(loss).get(0, 0) >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use params::{GradStore, ParamId, Params, ParamsError};
+pub use tape::{Tape, VarId};

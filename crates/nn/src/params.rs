@@ -1,0 +1,425 @@
+//! Named parameter store with a self-contained text checkpoint format.
+//!
+//! Models register their weights here and receive [`ParamId`]s; the autograd
+//! [`Tape`](crate::tape::Tape) accumulates gradients into a [`GradStore`]
+//! keyed by the same ids, and [`Adam`](crate::optim::Adam) applies updates.
+//! Checkpoints use a plain text format (name, shape, values) so that no
+//! serialization framework dependency is needed.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Identifier of a registered parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub usize);
+
+/// A named collection of trainable matrices.
+///
+/// # Example
+/// ```
+/// use deepseq_nn::{Matrix, Params};
+///
+/// let mut params = Params::new();
+/// let w = params.register("w", Matrix::zeros(2, 2));
+/// params.get_mut(w).set(0, 0, 1.0);
+/// assert_eq!(params.get(w).get(0, 0), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+    index: HashMap<String, ParamId>,
+}
+
+impl Params {
+    /// An empty store.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Registers a parameter under a unique name.
+    ///
+    /// # Panics
+    /// Panics if the name was already registered (model construction bug).
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.index.contains_key(&name),
+            "parameter `{name}` registered twice"
+        );
+        let id = ParamId(self.values.len());
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        self.values.push(value);
+        id
+    }
+
+    /// Registers a parameter initialized with Xavier/Glorot uniform values.
+    pub fn register_xavier<R: Rng + ?Sized>(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut R,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound));
+        self.register(name, m)
+    }
+
+    /// Registers an all-zero parameter (biases).
+    pub fn register_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.register(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(|m| m.data().len()).sum()
+    }
+
+    /// The value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value of a parameter.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.index.get(name).copied()
+    }
+
+    /// Iterates `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Serializes all parameters to the text checkpoint format.
+    pub fn save_to_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("deepseq-params v1\n");
+        for (_, name, value) in self.iter() {
+            out.push_str(&format!(
+                "param {} {} {}\n",
+                name,
+                value.rows(),
+                value.cols()
+            ));
+            for r in 0..value.rows() {
+                let row: Vec<String> = value.row(r).iter().map(|v| format!("{v:e}")).collect();
+                out.push_str(&row.join(" "));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Loads values *into* already-registered parameters by name. Parameters
+    /// present in the store but missing from the checkpoint are left
+    /// untouched; unknown names in the checkpoint are an error.
+    ///
+    /// # Errors
+    /// Returns [`ParamsError`] on format violations, shape mismatches or
+    /// unknown parameter names.
+    pub fn load_from_string(&mut self, text: &str) -> Result<(), ParamsError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim() == "deepseq-params v1" => {}
+            _ => return Err(ParamsError::BadHeader),
+        }
+        while let Some((lineno, line)) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("param") {
+                return Err(ParamsError::Parse {
+                    line: lineno + 1,
+                    msg: "expected `param <name> <rows> <cols>`".into(),
+                });
+            }
+            let name = parts.next().ok_or(ParamsError::Parse {
+                line: lineno + 1,
+                msg: "missing name".into(),
+            })?;
+            let rows: usize = parse_field(parts.next(), lineno)?;
+            let cols: usize = parse_field(parts.next(), lineno)?;
+            let id = self
+                .find(name)
+                .ok_or_else(|| ParamsError::UnknownParam(name.to_string()))?;
+            if self.get(id).shape() != (rows, cols) {
+                return Err(ParamsError::ShapeMismatch {
+                    name: name.to_string(),
+                    expected: self.get(id).shape(),
+                    actual: (rows, cols),
+                });
+            }
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows {
+                let (lineno, row_line) = lines.next().ok_or(ParamsError::UnexpectedEof)?;
+                for tok in row_line.split_whitespace() {
+                    let v: f32 = tok.parse().map_err(|_| ParamsError::Parse {
+                        line: lineno + 1,
+                        msg: format!("bad float `{tok}`"),
+                    })?;
+                    data.push(v);
+                }
+            }
+            if data.len() != rows * cols {
+                return Err(ParamsError::Parse {
+                    line: lineno + 1,
+                    msg: format!("expected {} values, got {}", rows * cols, data.len()),
+                });
+            }
+            *self.get_mut(id) = Matrix::from_vec(rows, cols, data);
+        }
+        Ok(())
+    }
+}
+
+fn parse_field(tok: Option<&str>, lineno: usize) -> Result<usize, ParamsError> {
+    tok.and_then(|t| t.parse().ok()).ok_or(ParamsError::Parse {
+        line: lineno + 1,
+        msg: "bad integer field".into(),
+    })
+}
+
+/// Errors from checkpoint loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamsError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// Malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Checkpoint names a parameter this model does not have.
+    UnknownParam(String),
+    /// Shape in checkpoint differs from the registered shape.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Registered shape.
+        expected: (usize, usize),
+        /// Checkpoint shape.
+        actual: (usize, usize),
+    },
+    /// File ended mid-parameter.
+    UnexpectedEof,
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::BadHeader => write!(f, "missing `deepseq-params v1` header"),
+            ParamsError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            ParamsError::UnknownParam(name) => write!(f, "unknown parameter `{name}`"),
+            ParamsError::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "parameter `{name}` has shape {expected:?}, checkpoint has {actual:?}"
+            ),
+            ParamsError::UnexpectedEof => write!(f, "unexpected end of checkpoint"),
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+/// Gradients accumulated by a backward pass, keyed by [`ParamId`].
+#[derive(Debug, Clone, Default)]
+pub struct GradStore {
+    grads: HashMap<ParamId, Matrix>,
+}
+
+impl GradStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        GradStore::default()
+    }
+
+    /// The gradient of a parameter, if it participated in the loss.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(&id)
+    }
+
+    /// Adds `grad` into the stored gradient of `id`.
+    pub fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
+        match self.grads.get_mut(&id) {
+            Some(existing) => existing.add_assign(grad),
+            None => {
+                self.grads.insert(id, grad.clone());
+            }
+        }
+    }
+
+    /// Number of parameters with gradients.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True if no gradients are stored.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Global gradient L2 norm (for clipping / diagnostics).
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .values()
+            .map(|g| {
+                let n = g.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients in place (gradient clipping).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.grads.values_mut() {
+            g.scale_assign(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut p = Params::new();
+        let a = p.register("a", Matrix::zeros(2, 3));
+        assert_eq!(p.find("a"), Some(a));
+        assert_eq!(p.name(a), "a");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.num_weights(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut p = Params::new();
+        p.register("a", Matrix::zeros(1, 1));
+        p.register("a", Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Params::new();
+        let w = p.register_xavier("w", 10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        for &v in p.get(w).data() {
+            assert!(v.abs() <= bound);
+        }
+        // Not all zero.
+        assert!(p.get(w).norm() > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Params::new();
+        p.register_xavier("layer1.w", 3, 4, &mut rng);
+        p.register_xavier("layer1.b", 1, 4, &mut rng);
+        let saved = p.save_to_string();
+
+        let mut q = Params::new();
+        let mut rng2 = StdRng::seed_from_u64(2);
+        q.register_xavier("layer1.w", 3, 4, &mut rng2);
+        q.register_xavier("layer1.b", 1, 4, &mut rng2);
+        q.load_from_string(&saved).unwrap();
+        for (id, name, value) in p.iter() {
+            let _ = id;
+            let qid = q.find(name).unwrap();
+            for (a, b) in value.data().iter().zip(q.get(qid).data()) {
+                assert!((a - b).abs() < 1e-6, "{name}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_bad_header() {
+        let mut p = Params::new();
+        assert_eq!(p.load_from_string("nope"), Err(ParamsError::BadHeader));
+    }
+
+    #[test]
+    fn load_rejects_unknown_param() {
+        let mut p = Params::new();
+        let text = "deepseq-params v1\nparam ghost 1 1\n0.0\n";
+        assert!(matches!(
+            p.load_from_string(text),
+            Err(ParamsError::UnknownParam(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut p = Params::new();
+        p.register("w", Matrix::zeros(2, 2));
+        let text = "deepseq-params v1\nparam w 1 1\n0.0\n";
+        assert!(matches!(
+            p.load_from_string(text),
+            Err(ParamsError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn grad_store_accumulates() {
+        let mut g = GradStore::new();
+        let id = ParamId(0);
+        g.accumulate(id, &Matrix::full(1, 2, 1.0));
+        g.accumulate(id, &Matrix::full(1, 2, 2.0));
+        assert_eq!(g.get(id).unwrap(), &Matrix::full(1, 2, 3.0));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn grad_store_norm_and_scale() {
+        let mut g = GradStore::new();
+        g.accumulate(ParamId(0), &Matrix::full(1, 1, 3.0));
+        g.accumulate(ParamId(1), &Matrix::full(1, 1, 4.0));
+        assert!((g.global_norm() - 5.0).abs() < 1e-6);
+        g.scale(0.5);
+        assert!((g.global_norm() - 2.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the autograd engine: every differentiable op is
+//! checked against central finite differences on random inputs, and
+//! algebraic invariants of the matrix type are verified.
+
+use deepseq_nn::{Matrix, Params, Tape};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Central-difference gradient check for a single registered parameter.
+fn check_param_gradient<F>(params: &mut Params, build: F, tol: f32) -> Result<(), String>
+where
+    F: Fn(&mut Tape, &Params) -> deepseq_nn::VarId,
+{
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, params);
+    let grads = tape.backward(loss);
+    let ids: Vec<_> = params.iter().map(|(id, _, _)| id).collect();
+    let eps = 1e-2f32;
+    for id in ids {
+        let (rows, cols) = params.get(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = params.get(id).get(r, c);
+                params.get_mut(id).set(r, c, orig + eps);
+                let mut tp = Tape::new();
+                let lp = build(&mut tp, params);
+                let fp = tp.value(lp).get(0, 0);
+                params.get_mut(id).set(r, c, orig - eps);
+                let mut tm = Tape::new();
+                let lm = build(&mut tm, params);
+                let fm = tm.value(lm).get(0, 0);
+                params.get_mut(id).set(r, c, orig);
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = grads.get(id).map_or(0.0, |g| g.get(r, c));
+                if (analytic - numeric).abs() > tol {
+                    return Err(format!(
+                        "({r},{c}): analytic {analytic} vs numeric {numeric}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_transpose_identities(a in arb_matrix(3, 4), b in arb_matrix(3, 5)) {
+        // aᵀ·b computed directly matches the explicit transpose.
+        let direct = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in direct.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_is_linear_in_scale(a in arb_matrix(2, 3), b in arb_matrix(3, 2), s in -2.0f32..2.0) {
+        let scaled_a = a.map(|x| s * x);
+        let left = scaled_a.matmul(&b);
+        let right = a.matmul(&b).map(|x| s * x);
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in arb_matrix(4, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn grad_check_sigmoid_chain(x in arb_matrix(2, 3), w in arb_matrix(3, 2), t in arb_matrix(2, 2)) {
+        // Targets shifted beyond the prediction range: the L1 |x| kink must
+        // not be crossed within the finite-difference epsilon, or the
+        // numeric gradient is meaningless there.
+        let t = t.map(|v| v + 2.5);
+        let mut params = Params::new();
+        let wid = params.register("w", w);
+        let ok = check_param_gradient(&mut params, move |tape, p| {
+            let xv = tape.input(x.clone());
+            let wv = tape.param(p, wid);
+            let h = tape.matmul(xv, wv);
+            let s = tape.sigmoid(h);
+            tape.l1_loss(s, &t)
+        }, 5e-2);
+        prop_assert!(ok.is_ok(), "{:?}", ok);
+    }
+
+    #[test]
+    fn grad_check_tanh_mul(a in arb_matrix(2, 2), b in arb_matrix(2, 2), t in arb_matrix(2, 2)) {
+        let t = t.map(|v| v + 2.5); // keep the L1 kink out of FD range
+        let mut params = Params::new();
+        let aid = params.register("a", a);
+        let bid = params.register("b", b);
+        let ok = check_param_gradient(&mut params, move |tape, p| {
+            let av = tape.param(p, aid);
+            let bv = tape.param(p, bid);
+            let m = tape.mul(av, bv);
+            let s = tape.tanh(m);
+            tape.l1_loss(s, &t)
+        }, 5e-2);
+        prop_assert!(ok.is_ok(), "{:?}", ok);
+    }
+
+    #[test]
+    fn grad_check_segment_pipeline(e in arb_matrix(4, 3), w in arb_matrix(3, 1), t in arb_matrix(2, 3)) {
+        let t = t.map(|v| v + 2.5); // keep the L1 kink out of FD range
+        let mut params = Params::new();
+        let eid = params.register("e", e);
+        let wid = params.register("w", w);
+        let ok = check_param_gradient(&mut params, move |tape, p| {
+            let ev = tape.param(p, eid);
+            let gathered = tape.gather_rows(vec![(ev, 0), (ev, 1), (ev, 2), (ev, 3)]);
+            let wv = tape.param(p, wid);
+            let scores = tape.matmul(gathered, wv);
+            let segs = vec![0, 0, 1, 1];
+            let alpha = tape.segment_softmax(scores, segs.clone());
+            let weighted = tape.mul_col(gathered, alpha);
+            let summed = tape.segment_sum(weighted, segs, 2);
+            tape.l1_loss(summed, &t)
+        }, 8e-2);
+        prop_assert!(ok.is_ok(), "{:?}", ok);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one(scores in arb_matrix(6, 1)) {
+        let mut tape = Tape::new();
+        let s = tape.input(scores);
+        let segs = vec![0, 0, 0, 1, 1, 2];
+        let alpha = tape.segment_softmax(s, segs.clone());
+        let v = tape.value(alpha);
+        let mut sums = [0.0f32; 3];
+        for (i, &seg) in segs.iter().enumerate() {
+            sums[seg] += v.get(i, 0);
+        }
+        for sum in sums {
+            prop_assert!((sum - 1.0).abs() < 1e-5, "segment sum {sum}");
+        }
+        // All weights positive.
+        prop_assert!(v.data().iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn l1_loss_is_nonnegative_and_zero_on_match(x in arb_matrix(3, 2)) {
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let loss = tape.l1_loss(xv, &x);
+        prop_assert_eq!(tape.value(loss).get(0, 0), 0.0);
+        let shifted = x.map(|v| v + 0.5);
+        let mut tape2 = Tape::new();
+        let xv2 = tape2.input(x.clone());
+        let loss2 = tape2.l1_loss(xv2, &shifted);
+        prop_assert!((tape2.value(loss2).get(0, 0) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_reduces_simple_loss(target in -2.0f32..2.0) {
+        use deepseq_nn::Adam;
+        let mut params = Params::new();
+        let w = params.register("w", Matrix::zeros(1, 1));
+        let t = Matrix::full(1, 1, target);
+        let mut opt = Adam::new(0.05);
+        let loss_of = |params: &Params| {
+            let mut tape = Tape::new();
+            let wv = tape.param(params, w);
+            let loss = tape.l1_loss(wv, &t);
+            (tape.value(loss).get(0, 0), tape, loss)
+        };
+        let (initial, _, _) = loss_of(&params);
+        for _ in 0..100 {
+            let (_, tape, loss) = loss_of(&params);
+            let grads = tape.backward(loss);
+            opt.step(&mut params, &grads);
+        }
+        let (final_loss, _, _) = loss_of(&params);
+        prop_assert!(final_loss <= initial + 1e-6);
+        prop_assert!(final_loss < 0.1 || initial < 0.1, "loss {initial} -> {final_loss}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Standard-cell energy model — the stand-in for the paper's "commercial
+//! power analysis tool ... with a TSMC 90nm standard cell library".
+//!
+//! Dynamic power of a gate is `P = ½ · C · V²dd · f · TC` where `TC` is the
+//! toggle rate (transitions per cycle). The capacitance `C` of a driven net
+//! is the cell output capacitance plus a per-fanout input load. The absolute
+//! numbers below are representative 90 nm-class values (femtofarads); only
+//! relative comparisons between estimation methods matter for Table V/VI.
+
+use deepseq_netlist::netlist::{GateKind, Netlist};
+
+/// Electrical parameters of the power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLibrary {
+    /// Supply voltage in volts (90 nm: 1.0 V nominal).
+    pub vdd: f64,
+    /// Clock frequency in hertz.
+    pub frequency: f64,
+    /// Input load per fanout in farads.
+    pub input_load: f64,
+}
+
+impl Default for CellLibrary {
+    /// 1.0 V, 100 MHz, 1.5 fF per fanout input.
+    fn default() -> Self {
+        CellLibrary {
+            vdd: 1.0,
+            frequency: 100.0e6,
+            input_load: 1.5e-15,
+        }
+    }
+}
+
+impl CellLibrary {
+    /// Output (self + drain) capacitance of a gate kind, in farads.
+    pub fn output_capacitance(&self, kind: GateKind) -> f64 {
+        // Larger cells drive more internal capacitance.
+        let femto = match kind {
+            GateKind::Input => 0.5,
+            GateKind::Buf => 1.2,
+            GateKind::Not => 1.0,
+            GateKind::And | GateKind::Nand => 2.0,
+            GateKind::Or | GateKind::Nor => 2.2,
+            GateKind::Xor | GateKind::Xnor => 3.5,
+            GateKind::Mux => 3.0,
+            GateKind::Dff => 6.0,
+        };
+        femto * 1e-15
+    }
+
+    /// Effective switched capacitance of a gate driving `fanout` inputs.
+    pub fn switched_capacitance(&self, kind: GateKind, fanout: usize) -> f64 {
+        self.output_capacitance(kind) + self.input_load * fanout as f64
+    }
+
+    /// Dynamic power (watts) of one gate given its toggle rate
+    /// (transitions per clock cycle).
+    pub fn gate_power(&self, kind: GateKind, fanout: usize, toggle_rate: f64) -> f64 {
+        0.5 * self.switched_capacitance(kind, fanout) * self.vdd * self.vdd * self.frequency
+            * toggle_rate
+    }
+
+    /// Total dynamic power (watts) of a netlist given per-gate toggle rates
+    /// (indexed by gate id).
+    ///
+    /// # Panics
+    /// Panics if `toggle_rates.len() != netlist.len()`.
+    pub fn netlist_power(&self, netlist: &Netlist, toggle_rates: &[f64]) -> f64 {
+        assert_eq!(
+            toggle_rates.len(),
+            netlist.len(),
+            "toggle rate per gate required"
+        );
+        let mut fanout = vec![0usize; netlist.len()];
+        for (_, gate) in netlist.iter() {
+            for f in &gate.fanins {
+                fanout[f.index()] += 1;
+            }
+        }
+        netlist
+            .iter()
+            .map(|(id, gate)| self.gate_power(gate.kind, fanout[id.index()], toggle_rates[id.index()]))
+            .sum()
+    }
+}
+
+/// Converts watts to the milliwatt figures reported in Tables V/VI.
+pub fn watts_to_mw(w: f64) -> f64 {
+    w * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitance_ordering_is_sane() {
+        let lib = CellLibrary::default();
+        // Flip-flops are the biggest cells; inverters among the smallest.
+        assert!(lib.output_capacitance(GateKind::Dff) > lib.output_capacitance(GateKind::Xor));
+        assert!(lib.output_capacitance(GateKind::Xor) > lib.output_capacitance(GateKind::Not));
+    }
+
+    #[test]
+    fn power_is_linear_in_toggle_rate() {
+        let lib = CellLibrary::default();
+        let p1 = lib.gate_power(GateKind::And, 2, 0.1);
+        let p2 = lib.gate_power(GateKind::And, 2, 0.2);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_increases_power() {
+        let lib = CellLibrary::default();
+        assert!(lib.gate_power(GateKind::And, 5, 0.1) > lib.gate_power(GateKind::And, 1, 0.1));
+    }
+
+    #[test]
+    fn zero_toggle_zero_power() {
+        let lib = CellLibrary::default();
+        assert_eq!(lib.gate_power(GateKind::Xor, 3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn netlist_power_sums_gates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, vec![a]);
+        nl.set_output(g, "y");
+        let lib = CellLibrary::default();
+        let total = lib.netlist_power(&nl, &[0.5, 0.5]);
+        let by_hand = lib.gate_power(GateKind::Input, 1, 0.5) + lib.gate_power(GateKind::Not, 0, 0.5);
+        assert!((total - by_hand).abs() < 1e-18);
+    }
+
+    #[test]
+    fn magnitudes_are_milliwatt_scale() {
+        // ~10k gates at 0.1 toggle rate should land in the paper's 0.2–7 mW
+        // range.
+        let lib = CellLibrary::default();
+        let per_gate = lib.gate_power(GateKind::And, 2, 0.1);
+        let total_mw = watts_to_mw(per_gate * 10_000.0);
+        assert!(
+            (0.1..20.0).contains(&total_mw),
+            "unrealistic scale: {total_mw} mW"
+        );
+    }
+}

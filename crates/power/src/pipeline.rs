@@ -1,0 +1,303 @@
+//! The end-to-end power-estimation pipeline of paper Fig. 3.
+//!
+//! For a test design (a multi-gate-type [`Netlist`]):
+//!
+//! 1. decompose into an AIG without optimization, remembering each original
+//!    gate's fanout node ([`lower_to_aig`]);
+//! 2. obtain per-method transition probabilities — logic simulation (GT),
+//!    the probabilistic method, fine-tuned Grannite, fine-tuned DeepSeq;
+//! 3. translate each into a SAIF file over the *original* gates;
+//! 4. feed each SAIF file to the power-analysis tool and compare.
+
+use deepseq_core::encoding::initial_states;
+use deepseq_core::{DeepSeq, TrainSample};
+use deepseq_netlist::lower_to_aig;
+use deepseq_netlist::netlist::Netlist;
+use deepseq_netlist::LoweredNetlist;
+use deepseq_sim::{simulate, NodeProbabilities, SimOptions, Workload};
+
+use crate::analyze::{analyze_power, percent_error};
+use crate::cells::CellLibrary;
+use crate::grannite::Grannite;
+use crate::probabilistic::{estimate, ProbabilisticOptions};
+use crate::saif::SaifDocument;
+
+/// Configuration of a pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Simulation options for ground truth.
+    pub sim: SimOptions,
+    /// SAIF observation window (cycles).
+    pub duration: u64,
+    /// Cell library of the power model.
+    pub library: CellLibrary,
+    /// Seed for DeepSeq initial hidden states.
+    pub init_seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            sim: SimOptions::default(),
+            duration: 10_000,
+            library: CellLibrary::default(),
+            init_seed: 0,
+        }
+    }
+}
+
+/// Power numbers of one estimation method against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodPower {
+    /// Estimated power in milliwatts.
+    pub mw: f64,
+    /// `|estimate − GT| / GT` in percent (the `Error.` columns of Table V).
+    pub error_pct: f64,
+}
+
+/// One row of Table V / Table VI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPowerResult {
+    /// Design name.
+    pub design: String,
+    /// Ground-truth power (mW) from logic simulation.
+    pub gt_mw: f64,
+    /// The non-simulative baseline [27].
+    pub probabilistic: MethodPower,
+    /// Fine-tuned Grannite [18] (if a model was supplied).
+    pub grannite: Option<MethodPower>,
+    /// Fine-tuned DeepSeq (if a model was supplied).
+    pub deepseq: Option<MethodPower>,
+}
+
+/// Builds the SAIF document for the original netlist gates from AIG-level
+/// probabilities via the fanout-node map (paper: "we only record
+/// probabilities of the fanout gates in all converted combinations").
+pub fn saif_for_netlist(
+    netlist: &Netlist,
+    lowered: &LoweredNetlist,
+    probs: &NodeProbabilities,
+    duration: u64,
+) -> SaifDocument {
+    let mut doc = SaifDocument::new(duration);
+    for (id, gate) in netlist.iter() {
+        let node = lowered.node_for(id);
+        let name = gate
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("n{}", id.0));
+        doc.add_net(
+            name,
+            probs.p1[node.index()],
+            probs.toggle_rate(node.index()),
+        );
+    }
+    doc
+}
+
+/// Predicted probabilities of a (fine-tuned) DeepSeq model on an AIG.
+pub fn deepseq_probs(
+    model: &DeepSeq,
+    aig: &deepseq_netlist::SeqAig,
+    workload: &Workload,
+    init_seed: u64,
+) -> NodeProbabilities {
+    let graph = deepseq_core::CircuitGraph::build(aig);
+    let h0 = initial_states(aig, workload, model.config().hidden_dim, init_seed);
+    let preds = model.predict(&graph, &h0);
+    NodeProbabilities {
+        p1: preds.lg.data().iter().map(|&v| v as f64).collect(),
+        p01: (0..preds.tr.rows()).map(|r| preds.tr.get(r, 0) as f64).collect(),
+        p10: (0..preds.tr.rows()).map(|r| preds.tr.get(r, 1) as f64).collect(),
+    }
+}
+
+/// Runs the Fig. 3 pipeline on one design under one workload.
+///
+/// `grannite` and `deepseq` are optional pre-/fine-tuned models; when absent
+/// the corresponding column is skipped.
+pub fn run_pipeline(
+    netlist: &Netlist,
+    workload: &Workload,
+    grannite: Option<&Grannite>,
+    deepseq: Option<&DeepSeq>,
+    config: &PipelineConfig,
+) -> DesignPowerResult {
+    let lowered = lower_to_aig(netlist).expect("test designs are valid");
+    let aig = &lowered.aig;
+
+    // Ground truth: logic simulation of the testbench workload.
+    let gt = simulate(aig, workload, &config.sim);
+    let gt_saif = saif_for_netlist(netlist, &lowered, &gt.probs, config.duration);
+    let gt_power = analyze_power(netlist, &gt_saif, &config.library).total_mw;
+
+    // Probabilistic baseline.
+    let prob = estimate(aig, workload, &ProbabilisticOptions::default());
+    let prob_saif = saif_for_netlist(netlist, &lowered, &prob, config.duration);
+    let prob_power = analyze_power(netlist, &prob_saif, &config.library).total_mw;
+
+    // Grannite: PI/FF activity from simulation, comb gates predicted.
+    let grannite_power = grannite.map(|model| {
+        let probs = model.predict_probs(aig, &gt.probs);
+        let saif = saif_for_netlist(netlist, &lowered, &probs, config.duration);
+        analyze_power(netlist, &saif, &config.library).total_mw
+    });
+
+    // DeepSeq: all nodes predicted from the workload alone.
+    let deepseq_power = deepseq.map(|model| {
+        let probs = deepseq_probs(model, aig, workload, config.init_seed);
+        let saif = saif_for_netlist(netlist, &lowered, &probs, config.duration);
+        analyze_power(netlist, &saif, &config.library).total_mw
+    });
+
+    DesignPowerResult {
+        design: netlist.name().to_string(),
+        gt_mw: gt_power,
+        probabilistic: MethodPower {
+            mw: prob_power,
+            error_pct: percent_error(prob_power, gt_power),
+        },
+        grannite: grannite_power.map(|mw| MethodPower {
+            mw,
+            error_pct: percent_error(mw, gt_power),
+        }),
+        deepseq: deepseq_power.map(|mw| MethodPower {
+            mw,
+            error_pct: percent_error(mw, gt_power),
+        }),
+    }
+}
+
+/// Builds DeepSeq fine-tuning samples for a circuit under many workloads
+/// (Section V-A1: "after fine-tuning with 1,000 different workloads on a
+/// circuit, DeepSeq can generalize to arbitrary workloads for that
+/// circuit").
+pub fn finetune_samples(
+    aig: &deepseq_netlist::SeqAig,
+    workloads: &[Workload],
+    hidden_dim: usize,
+    sim: &SimOptions,
+    seed: u64,
+) -> Vec<TrainSample> {
+    workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let mut opts = *sim;
+            opts.seed = sim.seed.wrapping_add(i as u64);
+            TrainSample::generate(aig, w, hidden_dim, &opts, seed.wrapping_add(i as u64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_netlist::netlist::GateKind;
+
+    fn small_design() -> Netlist {
+        let mut nl = Netlist::new("small");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_named_gate(GateKind::Xor, vec![a, b], "x");
+        let q = nl.add_dff("q", false);
+        let o = nl.add_named_gate(GateKind::Nor, vec![x, q], "o");
+        nl.connect_dff(q, o).unwrap();
+        nl.set_output(o, "y");
+        nl
+    }
+
+    #[test]
+    fn pipeline_without_models_runs() {
+        let nl = small_design();
+        let w = Workload::uniform(2, 0.5);
+        let result = run_pipeline(&nl, &w, None, None, &PipelineConfig::default());
+        assert!(result.gt_mw > 0.0);
+        assert!(result.probabilistic.mw > 0.0);
+        assert!(result.grannite.is_none());
+        assert!(result.deepseq.is_none());
+    }
+
+    #[test]
+    fn gt_power_scales_with_workload_activity() {
+        let nl = small_design();
+        let quiet = run_pipeline(
+            &nl,
+            &Workload::uniform(2, 0.02),
+            None,
+            None,
+            &PipelineConfig::default(),
+        );
+        let busy = run_pipeline(
+            &nl,
+            &Workload::uniform(2, 0.5),
+            None,
+            None,
+            &PipelineConfig::default(),
+        );
+        assert!(busy.gt_mw > quiet.gt_mw);
+    }
+
+    #[test]
+    fn saif_covers_every_gate() {
+        let nl = small_design();
+        let lowered = lower_to_aig(&nl).unwrap();
+        let gt = simulate(&lowered.aig, &Workload::uniform(2, 0.5), &SimOptions::default());
+        let doc = saif_for_netlist(&nl, &lowered, &gt.probs, 1000);
+        assert_eq!(doc.nets.len(), nl.len());
+    }
+
+    #[test]
+    fn deepseq_probs_shapes() {
+        use deepseq_core::{DeepSeq, DeepSeqConfig};
+        let nl = small_design();
+        let lowered = lower_to_aig(&nl).unwrap();
+        let model = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        let w = Workload::uniform(2, 0.5);
+        let probs = deepseq_probs(&model, &lowered.aig, &w, 0);
+        assert_eq!(probs.len(), lowered.aig.len());
+        assert!(probs.p1.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn full_pipeline_with_models() {
+        use crate::grannite::{Grannite, GranniteConfig};
+        use deepseq_core::{DeepSeq, DeepSeqConfig};
+        let nl = small_design();
+        let w = Workload::uniform(2, 0.5);
+        let grannite = Grannite::new(GranniteConfig {
+            hidden_dim: 8,
+            seed: 1,
+        });
+        let deepseq = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        let result = run_pipeline(
+            &nl,
+            &w,
+            Some(&grannite),
+            Some(&deepseq),
+            &PipelineConfig::default(),
+        );
+        let g = result.grannite.unwrap();
+        let d = result.deepseq.unwrap();
+        assert!(g.mw >= 0.0 && d.mw >= 0.0);
+        assert!(g.error_pct >= 0.0 && d.error_pct >= 0.0);
+    }
+
+    #[test]
+    fn finetune_samples_one_per_workload() {
+        let nl = small_design();
+        let lowered = lower_to_aig(&nl).unwrap();
+        let workloads = vec![Workload::uniform(2, 0.3), Workload::uniform(2, 0.7)];
+        let samples = finetune_samples(&lowered.aig, &workloads, 8, &SimOptions::default(), 0);
+        assert_eq!(samples.len(), 2);
+        assert_ne!(samples[0].init_h, samples[1].init_h);
+    }
+}

@@ -1,0 +1,206 @@
+//! Non-simulative probabilistic switching estimation — the baseline method
+//! of Ghosh et al. [27] used in Tables V/VI.
+//!
+//! Signal probabilities and transition densities are propagated through the
+//! combinational logic under a *spatial independence* assumption (every gate
+//! input treated as independent), with flip-flop outputs iterated to a fixed
+//! point. Exactly as the paper notes, this class of methods "produce[s]
+//! inaccurate results on structures such as reconvergence fanouts and cyclic
+//! FFs" — the inaccuracy is inherited faithfully, not patched.
+
+use deepseq_netlist::aig::{AigNode, SeqAig};
+use deepseq_sim::{NodeProbabilities, Workload};
+
+/// Options for the fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilisticOptions {
+    /// Maximum flip-flop fixed-point iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on FF probabilities.
+    pub tolerance: f64,
+}
+
+impl Default for ProbabilisticOptions {
+    fn default() -> Self {
+        ProbabilisticOptions {
+            max_iterations: 50,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Estimates per-node probabilities without simulation.
+///
+/// Propagation rules (independence assumed):
+/// * `AND`: `p = pa·pb`, density `D = pb·Da + pa·Db` (boolean-difference
+///   rule, simultaneous switching ignored);
+/// * `NOT`: `p = 1 − pa`, `D = Da`;
+/// * `FF`: output statistics copy the D input's from the previous iteration.
+///
+/// Densities are clamped to the feasible `2·min(p, 1−p)` and reported as
+/// `p01 = p10 = D/2` (stationarity).
+pub fn estimate(aig: &SeqAig, workload: &Workload, opts: &ProbabilisticOptions) -> NodeProbabilities {
+    let n = aig.len();
+    let mut p1 = vec![0.0f64; n];
+    let mut density = vec![0.0f64; n];
+
+    // PI statistics straight from the workload model.
+    let pis = aig.pis();
+    for (i, &pi) in pis.iter().enumerate() {
+        let stim = workload.stimuli()[i];
+        p1[pi.index()] = stim.p1.clamp(0.0, 1.0);
+        let feasible = 2.0 * stim.p1.min(1.0 - stim.p1).max(0.0);
+        density[pi.index()] = stim.density.clamp(0.0, feasible);
+    }
+
+    // FF initial guess: the power-on value, no activity.
+    let ffs = aig.ffs();
+    for &ff in &ffs {
+        if let AigNode::Ff { init, .. } = aig.node(ff) {
+            p1[ff.index()] = if *init { 1.0 } else { 0.0 };
+        }
+    }
+
+    for _ in 0..opts.max_iterations {
+        // One combinational sweep (ordered ids ⇒ single pass).
+        for (id, node) in aig.iter() {
+            match *node {
+                AigNode::And(a, b) => {
+                    let (pa, pb) = (p1[a.index()], p1[b.index()]);
+                    let (da, db) = (density[a.index()], density[b.index()]);
+                    let p = pa * pb;
+                    let d = pb * da + pa * db;
+                    p1[id.index()] = p;
+                    density[id.index()] = d.min(2.0 * p.min(1.0 - p)).max(0.0);
+                }
+                AigNode::Not(a) => {
+                    p1[id.index()] = 1.0 - p1[a.index()];
+                    density[id.index()] = density[a.index()];
+                }
+                AigNode::Pi | AigNode::Ff { .. } => {}
+            }
+        }
+        // FF update; track the largest move for convergence.
+        let mut delta: f64 = 0.0;
+        for &ff in &ffs {
+            let d_in = aig.ff_fanin(ff).expect("validated AIG");
+            let new_p = p1[d_in.index()];
+            let new_d = density[d_in.index()];
+            delta = delta
+                .max((p1[ff.index()] - new_p).abs())
+                .max((density[ff.index()] - new_d).abs());
+            p1[ff.index()] = new_p;
+            density[ff.index()] = new_d;
+        }
+        if delta < opts.tolerance {
+            break;
+        }
+    }
+
+    let p01: Vec<f64> = density.iter().map(|d| d / 2.0).collect();
+    NodeProbabilities {
+        p1,
+        p10: p01.clone(),
+        p01,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_sim::{simulate, PiStimulus, SimOptions};
+
+    fn opts() -> ProbabilisticOptions {
+        ProbabilisticOptions::default()
+    }
+
+    #[test]
+    fn independent_and_gate_is_exact() {
+        let mut aig = SeqAig::new("and");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let w = Workload::new(vec![
+            PiStimulus::independent(0.5),
+            PiStimulus::independent(0.4),
+        ]);
+        let est = estimate(&aig, &w, &opts());
+        assert!((est.p1[g.index()] - 0.2).abs() < 1e-9);
+        // Exact per-cycle-independent result: p01(AND) = p0·p1 = 0.8·0.2 =
+        // 0.16. The density rule gives D = pb·Da + pa·Db = .4·.5 + .5·.48 =
+        // 0.44, clamped to the feasible 2·min(p,1−p) = 0.4 ⇒ p01 = 0.2 —
+        // close to exact but biased high (the method's known approximation).
+        assert!((est.p01[g.index()] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_preserves_density() {
+        let mut aig = SeqAig::new("not");
+        let a = aig.add_pi("a");
+        let n = aig.add_not(a);
+        let w = Workload::new(vec![PiStimulus {
+            p1: 0.3,
+            density: 0.2,
+        }]);
+        let est = estimate(&aig, &w, &opts());
+        assert!((est.p1[n.index()] - 0.7).abs() < 1e-9);
+        assert!((est.p01[n.index()] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ff_fixed_point_converges() {
+        // q' = q AND pi: the fixed point of p(q) = p(q)·p(pi) is 0.
+        let mut aig = SeqAig::new("decay");
+        let a = aig.add_pi("a");
+        let q = aig.add_ff("q", true);
+        let g = aig.add_and(q, a);
+        aig.connect_ff(q, g).unwrap();
+        let w = Workload::uniform(1, 0.5);
+        let est = estimate(&aig, &w, &opts());
+        assert!(est.p1[q.index()] < 1e-6);
+    }
+
+    #[test]
+    fn reconvergent_fanout_error_exists() {
+        // y = a AND (NOT a) is constant 0, but the independence assumption
+        // reports p = p·(1−p) = 0.25 — the classic failure the paper
+        // exploits. Verify the baseline really errs and simulation doesn't.
+        let mut aig = SeqAig::new("reconv");
+        let a = aig.add_pi("a");
+        let n = aig.add_not(a);
+        let g = aig.add_and(a, n);
+        let w = Workload::uniform(1, 0.5);
+        let est = estimate(&aig, &w, &opts());
+        assert!((est.p1[g.index()] - 0.25).abs() < 1e-9, "baseline should err");
+        let sim = simulate(&aig, &w, &SimOptions::default());
+        assert_eq!(sim.probs.p1[g.index()], 0.0, "simulation is exact");
+    }
+
+    #[test]
+    fn estimates_stay_in_bounds() {
+        use deepseq_data::random::{random_circuit, CircuitSpec};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let aig = random_circuit("r", &CircuitSpec::default(), &mut rng);
+        let w = Workload::random(aig.num_pis(), &mut rng);
+        let est = estimate(&aig, &w, &opts());
+        for v in 0..aig.len() {
+            assert!((0.0..=1.0).contains(&est.p1[v]));
+            assert!((0.0..=0.5 + 1e-9).contains(&est.p01[v]));
+            assert!(est.p01[v] <= est.p1[v].min(1.0 - est.p1[v]) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut aig = SeqAig::new("d");
+        let a = aig.add_pi("a");
+        let q = aig.add_ff("q", false);
+        let g = aig.add_and(a, q);
+        let n = aig.add_not(g);
+        aig.connect_ff(q, n).unwrap();
+        let w = Workload::uniform(1, 0.6);
+        assert_eq!(estimate(&aig, &w, &opts()), estimate(&aig, &w, &opts()));
+    }
+}

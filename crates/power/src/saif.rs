@@ -1,0 +1,229 @@
+//! SAIF (Switching Activity Interchange Format) emission and parsing.
+//!
+//! The paper's pipeline (Fig. 3) translates the transition probabilities of
+//! every method into SAIF files that a power-analysis tool consumes. This
+//! module reproduces that interchange: [`write_saif`] emits a SAIF file from
+//! per-net activity, [`parse_saif`] reads one back (used by
+//! [`analyze`](crate::analyze) so the data really flows through the same
+//! format).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Switching activity of one net over a observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetActivity {
+    /// Time spent at logic 0 (in cycles).
+    pub t0: u64,
+    /// Time spent at logic 1 (in cycles).
+    pub t1: u64,
+    /// Number of toggles over the window.
+    pub tc: u64,
+}
+
+impl NetActivity {
+    /// Builds activity counts from probabilities over `duration` cycles.
+    pub fn from_probabilities(p1: f64, toggle_rate: f64, duration: u64) -> Self {
+        let t1 = (p1.clamp(0.0, 1.0) * duration as f64).round() as u64;
+        NetActivity {
+            t0: duration - t1.min(duration),
+            t1: t1.min(duration),
+            tc: (toggle_rate.max(0.0) * duration as f64).round() as u64,
+        }
+    }
+
+    /// Toggle rate (transitions per cycle) over `duration`.
+    pub fn toggle_rate(&self, duration: u64) -> f64 {
+        if duration == 0 {
+            return 0.0;
+        }
+        self.tc as f64 / duration as f64
+    }
+}
+
+/// An in-memory SAIF document: a duration and named net activities.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SaifDocument {
+    /// Observation window length in cycles.
+    pub duration: u64,
+    /// Activity per net name (sorted for stable output).
+    pub nets: BTreeMap<String, NetActivity>,
+}
+
+impl SaifDocument {
+    /// An empty document with a duration.
+    pub fn new(duration: u64) -> Self {
+        SaifDocument {
+            duration,
+            nets: BTreeMap::new(),
+        }
+    }
+
+    /// Records one net's activity from probabilities.
+    pub fn add_net(&mut self, name: impl Into<String>, p1: f64, toggle_rate: f64) {
+        self.nets.insert(
+            name.into(),
+            NetActivity::from_probabilities(p1, toggle_rate, self.duration),
+        );
+    }
+}
+
+/// Serializes a document to SAIF text.
+pub fn write_saif(doc: &SaifDocument, design: &str) -> String {
+    let mut out = String::new();
+    out.push_str("(SAIFILE\n");
+    out.push_str("  (SAIFVERSION \"2.0\")\n");
+    out.push_str("  (DIRECTION \"backward\")\n");
+    out.push_str("  (DESIGN \"");
+    out.push_str(design);
+    out.push_str("\")\n");
+    out.push_str(&format!("  (DURATION {})\n", doc.duration));
+    out.push_str("  (INSTANCE top\n    (NET\n");
+    for (name, activity) in &doc.nets {
+        out.push_str(&format!(
+            "      ({} (T0 {}) (T1 {}) (TC {}))\n",
+            name, activity.t0, activity.t1, activity.tc
+        ));
+    }
+    out.push_str("    )\n  )\n)\n");
+    out
+}
+
+/// Errors from SAIF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SaifError {
+    /// Missing `(SAIFILE` header.
+    NotSaif,
+    /// Missing or malformed DURATION.
+    BadDuration,
+    /// A net entry could not be parsed.
+    BadNet {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for SaifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaifError::NotSaif => write!(f, "missing (SAIFILE header"),
+            SaifError::BadDuration => write!(f, "missing or malformed DURATION"),
+            SaifError::BadNet { line } => write!(f, "malformed net entry at line {line}"),
+        }
+    }
+}
+
+impl Error for SaifError {}
+
+/// Parses SAIF text back into a document. Only the subset produced by
+/// [`write_saif`] is supported (one instance, flat nets).
+///
+/// # Errors
+/// Returns [`SaifError`] on malformed input.
+pub fn parse_saif(text: &str) -> Result<SaifDocument, SaifError> {
+    if !text.trim_start().starts_with("(SAIFILE") {
+        return Err(SaifError::NotSaif);
+    }
+    let mut duration = None;
+    let mut nets = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("(DURATION ") {
+            let value = rest.trim_end_matches(')').trim();
+            duration = Some(value.parse().map_err(|_| SaifError::BadDuration)?);
+        } else if line.starts_with('(') && line.contains("(T0 ") {
+            let parsed = parse_net_line(line).ok_or(SaifError::BadNet { line: lineno + 1 })?;
+            nets.insert(parsed.0, parsed.1);
+        }
+    }
+    Ok(SaifDocument {
+        duration: duration.ok_or(SaifError::BadDuration)?,
+        nets,
+    })
+}
+
+fn parse_net_line(line: &str) -> Option<(String, NetActivity)> {
+    // `(name (T0 x) (T1 y) (TC z))` — strip exactly the outer parentheses.
+    let inner = line.strip_prefix('(')?.strip_suffix(')')?;
+    let name_end = inner.find(" (")?;
+    let name = inner[..name_end].trim().to_string();
+    let field = |key: &str| -> Option<u64> {
+        let pos = inner.find(key)?;
+        let rest = &inner[pos + key.len()..];
+        let end = rest.find(')')?;
+        rest[..end].trim().parse().ok()
+    };
+    Some((
+        name,
+        NetActivity {
+            t0: field("(T0 ")?,
+            t1: field("(T1 ")?,
+            tc: field("(TC ")?,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SaifDocument {
+        let mut doc = SaifDocument::new(10_000);
+        doc.add_net("clk_buf", 0.5, 2.0);
+        doc.add_net("q0", 0.25, 0.125);
+        doc.add_net("n42", 0.9, 0.02);
+        doc
+    }
+
+    #[test]
+    fn activity_from_probabilities() {
+        let a = NetActivity::from_probabilities(0.25, 0.1, 1000);
+        assert_eq!(a.t1, 250);
+        assert_eq!(a.t0, 750);
+        assert_eq!(a.tc, 100);
+        assert!((a.toggle_rate(1000) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = sample();
+        let text = write_saif(&doc, "testdesign");
+        let parsed = parse_saif(&text).unwrap();
+        assert_eq!(doc, parsed);
+    }
+
+    #[test]
+    fn syntax_contains_required_constructs() {
+        let text = write_saif(&sample(), "d");
+        for token in ["(SAIFILE", "SAIFVERSION", "DURATION 10000", "(T0 ", "(T1 ", "(TC "] {
+            assert!(text.contains(token), "missing {token}");
+        }
+        // Balanced parentheses.
+        let open = text.matches('(').count();
+        let close = text.matches(')').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_saif("hello"), Err(SaifError::NotSaif));
+        assert_eq!(parse_saif("(SAIFILE\n)"), Err(SaifError::BadDuration));
+    }
+
+    #[test]
+    fn t0_t1_partition_duration() {
+        let doc = sample();
+        for activity in doc.nets.values() {
+            assert_eq!(activity.t0 + activity.t1, doc.duration);
+        }
+    }
+
+    #[test]
+    fn probability_clamping() {
+        let a = NetActivity::from_probabilities(1.5, -0.1, 100);
+        assert_eq!(a.t1, 100);
+        assert_eq!(a.tc, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the power crate: estimates must stay within
+//! probabilistic bounds on random circuits, SAIF must round-trip, and the
+//! power model must respect its algebraic structure.
+
+use deepseq_netlist::{NodeId, SeqAig};
+use deepseq_power::{estimate, parse_saif, write_saif, CellLibrary, ProbabilisticOptions, SaifDocument};
+use deepseq_sim::{PiStimulus, Workload};
+use proptest::prelude::*;
+
+fn arb_seq_aig() -> impl Strategy<Value = SeqAig> {
+    (1usize..5, 0usize..4, 1usize..30, any::<u64>()).prop_map(|(n_pi, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("prop");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        let mut ffs = Vec::new();
+        for i in 0..n_ff {
+            ffs.push(aig.add_ff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = aig.len();
+            if next(3) == 0 {
+                aig.add_not(NodeId(next(len) as u32));
+            } else {
+                aig.add_and(NodeId(next(len) as u32), NodeId(next(len) as u32));
+            }
+        }
+        let len = aig.len();
+        for &ff in &ffs {
+            aig.connect_ff(ff, NodeId(next(len) as u32)).unwrap();
+        }
+        aig.set_output(NodeId((len - 1) as u32), "out");
+        aig
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn probabilistic_estimates_stay_feasible(aig in arb_seq_aig(), p1 in 0.0f64..1.0) {
+        let w = Workload::uniform(aig.num_pis(), p1);
+        let est = estimate(&aig, &w, &ProbabilisticOptions::default());
+        for v in 0..aig.len() {
+            prop_assert!((0.0..=1.0).contains(&est.p1[v]), "p1[{v}] = {}", est.p1[v]);
+            prop_assert!(est.p01[v] >= 0.0);
+            // Feasibility: a signal cannot rise more often than it is low
+            // and high (up to fp rounding).
+            prop_assert!(est.p01[v] <= est.p1[v].min(1.0 - est.p1[v]) + 1e-9,
+                "p01[{v}] = {} infeasible for p1 {}", est.p01[v], est.p1[v]);
+        }
+    }
+
+    #[test]
+    fn probabilistic_is_deterministic(aig in arb_seq_aig()) {
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let a = estimate(&aig, &w, &ProbabilisticOptions::default());
+        let b = estimate(&aig, &w, &ProbabilisticOptions::default());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn saif_roundtrip_random_docs(
+        nets in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..20),
+        duration in 1u64..1_000_000,
+    ) {
+        let mut doc = SaifDocument::new(duration);
+        for (i, (p1, tc)) in nets.iter().enumerate() {
+            doc.add_net(format!("net_{i}"), *p1, *tc);
+        }
+        let text = write_saif(&doc, "prop");
+        let parsed = parse_saif(&text).expect("writer output must parse");
+        prop_assert_eq!(doc, parsed);
+    }
+
+    #[test]
+    fn power_is_monotone_in_toggle_rates(
+        rates in proptest::collection::vec(0.0f64..1.0, 4),
+        bump in 0.01f64..0.5,
+    ) {
+        use deepseq_netlist::netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("p");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Not, vec![a]);
+        let g2 = nl.add_gate(GateKind::And, vec![a, g1]);
+        let g3 = nl.add_gate(GateKind::Xor, vec![g1, g2]);
+        nl.set_output(g3, "y");
+        let _ = (g1, g2, g3);
+        let lib = CellLibrary::default();
+        let base = lib.netlist_power(&nl, &rates);
+        let bumped: Vec<f64> = rates.iter().map(|r| (r + bump).min(1.5)).collect();
+        let higher = lib.netlist_power(&nl, &bumped);
+        prop_assert!(higher > base);
+    }
+
+    #[test]
+    fn workload_density_raises_pi_activity_estimate(
+        p1 in 0.2f64..0.8,
+        d_low in 0.0f64..0.1,
+        extra in 0.1f64..0.3,
+    ) {
+        // The probabilistic method must pass PI toggle density through.
+        let mut aig = SeqAig::new("d");
+        let a = aig.add_pi("a");
+        let n = aig.add_not(a);
+        aig.set_output(n, "y");
+        let low = Workload::new(vec![PiStimulus { p1, density: d_low }]);
+        let high = Workload::new(vec![PiStimulus { p1, density: d_low + extra }]);
+        let est_low = estimate(&aig, &low, &ProbabilisticOptions::default());
+        let est_high = estimate(&aig, &high, &ProbabilisticOptions::default());
+        prop_assert!(est_high.toggle_rate(a.index()) > est_low.toggle_rate(a.index()));
+        prop_assert!(est_high.toggle_rate(n.index()) > est_low.toggle_rate(n.index()));
+    }
+}

@@ -1,0 +1,245 @@
+//! Analytical reliability baseline (Jahanirad-style [32], SPRA family).
+//!
+//! Per-node error probabilities are propagated through the logic under a
+//! *spatial independence* assumption. Each gate output can be wrong either
+//! because propagated input errors flip it (logic masking accounted for via
+//! signal probabilities) or because the gate itself suffers an intrinsic
+//! transient fault (`error_rate`). Flip-flop error state is iterated to a
+//! fixed point. Like the probabilistic power baseline, the method is fast
+//! but degrades on correlated signals and reconvergent fanout — the paper's
+//! motivation for a learned approach.
+
+use deepseq_netlist::aig::{AigNode, SeqAig};
+use deepseq_sim::Workload;
+
+/// Options for the analytical propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticalOptions {
+    /// Intrinsic per-gate flip probability (paper: 0.0005).
+    pub error_rate: f64,
+    /// FF fixed-point iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for AnalyticalOptions {
+    fn default() -> Self {
+        AnalyticalOptions {
+            error_rate: 0.0005,
+            max_iterations: 50,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Result of the analytical analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticalResult {
+    /// Per-node signal probability (independence-propagated).
+    pub p1: Vec<f64>,
+    /// Per-node error probability `P(faulty ≠ correct)`.
+    pub error: Vec<f64>,
+    /// Circuit reliability: mean over primary outputs of `1 − error`.
+    pub output_reliability: f64,
+}
+
+/// Runs the analytical reliability analysis.
+pub fn analyze(aig: &SeqAig, workload: &Workload, opts: &AnalyticalOptions) -> AnalyticalResult {
+    let n = aig.len();
+    let mut p1 = vec![0.5f64; n];
+    let mut err = vec![0.0f64; n];
+    let eps = opts.error_rate.clamp(0.0, 1.0);
+
+    let pis = aig.pis();
+    for (i, &pi) in pis.iter().enumerate() {
+        p1[pi.index()] = workload.p1(i).clamp(0.0, 1.0);
+        err[pi.index()] = 0.0; // inputs assumed correct
+    }
+    let ffs = aig.ffs();
+    for &ff in &ffs {
+        if let AigNode::Ff { init, .. } = aig.node(ff) {
+            p1[ff.index()] = if *init { 1.0 } else { 0.0 };
+        }
+    }
+
+    for _ in 0..opts.max_iterations {
+        for (id, node) in aig.iter() {
+            match *node {
+                AigNode::And(a, b) => {
+                    let (pa, pb) = (p1[a.index()], p1[b.index()]);
+                    let (ea, eb) = (err[a.index()], err[b.index()]);
+                    p1[id.index()] = pa * pb;
+                    // Propagated error by case analysis over golden values.
+                    let prop = pa * pb * (1.0 - (1.0 - ea) * (1.0 - eb))
+                        + pa * (1.0 - pb) * (1.0 - ea) * eb
+                        + (1.0 - pa) * pb * ea * (1.0 - eb)
+                        + (1.0 - pa) * (1.0 - pb) * ea * eb;
+                    err[id.index()] = xor_prob(prop, eps);
+                }
+                AigNode::Not(a) => {
+                    p1[id.index()] = 1.0 - p1[a.index()];
+                    err[id.index()] = xor_prob(err[a.index()], eps);
+                }
+                AigNode::Pi | AigNode::Ff { .. } => {}
+            }
+        }
+        let mut delta: f64 = 0.0;
+        for &ff in &ffs {
+            let d = aig.ff_fanin(ff).expect("validated AIG");
+            let new_p = p1[d.index()];
+            // FFs are fault sites too: intrinsic flip at capture.
+            let new_e = xor_prob(err[d.index()], eps);
+            delta = delta
+                .max((p1[ff.index()] - new_p).abs())
+                .max((err[ff.index()] - new_e).abs());
+            p1[ff.index()] = new_p;
+            err[ff.index()] = new_e;
+        }
+        if delta < opts.tolerance {
+            break;
+        }
+    }
+
+    let outputs = aig.outputs();
+    let output_reliability = if outputs.is_empty() {
+        1.0
+    } else {
+        outputs
+            .iter()
+            .map(|(po, _)| 1.0 - err[po.index()])
+            .sum::<f64>()
+            / outputs.len() as f64
+    };
+    AnalyticalResult {
+        p1,
+        error: err,
+        output_reliability,
+    }
+}
+
+/// Probability that exactly one of two independent error events occurs
+/// (errors cancel when both fire).
+fn xor_prob(a: f64, b: f64) -> f64 {
+    a * (1.0 - b) + b * (1.0 - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_sim::{inject_faults, FaultOptions};
+
+    fn opts(rate: f64) -> AnalyticalOptions {
+        AnalyticalOptions {
+            error_rate: rate,
+            ..AnalyticalOptions::default()
+        }
+    }
+
+    fn pipeline() -> SeqAig {
+        let mut aig = SeqAig::new("p");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let q = aig.add_ff("q", false);
+        aig.connect_ff(q, g).unwrap();
+        let n = aig.add_not(q);
+        aig.set_output(n, "y");
+        aig
+    }
+
+    #[test]
+    fn zero_rate_is_fully_reliable() {
+        let aig = pipeline();
+        let r = analyze(&aig, &Workload::uniform(2, 0.5), &opts(0.0));
+        assert_eq!(r.output_reliability, 1.0);
+        assert!(r.error.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn reliability_decreases_with_rate() {
+        let aig = pipeline();
+        let lo = analyze(&aig, &Workload::uniform(2, 0.5), &opts(0.0005));
+        let hi = analyze(&aig, &Workload::uniform(2, 0.5), &opts(0.01));
+        assert!(lo.output_reliability > hi.output_reliability);
+        assert!(lo.output_reliability < 1.0);
+    }
+
+    #[test]
+    fn error_grows_with_depth() {
+        // A chain of inverters accumulates intrinsic faults.
+        let mut aig = SeqAig::new("chain");
+        let a = aig.add_pi("a");
+        let mut prev = a;
+        let mut nodes = Vec::new();
+        for _ in 0..10 {
+            prev = aig.add_not(prev);
+            nodes.push(prev);
+        }
+        aig.set_output(prev, "y");
+        let r = analyze(&aig, &Workload::uniform(1, 0.5), &opts(0.001));
+        assert!(r.error[nodes[9].index()] > r.error[nodes[0].index()]);
+    }
+
+    #[test]
+    fn close_to_monte_carlo_on_simple_circuit() {
+        // On a shallow uncorrelated circuit the analytical method should be
+        // within ~1 percentage point of Monte-Carlo ground truth.
+        let aig = pipeline();
+        let w = Workload::uniform(2, 0.5);
+        let analytical = analyze(&aig, &w, &opts(0.005));
+        let mc = inject_faults(
+            &aig,
+            &w,
+            &FaultOptions {
+                error_rate: 0.005,
+                patterns: 2048,
+                cycles_per_pattern: 50,
+                seed: 1,
+            },
+        );
+        assert!(
+            (analytical.output_reliability - mc.output_reliability).abs() < 0.01,
+            "analytical {} vs MC {}",
+            analytical.output_reliability,
+            mc.output_reliability
+        );
+    }
+
+    #[test]
+    fn reconvergence_biases_the_method() {
+        // y = AND(q, NOT q) is constant-0 and immune to single input errors
+        // flowing down both branches (they cancel); independence assumes
+        // they don't. The analytical result must differ from Monte Carlo,
+        // demonstrating the weakness the paper exploits.
+        let mut aig = SeqAig::new("rc");
+        let a = aig.add_pi("a");
+        let q = aig.add_ff("q", false);
+        aig.connect_ff(q, a).unwrap();
+        let nq = aig.add_not(q);
+        let g = aig.add_and(q, nq);
+        aig.set_output(g, "y");
+        let w = Workload::uniform(1, 0.5);
+        let rate = 0.02;
+        let analytical = analyze(&aig, &w, &opts(rate));
+        let mc = inject_faults(
+            &aig,
+            &w,
+            &FaultOptions {
+                error_rate: rate,
+                patterns: 4096,
+                cycles_per_pattern: 50,
+                seed: 2,
+            },
+        );
+        let gap = (analytical.output_reliability - mc.output_reliability).abs();
+        assert!(gap > 0.005, "expected reconvergence bias, gap {gap}");
+    }
+
+    #[test]
+    fn xor_prob_properties() {
+        assert_eq!(xor_prob(0.0, 0.0), 0.0);
+        assert!((xor_prob(0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert!((xor_prob(1.0, 1.0)).abs() < 1e-12); // double error cancels
+    }
+}

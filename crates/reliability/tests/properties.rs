@@ -1,0 +1,143 @@
+//! Property-based tests for the reliability crate: analytical estimates
+//! must be bounded, monotone in the error rate, and agree with Monte-Carlo
+//! ground truth within sampling tolerance on independent structures.
+
+use deepseq_netlist::{NodeId, SeqAig};
+use deepseq_reliability::{analyze, AnalyticalOptions};
+use deepseq_sim::{inject_faults, FaultOptions, Workload};
+use proptest::prelude::*;
+
+fn arb_seq_aig() -> impl Strategy<Value = SeqAig> {
+    (1usize..5, 0usize..4, 1usize..25, any::<u64>()).prop_map(|(n_pi, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("prop");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        let mut ffs = Vec::new();
+        for i in 0..n_ff {
+            ffs.push(aig.add_ff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = aig.len();
+            if next(3) == 0 {
+                aig.add_not(NodeId(next(len) as u32));
+            } else {
+                aig.add_and(NodeId(next(len) as u32), NodeId(next(len) as u32));
+            }
+        }
+        let len = aig.len();
+        for &ff in &ffs {
+            aig.connect_ff(ff, NodeId(next(len) as u32)).unwrap();
+        }
+        aig.set_output(NodeId((len - 1) as u32), "out");
+        aig
+    })
+}
+
+fn opts(rate: f64) -> AnalyticalOptions {
+    AnalyticalOptions {
+        error_rate: rate,
+        ..AnalyticalOptions::default()
+    }
+}
+
+/// Feed-forward variant (no FFs): the analytical method is only
+/// well-behaved without feedback — free-running FF loops drive its error
+/// fixed point toward 0.5 regardless of rate (the very weakness on "cyclic
+/// FFs" the paper exploits), which breaks monotonicity and MC agreement.
+fn arb_comb_aig() -> impl Strategy<Value = SeqAig> {
+    (1usize..5, 1usize..25, any::<u64>()).prop_map(|(n_pi, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("comb");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        for _ in 0..n_gate {
+            let len = aig.len();
+            if next(3) == 0 {
+                aig.add_not(NodeId(next(len) as u32));
+            } else {
+                aig.add_and(NodeId(next(len) as u32), NodeId(next(len) as u32));
+            }
+        }
+        let len = aig.len();
+        aig.set_output(NodeId((len - 1) as u32), "out");
+        aig
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn analytical_errors_are_probabilities(aig in arb_seq_aig(), rate in 0.0f64..0.2) {
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let r = analyze(&aig, &w, &opts(rate));
+        for v in 0..aig.len() {
+            prop_assert!((0.0..=1.0).contains(&r.error[v]), "error[{v}] = {}", r.error[v]);
+            prop_assert!((0.0..=1.0).contains(&r.p1[v]));
+        }
+        prop_assert!((0.0..=1.0).contains(&r.output_reliability));
+    }
+
+    #[test]
+    fn reliability_monotone_in_rate_feedforward(aig in arb_comb_aig()) {
+        // Restricted to feed-forward circuits and small rates: node error
+        // probabilities stay below 0.5, where XOR error composition is
+        // monotone. (Proptest found genuine FF-feedback counterexamples —
+        // a property of the method, documented in arb_comb_aig.)
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let lo = analyze(&aig, &w, &opts(0.0005));
+        let hi = analyze(&aig, &w, &opts(0.01));
+        prop_assert!(hi.output_reliability <= lo.output_reliability + 1e-9,
+            "reliability must fall with the error rate: {} vs {}",
+            lo.output_reliability, hi.output_reliability);
+    }
+
+    #[test]
+    fn pis_are_error_free(aig in arb_seq_aig(), rate in 0.0f64..0.1) {
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let r = analyze(&aig, &w, &opts(rate));
+        for pi in aig.pis() {
+            prop_assert_eq!(r.error[pi.index()], 0.0);
+        }
+    }
+
+    #[test]
+    fn analytical_tracks_monte_carlo_on_feedforward(aig in arb_comb_aig()) {
+        // Without feedback the independence assumption errs only at
+        // reconvergent fanout, so the analytical estimate must stay within
+        // a loose band of the Monte-Carlo truth.
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let rate = 0.002;
+        let analytical = analyze(&aig, &w, &opts(rate));
+        let mc = inject_faults(&aig, &w, &FaultOptions {
+            error_rate: rate,
+            patterns: 512,
+            cycles_per_pattern: 40,
+            seed: 7,
+        });
+        let gap = (analytical.output_reliability - mc.output_reliability).abs();
+        prop_assert!(gap < 0.15, "gap {gap} too large: analytical {} vs MC {}",
+            analytical.output_reliability, mc.output_reliability);
+    }
+
+    #[test]
+    fn deterministic(aig in arb_seq_aig()) {
+        let w = Workload::uniform(aig.num_pis(), 0.4);
+        prop_assert_eq!(analyze(&aig, &w, &opts(0.001)), analyze(&aig, &w, &opts(0.001)));
+    }
+}

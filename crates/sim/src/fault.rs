@@ -1,0 +1,396 @@
+//! Monte-Carlo transient-fault injection (paper, Section V-B).
+//!
+//! Ground truth for the reliability task is produced by simulating each
+//! circuit twice under identical stimuli — once fault-free, once with
+//! per-gate transient faults injected at a small error rate (the paper uses
+//! 0.05 % with 1 000 patterns of 100 cycles) — and recording, per node, the
+//! conditional flipping probabilities:
+//!
+//! * `e01[v]` — probability the faulty value is 1 when the correct value is 0;
+//! * `e10[v]` — probability the faulty value is 0 when the correct value is 1.
+//!
+//! Fault sites are gate outputs (AND/NOT) and flip-flop outputs; primary
+//! inputs are assumed correct. Faults injected into FFs naturally persist
+//! across cycles through the faulty state vector, reproducing the temporal
+//! error propagation that makes sequential reliability hard for analytical
+//! methods.
+
+use deepseq_netlist::aig::{AigNode, NodeId, SeqAig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{PatternGenerator, Workload};
+
+/// Options controlling fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultOptions {
+    /// Per-site, per-cycle flip probability (paper: `0.0005`).
+    pub error_rate: f64,
+    /// Number of independent restart patterns (paper: 1000). Runs in
+    /// batches of 64 lanes.
+    pub patterns: usize,
+    /// Clock cycles per pattern (paper: 100).
+    pub cycles_per_pattern: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FaultOptions {
+    /// The paper's setting: 0.05 % error rate, 1 000 × 100 cycles.
+    fn default() -> Self {
+        FaultOptions {
+            error_rate: 0.0005,
+            patterns: 1000,
+            cycles_per_pattern: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-node and circuit-level fault statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultResult {
+    /// `P(faulty = 1 | correct = 0)` per node.
+    pub e01: Vec<f64>,
+    /// `P(faulty = 0 | correct = 1)` per node.
+    pub e10: Vec<f64>,
+    /// `P(faulty = correct)` per node.
+    pub node_reliability: Vec<f64>,
+    /// Circuit reliability: mean over primary outputs of `P(correct)` —
+    /// the scalar compared in Table VII.
+    pub output_reliability: f64,
+}
+
+impl FaultResult {
+    /// Unconditional error probability of a node:
+    /// `p0·e01 + p1·e10` given its logic-1 probability.
+    pub fn error_probability(&self, v: usize, p1: f64) -> f64 {
+        (1.0 - p1) * self.e01[v] + p1 * self.e10[v]
+    }
+}
+
+/// Runs fault-free and faulty simulation side by side and collects error
+/// statistics.
+///
+/// # Example
+/// ```
+/// use deepseq_netlist::SeqAig;
+/// use deepseq_sim::{inject_faults, FaultOptions, Workload};
+///
+/// let mut aig = SeqAig::new("buf");
+/// let a = aig.add_pi("a");
+/// let n = aig.add_not(a);
+/// aig.set_output(n, "y");
+/// let w = Workload::uniform(1, 0.5);
+/// let r = inject_faults(&aig, &w, &FaultOptions::default());
+/// // With a 0.05% error rate the inverter flips rarely.
+/// assert!(r.output_reliability > 0.99);
+/// ```
+pub fn inject_faults(aig: &SeqAig, workload: &Workload, opts: &FaultOptions) -> FaultResult {
+    debug_assert_eq!(workload.len(), aig.num_pis());
+    let n = aig.len();
+    let pis = aig.pis();
+    let ffs = aig.ffs();
+    // Fault sites: every non-PI node.
+    let sites: Vec<NodeId> = aig
+        .iter()
+        .filter(|(_, node)| !node.is_pi())
+        .map(|(id, _)| id)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut golden = vec![0u64; n];
+    let mut faulty = vec![0u64; n];
+    let mut n0 = vec![0u64; n];
+    let mut n1 = vec![0u64; n];
+    let mut flips01 = vec![0u64; n];
+    let mut flips10 = vec![0u64; n];
+    let mut po_total = 0u64;
+    let mut po_correct = 0u64;
+
+    let batches = opts.patterns.div_ceil(64).max(1);
+    let mut stream = FaultStream::new(opts.error_rate);
+    let site_bits = (sites.len() as u64) * 64;
+
+    for batch in 0..batches {
+        let mut gen = PatternGenerator::new(workload);
+        let mut batch_rng = StdRng::seed_from_u64(opts.seed ^ (batch as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut gff: Vec<u64> = ffs
+            .iter()
+            .map(|&ff| match aig.node(ff) {
+                AigNode::Ff { init: true, .. } => u64::MAX,
+                _ => 0,
+            })
+            .collect();
+        let mut fff = gff.clone();
+
+        for _cycle in 0..opts.cycles_per_pattern {
+            // Fault masks for this cycle, in increasing node-id order.
+            let faults = stream.cycle_faults(site_bits, &sites, &mut rng);
+            let pi_words = gen.step(workload, &mut batch_rng);
+            for (i, &pi) in pis.iter().enumerate() {
+                golden[pi.index()] = pi_words[i];
+                faulty[pi.index()] = pi_words[i];
+            }
+            for (i, &ff) in ffs.iter().enumerate() {
+                golden[ff.index()] = gff[i];
+                faulty[ff.index()] = fff[i];
+            }
+            // Apply FF-output faults before the combinational settle.
+            for &(site, mask) in &faults {
+                if aig.node(site).is_ff() {
+                    faulty[site.index()] ^= mask;
+                }
+            }
+            let mut fault_iter = faults.iter().peekable();
+            for (id, node) in aig.iter() {
+                match *node {
+                    AigNode::And(a, b) => {
+                        golden[id.index()] = golden[a.index()] & golden[b.index()];
+                        faulty[id.index()] = faulty[a.index()] & faulty[b.index()];
+                    }
+                    AigNode::Not(a) => {
+                        golden[id.index()] = !golden[a.index()];
+                        faulty[id.index()] = !faulty[a.index()];
+                    }
+                    AigNode::Pi | AigNode::Ff { .. } => {}
+                }
+                // Inject gate-output faults in stride.
+                while let Some(&&(site, mask)) = fault_iter.peek() {
+                    if site < id {
+                        fault_iter.next();
+                    } else if site == id {
+                        if !aig.node(site).is_ff() {
+                            faulty[id.index()] ^= mask;
+                        }
+                        fault_iter.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Statistics.
+            for v in 0..n {
+                let g = golden[v];
+                let f = faulty[v];
+                n0[v] += u64::from((!g).count_ones());
+                n1[v] += u64::from(g.count_ones());
+                flips01[v] += u64::from((!g & f).count_ones());
+                flips10[v] += u64::from((g & !f).count_ones());
+            }
+            for (po, _) in aig.outputs() {
+                let diff = golden[po.index()] ^ faulty[po.index()];
+                po_total += 64;
+                po_correct += u64::from(64 - diff.count_ones());
+            }
+            // Clock edge for both machines.
+            for (i, &ff) in ffs.iter().enumerate() {
+                let d = aig.ff_fanin(ff).expect("validated AIG");
+                gff[i] = golden[d.index()];
+                fff[i] = faulty[d.index()];
+            }
+        }
+    }
+
+    let mut e01 = vec![0.0; n];
+    let mut e10 = vec![0.0; n];
+    let mut node_rel = vec![1.0; n];
+    for v in 0..n {
+        e01[v] = if n0[v] > 0 {
+            flips01[v] as f64 / n0[v] as f64
+        } else {
+            0.0
+        };
+        e10[v] = if n1[v] > 0 {
+            flips10[v] as f64 / n1[v] as f64
+        } else {
+            0.0
+        };
+        let total = n0[v] + n1[v];
+        if total > 0 {
+            node_rel[v] = 1.0 - (flips01[v] + flips10[v]) as f64 / total as f64;
+        }
+    }
+    FaultResult {
+        e01,
+        e10,
+        node_reliability: node_rel,
+        output_reliability: if po_total > 0 {
+            po_correct as f64 / po_total as f64
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Geometric-skipping fault-position stream over the flattened
+/// `(site, lane)` bit index space of one cycle. Exact Bernoulli sampling at
+/// a fraction of the cost of per-bit draws.
+#[derive(Debug)]
+struct FaultStream {
+    error_rate: f64,
+    carry: u64,
+}
+
+impl FaultStream {
+    fn new(error_rate: f64) -> Self {
+        FaultStream {
+            error_rate: error_rate.clamp(0.0, 1.0),
+            carry: 0,
+        }
+    }
+
+    /// Fault masks for one cycle, merged per site, in increasing id order.
+    fn cycle_faults<R: Rng + ?Sized>(
+        &mut self,
+        total_bits: u64,
+        sites: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<(NodeId, u64)> {
+        let mut faults: Vec<(NodeId, u64)> = Vec::new();
+        if self.error_rate <= 0.0 || total_bits == 0 {
+            return faults;
+        }
+        let ln_keep = (1.0 - self.error_rate).ln();
+        let mut pos = self.carry;
+        while pos < total_bits {
+            let site_idx = (pos / 64) as usize;
+            let bit = pos % 64;
+            let site = sites[site_idx];
+            match faults.last_mut() {
+                Some((last, mask)) if *last == site => *mask |= 1 << bit,
+                _ => faults.push((site, 1 << bit)),
+            }
+            pos += 1 + next_gap(ln_keep, rng);
+        }
+        self.carry = pos - total_bits;
+        faults
+    }
+}
+
+/// Geometric gap: number of non-fault bits before the next fault.
+fn next_gap<R: Rng + ?Sized>(ln_keep: f64, rng: &mut R) -> u64 {
+    if ln_keep >= 0.0 {
+        return 0; // error_rate == 1
+    }
+    let u: f64 = rng.gen::<f64>().max(1e-300);
+    let gap = (u.ln() / ln_keep).floor();
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pipeline() -> SeqAig {
+        let mut aig = SeqAig::new("pipe");
+        let a = aig.add_pi("a");
+        let b = aig.add_pi("b");
+        let g = aig.add_and(a, b);
+        let q = aig.add_ff("q", false);
+        aig.connect_ff(q, g).unwrap();
+        let n = aig.add_not(q);
+        aig.set_output(n, "y");
+        aig
+    }
+
+    fn opts(rate: f64) -> FaultOptions {
+        FaultOptions {
+            error_rate: rate,
+            patterns: 256,
+            cycles_per_pattern: 50,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn zero_error_rate_is_perfectly_reliable() {
+        let aig = small_pipeline();
+        let w = Workload::uniform(2, 0.5);
+        let r = inject_faults(&aig, &w, &opts(0.0));
+        assert_eq!(r.output_reliability, 1.0);
+        assert!(r.e01.iter().all(|&e| e == 0.0));
+        assert!(r.e10.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn small_error_rate_gives_high_reliability() {
+        let aig = small_pipeline();
+        let w = Workload::uniform(2, 0.5);
+        let r = inject_faults(&aig, &w, &opts(0.0005));
+        assert!(r.output_reliability > 0.99, "{}", r.output_reliability);
+        assert!(r.output_reliability < 1.0);
+    }
+
+    #[test]
+    fn higher_error_rate_lowers_reliability() {
+        let aig = small_pipeline();
+        let w = Workload::uniform(2, 0.5);
+        let low = inject_faults(&aig, &w, &opts(0.0005));
+        let high = inject_faults(&aig, &w, &opts(0.02));
+        assert!(high.output_reliability < low.output_reliability);
+    }
+
+    #[test]
+    fn error_probabilities_scale_with_rate() {
+        let aig = small_pipeline();
+        let w = Workload::uniform(2, 0.5);
+        let r = inject_faults(&aig, &w, &opts(0.05));
+        // The NOT output (last node) must show both error directions.
+        let v = aig.len() - 1;
+        assert!(r.e01[v] > 0.0 || r.e10[v] > 0.0);
+        let p = r.error_probability(v, 0.5);
+        assert!(p > 0.0 && p < 0.5);
+    }
+
+    #[test]
+    fn pis_never_fault() {
+        let aig = small_pipeline();
+        let w = Workload::uniform(2, 0.5);
+        let r = inject_faults(&aig, &w, &opts(0.05));
+        assert_eq!(r.e01[0], 0.0);
+        assert_eq!(r.e10[0], 0.0);
+        assert_eq!(r.e01[1], 0.0);
+        assert_eq!(r.e10[1], 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let aig = small_pipeline();
+        let w = Workload::uniform(2, 0.5);
+        let r1 = inject_faults(&aig, &w, &opts(0.01));
+        let r2 = inject_faults(&aig, &w, &opts(0.01));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fault_stream_density_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sites: Vec<NodeId> = (0..100).map(NodeId).collect();
+        let mut stream = FaultStream::new(0.01);
+        let mut total_bits = 0u64;
+        let mut fault_bits = 0u64;
+        for _ in 0..500 {
+            let faults = stream.cycle_faults(100 * 64, &sites, &mut rng);
+            total_bits += 100 * 64;
+            fault_bits += faults.iter().map(|(_, m)| m.count_ones() as u64).sum::<u64>();
+        }
+        let density = fault_bits as f64 / total_bits as f64;
+        assert!((density - 0.01).abs() < 0.001, "density {density}");
+    }
+
+    #[test]
+    fn fault_masks_sorted_and_merged() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sites: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut stream = FaultStream::new(0.3);
+        let faults = stream.cycle_faults(10 * 64, &sites, &mut rng);
+        for pair in faults.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "sites must be strictly increasing");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-node probability statistics — the supervision signals of the paper's
+//! multi-task objective (Section III-A).
+
+/// Per-node logic and transition probabilities collected from simulation.
+///
+/// * `p1[v]` — probability of node `v` being logic 1 (`LG` supervision);
+/// * `p01[v]` / `p10[v]` — probabilities of a `0→1` / `1→0` transition
+///   between consecutive cycles (`TR` supervision). The paper deliberately
+///   ignores `0→0` and `1→1` because they carry no transition information.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeProbabilities {
+    /// Logic-1 probability per node.
+    pub p1: Vec<f64>,
+    /// `0→1` transition probability per node.
+    pub p01: Vec<f64>,
+    /// `1→0` transition probability per node.
+    pub p10: Vec<f64>,
+}
+
+impl NodeProbabilities {
+    /// An all-zero table for `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        NodeProbabilities {
+            p1: vec![0.0; n],
+            p01: vec![0.0; n],
+            p10: vec![0.0; n],
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.p1.len()
+    }
+
+    /// True if no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.p1.is_empty()
+    }
+
+    /// Toggle rate (total switching activity) of a node: `p01 + p10`.
+    pub fn toggle_rate(&self, v: usize) -> f64 {
+        self.p01[v] + self.p10[v]
+    }
+
+    /// Average toggle rate over all nodes — the `y_avg^TR` of the paper's
+    /// dynamic-power formula `P = ½·C·V²·y_avg^TR`.
+    pub fn average_toggle_rate(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..self.len()).map(|v| self.toggle_rate(v)).sum();
+        total / self.len() as f64
+    }
+
+    /// Checks the probabilistic consistency conditions that any sample-based
+    /// table must satisfy (up to `tol` sampling error):
+    /// values in `[0,1]`, `p01 ≤ min(p0, p1)`, `p10 ≤ min(p0, p1)` and
+    /// `|p01 - p10| ≤ tol` (stationarity: rises and falls balance).
+    pub fn check_consistency(&self, tol: f64) -> Result<(), String> {
+        for v in 0..self.len() {
+            let (p1, p01, p10) = (self.p1[v], self.p01[v], self.p10[v]);
+            let p0 = 1.0 - p1;
+            for (name, value) in [("p1", p1), ("p01", p01), ("p10", p10)] {
+                if !(0.0..=1.0).contains(&value) {
+                    return Err(format!("node {v}: {name}={value} out of [0,1]"));
+                }
+            }
+            if p01 > p0.min(p1) + tol {
+                return Err(format!("node {v}: p01={p01} exceeds min(p0,p1)+tol"));
+            }
+            if p10 > p0.min(p1) + tol {
+                return Err(format!("node {v}: p10={p10} exceeds min(p0,p1)+tol"));
+            }
+            if (p01 - p10).abs() > tol {
+                return Err(format!(
+                    "node {v}: |p01-p10|={} exceeds tol (stationarity)",
+                    (p01 - p10).abs()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates bit-parallel sample counts and converts them to probabilities.
+#[derive(Debug, Clone, Default)]
+pub struct ProbabilityAccumulator {
+    ones: Vec<u64>,
+    rises: Vec<u64>,
+    falls: Vec<u64>,
+    value_samples: u64,
+    transition_samples: u64,
+}
+
+impl ProbabilityAccumulator {
+    /// An accumulator for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ProbabilityAccumulator {
+            ones: vec![0; n],
+            rises: vec![0; n],
+            falls: vec![0; n],
+            value_samples: 0,
+            transition_samples: 0,
+        }
+    }
+
+    /// Records one cycle's 64-lane values (and transitions vs. `prev`, when
+    /// `prev` is `Some`).
+    pub fn record(&mut self, values: &[u64], prev: Option<&[u64]>) {
+        debug_assert_eq!(values.len(), self.ones.len());
+        for (v, &word) in values.iter().enumerate() {
+            self.ones[v] += u64::from(word.count_ones());
+        }
+        self.value_samples += 64;
+        if let Some(prev) = prev {
+            for (v, (&cur, &old)) in values.iter().zip(prev).enumerate() {
+                self.rises[v] += u64::from((cur & !old).count_ones());
+                self.falls[v] += u64::from((!cur & old).count_ones());
+            }
+            self.transition_samples += 64;
+        }
+    }
+
+    /// Converts counts to probabilities.
+    pub fn finish(&self) -> NodeProbabilities {
+        let vs = self.value_samples.max(1) as f64;
+        let ts = self.transition_samples.max(1) as f64;
+        NodeProbabilities {
+            p1: self.ones.iter().map(|&c| c as f64 / vs).collect(),
+            p01: self.rises.iter().map(|&c| c as f64 / ts).collect(),
+            p10: self.falls.iter().map(|&c| c as f64 / ts).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_counts_ones_and_transitions() {
+        let mut acc = ProbabilityAccumulator::new(1);
+        acc.record(&[u64::MAX], None);
+        acc.record(&[0], Some(&[u64::MAX]));
+        let probs = acc.finish();
+        assert!((probs.p1[0] - 0.5).abs() < 1e-12); // 64 ones of 128 samples
+        assert!((probs.p10[0] - 1.0).abs() < 1e-12); // all lanes fell
+        assert_eq!(probs.p01[0], 0.0);
+    }
+
+    #[test]
+    fn toggle_rate_sums_transitions() {
+        let probs = NodeProbabilities {
+            p1: vec![0.5],
+            p01: vec![0.2],
+            p10: vec![0.25],
+        };
+        assert!((probs.toggle_rate(0) - 0.45).abs() < 1e-12);
+        assert!((probs.average_toggle_rate() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_accepts_valid_tables() {
+        let probs = NodeProbabilities {
+            p1: vec![0.3, 0.9],
+            p01: vec![0.2, 0.05],
+            p10: vec![0.21, 0.05],
+        };
+        assert!(probs.check_consistency(0.05).is_ok());
+    }
+
+    #[test]
+    fn consistency_rejects_impossible_transition() {
+        let probs = NodeProbabilities {
+            p1: vec![0.1],
+            p01: vec![0.5], // cannot rise more often than it is low*high
+            p10: vec![0.5],
+        };
+        assert!(probs.check_consistency(0.01).is_err());
+    }
+
+    #[test]
+    fn consistency_rejects_out_of_range() {
+        let probs = NodeProbabilities {
+            p1: vec![1.5],
+            p01: vec![0.0],
+            p10: vec![0.0],
+        };
+        assert!(probs.check_consistency(0.01).is_err());
+    }
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let probs = NodeProbabilities::zeros(5);
+        assert_eq!(probs.len(), 5);
+        assert!(!probs.is_empty());
+        assert_eq!(probs.average_toggle_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        assert_eq!(NodeProbabilities::default().average_toggle_rate(), 0.0);
+    }
+}

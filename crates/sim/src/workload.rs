@@ -1,0 +1,293 @@
+//! Workload models: the stimulus applied at primary inputs.
+//!
+//! "The workload for a sequential netlist is defined in terms of PIs'
+//! behavior of the circuit" (paper, Section III-B). Each PI is modelled as a
+//! stationary 2-state Markov chain parameterized by its logic-1 probability
+//! `p1` and its toggle density `d` (probability that the value changes
+//! between consecutive cycles). Independent-per-cycle sampling is the special
+//! case `d = 2·p0·p1`.
+
+use rand::Rng;
+
+/// Stimulus parameters of one primary input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiStimulus {
+    /// Stationary probability of the input being logic 1 (in `[0, 1]`).
+    pub p1: f64,
+    /// Toggle density: stationary probability of a value change between two
+    /// consecutive cycles. Clamped into the feasible range
+    /// `[0, 2·min(p0, p1)]` when patterns are generated.
+    pub density: f64,
+}
+
+impl PiStimulus {
+    /// Temporally independent stimulus: `density = 2·p0·p1`.
+    pub fn independent(p1: f64) -> Self {
+        PiStimulus {
+            p1,
+            density: 2.0 * p1 * (1.0 - p1),
+        }
+    }
+
+    /// Markov-chain transition probabilities `(P(0→1), P(1→0))` realizing
+    /// this stimulus, after clamping the density to its feasible range.
+    pub fn transition_rates(&self) -> (f64, f64) {
+        let p1 = self.p1.clamp(0.0, 1.0);
+        let p0 = 1.0 - p1;
+        let max_density = 2.0 * p0.min(p1);
+        let d = self.density.clamp(0.0, max_density);
+        // Stationarity: p0 * a = p1 * b = d / 2.
+        let a = if p0 > 1e-12 { d / (2.0 * p0) } else { 0.0 };
+        let b = if p1 > 1e-12 { d / (2.0 * p1) } else { 0.0 };
+        (a.clamp(0.0, 1.0), b.clamp(0.0, 1.0))
+    }
+}
+
+/// A workload: one [`PiStimulus`] per primary input, in PI id order.
+///
+/// # Example
+/// ```
+/// use deepseq_sim::Workload;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = Workload::random(4, &mut rng);
+/// assert_eq!(w.len(), 4);
+/// assert!(w.stimuli().iter().all(|s| (0.0..=1.0).contains(&s.p1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    stimuli: Vec<PiStimulus>,
+}
+
+impl Workload {
+    /// A workload from explicit per-PI stimuli.
+    pub fn new(stimuli: Vec<PiStimulus>) -> Self {
+        Workload { stimuli }
+    }
+
+    /// All PIs share the same logic-1 probability, temporally independent.
+    pub fn uniform(num_pis: usize, p1: f64) -> Self {
+        Workload {
+            stimuli: vec![PiStimulus::independent(p1); num_pis],
+        }
+    }
+
+    /// Random workload as in the paper: logic-1 probabilities drawn uniformly
+    /// from `[0, 1]` per PI, temporally independent patterns.
+    pub fn random<R: Rng + ?Sized>(num_pis: usize, rng: &mut R) -> Self {
+        Workload {
+            stimuli: (0..num_pis)
+                .map(|_| PiStimulus::independent(rng.gen::<f64>()))
+                .collect(),
+        }
+    }
+
+    /// Random workload with random toggle densities as well — used for the
+    /// fine-tuning workload sweeps of the downstream tasks, where testbench
+    /// workloads differ in both probability and activity.
+    pub fn random_with_density<R: Rng + ?Sized>(num_pis: usize, rng: &mut R) -> Self {
+        Workload {
+            stimuli: (0..num_pis)
+                .map(|_| {
+                    let p1: f64 = rng.gen();
+                    let max_density = 2.0 * p1.min(1.0 - p1);
+                    PiStimulus {
+                        p1,
+                        density: rng.gen::<f64>() * max_density,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of PIs covered.
+    pub fn len(&self) -> usize {
+        self.stimuli.len()
+    }
+
+    /// True if the workload covers no PIs.
+    pub fn is_empty(&self) -> bool {
+        self.stimuli.is_empty()
+    }
+
+    /// The per-PI stimuli in PI id order.
+    pub fn stimuli(&self) -> &[PiStimulus] {
+        &self.stimuli
+    }
+
+    /// The logic-1 probability of the `i`-th PI; this is the value used to
+    /// initialize PI embeddings in the model (paper, Section III-B).
+    pub fn p1(&self, i: usize) -> f64 {
+        self.stimuli[i].p1
+    }
+}
+
+/// Stateful bit-parallel pattern generator for one workload: maintains the
+/// current 64-lane word per PI and steps them as independent Markov chains.
+#[derive(Debug, Clone)]
+pub struct PatternGenerator {
+    rates: Vec<(f64, f64)>,
+    current: Vec<u64>,
+    started: bool,
+}
+
+impl PatternGenerator {
+    /// Creates a generator; lanes start from the stationary distribution.
+    pub fn new(workload: &Workload) -> Self {
+        PatternGenerator {
+            rates: workload
+                .stimuli()
+                .iter()
+                .map(PiStimulus::transition_rates)
+                .collect(),
+            current: vec![0; workload.len()],
+            started: false,
+        }
+    }
+
+    /// Advances one clock cycle and returns the 64-lane word of every PI.
+    pub fn step<R: Rng + ?Sized>(&mut self, workload: &Workload, rng: &mut R) -> &[u64] {
+        if !self.started {
+            for (i, s) in workload.stimuli().iter().enumerate() {
+                self.current[i] = random_word(s.p1, rng);
+            }
+            self.started = true;
+        } else {
+            for (i, &(a, b)) in self.rates.iter().enumerate() {
+                let cur = self.current[i];
+                let rise = random_word(a, rng); // applies where cur == 0
+                let fall = random_word(b, rng); // applies where cur == 1
+                self.current[i] = (!cur & (cur | rise)) | (cur & !fall);
+            }
+        }
+        &self.current
+    }
+}
+
+/// A 64-bit word whose bits are independently 1 with probability `p`.
+pub fn random_word<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return u64::MAX;
+    }
+    // Compose from the 16-bit binary expansion p ≈ Σ b_k·2^(-k): processing
+    // bits from least to most significant with fresh uniform words,
+    // `w ← r|w` contributes 2^(-k) density, `w ← r&w` halves it.
+    let mut bits = [false; 16];
+    let mut scaled = p;
+    for b in bits.iter_mut() {
+        scaled *= 2.0;
+        if scaled >= 1.0 {
+            *b = true;
+            scaled -= 1.0;
+        }
+    }
+    let mut word = 0;
+    for &b in bits.iter().rev() {
+        let r = rng.gen::<u64>();
+        word = if b { r | word } else { r & word };
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn independent_density() {
+        let s = PiStimulus::independent(0.25);
+        assert!((s.density - 2.0 * 0.25 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_rates_stationary() {
+        let s = PiStimulus {
+            p1: 0.3,
+            density: 0.2,
+        };
+        let (a, b) = s.transition_rates();
+        // Stationarity: p0 * a == p1 * b == d/2.
+        assert!((0.7 * a - 0.1).abs() < 1e-12);
+        assert!((0.3 * b - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_clamped_to_feasible() {
+        let s = PiStimulus {
+            p1: 0.05,
+            density: 0.9, // infeasible, max is 0.1
+        };
+        let (a, b) = s.transition_rates();
+        assert!(a <= 1.0 && b <= 1.0);
+        assert!((0.95 * a - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_word_density_matches_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &p in &[0.0, 0.1, 0.25, 0.5, 0.8, 1.0] {
+            let mut ones = 0u32;
+            let words = 2000;
+            for _ in 0..words {
+                ones += random_word(p, &mut rng).count_ones();
+            }
+            let freq = ones as f64 / (64.0 * words as f64);
+            assert!(
+                (freq - p).abs() < 0.01,
+                "p={p} measured {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_generator_matches_stationary_stats() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Workload::new(vec![PiStimulus {
+            p1: 0.4,
+            density: 0.3,
+        }]);
+        let mut gen = PatternGenerator::new(&w);
+        let mut prev = 0u64;
+        let mut ones = 0u64;
+        let mut toggles = 0u64;
+        let cycles = 4000;
+        for c in 0..cycles {
+            let word = gen.step(&w, &mut rng)[0];
+            ones += word.count_ones() as u64;
+            if c > 0 {
+                toggles += (word ^ prev).count_ones() as u64;
+            }
+            prev = word;
+        }
+        let p1 = ones as f64 / (64.0 * cycles as f64);
+        let d = toggles as f64 / (64.0 * (cycles - 1) as f64);
+        assert!((p1 - 0.4).abs() < 0.02, "p1 measured {p1}");
+        assert!((d - 0.3).abs() < 0.02, "density measured {d}");
+    }
+
+    #[test]
+    fn random_workload_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Workload::random_with_density(20, &mut rng);
+        for s in w.stimuli() {
+            assert!((0.0..=1.0).contains(&s.p1));
+            assert!(s.density >= 0.0);
+            let (a, b) = s.transition_rates();
+            assert!((0.0..=1.0).contains(&a));
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn uniform_workload() {
+        let w = Workload::uniform(3, 0.5);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.p1(2), 0.5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests: simulation statistics on random circuits must obey
+//! probability-theoretic invariants, and lowering must preserve behaviour.
+
+use deepseq_netlist::netlist::{GateKind, Netlist};
+use deepseq_netlist::{lower_to_aig, NodeId, SeqAig};
+use deepseq_sim::{inject_faults, simulate, simulate_netlist, FaultOptions, SimOptions, Workload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_seq_aig() -> impl Strategy<Value = SeqAig> {
+    (1usize..5, 0usize..4, 1usize..30, any::<u64>()).prop_map(|(n_pi, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("prop");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        let mut ffs = Vec::new();
+        for i in 0..n_ff {
+            ffs.push(aig.add_ff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = aig.len();
+            if next(3) == 0 {
+                aig.add_not(NodeId(next(len) as u32));
+            } else {
+                aig.add_and(NodeId(next(len) as u32), NodeId(next(len) as u32));
+            }
+        }
+        let len = aig.len();
+        for &ff in &ffs {
+            aig.connect_ff(ff, NodeId(next(len) as u32)).unwrap();
+        }
+        aig.set_output(NodeId((len - 1) as u32), "out");
+        aig
+    })
+}
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (1usize..5, 0usize..3, 1usize..15, any::<u64>()).prop_map(|(n_in, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+            GateKind::Mux,
+        ];
+        let mut nl = Netlist::new("prop");
+        for i in 0..n_in {
+            nl.add_input(format!("in{i}"));
+        }
+        let mut dffs = Vec::new();
+        for i in 0..n_ff {
+            dffs.push(nl.add_dff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = nl.len();
+            let kind = kinds[next(kinds.len())];
+            let arity = kind.fixed_arity().unwrap_or(1 + next(3));
+            let fanins = (0..arity)
+                .map(|_| deepseq_netlist::GateId(next(len) as u32))
+                .collect();
+            nl.add_gate(kind, fanins);
+        }
+        let len = nl.len();
+        for &dff in &dffs {
+            nl.connect_dff(dff, deepseq_netlist::GateId(next(len) as u32))
+                .unwrap();
+        }
+        nl.set_output(deepseq_netlist::GateId((len - 1) as u32), "out");
+        nl
+    })
+}
+
+fn opts() -> SimOptions {
+    SimOptions {
+        cycles: 200,
+        warmup: 10,
+        seed: 11,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn probabilities_are_consistent(aig in arb_seq_aig(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Workload::random(aig.num_pis(), &mut rng);
+        let r = simulate(&aig, &w, &opts());
+        prop_assert!(r.probs.check_consistency(0.05).is_ok(),
+            "{:?}", r.probs.check_consistency(0.05));
+    }
+
+    #[test]
+    fn and_output_never_exceeds_fanin_probability(aig in arb_seq_aig()) {
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let r = simulate(&aig, &w, &opts());
+        for (id, node) in aig.iter() {
+            if let deepseq_netlist::AigNode::And(a, b) = *node {
+                let p = r.probs.p1[id.index()];
+                prop_assert!(p <= r.probs.p1[a.index()] + 1e-12);
+                prop_assert!(p <= r.probs.p1[b.index()] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn not_output_complements_fanin(aig in arb_seq_aig()) {
+        let w = Workload::uniform(aig.num_pis(), 0.3);
+        let r = simulate(&aig, &w, &opts());
+        for (id, node) in aig.iter() {
+            if let deepseq_netlist::AigNode::Not(a) = *node {
+                prop_assert!((r.probs.p1[id.index()] + r.probs.p1[a.index()] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_preserves_probabilities(nl in arb_netlist()) {
+        let lowered = lower_to_aig(&nl).unwrap();
+        let w = Workload::uniform(nl.inputs().len(), 0.5);
+        let rn = simulate_netlist(&nl, &w, &opts());
+        let ra = simulate(&lowered.aig, &w, &opts());
+        for (gid, _) in nl.iter() {
+            let node = lowered.node_for(gid);
+            prop_assert!((rn.probs.p1[gid.index()] - ra.probs.p1[node.index()]).abs() < 1e-12);
+            prop_assert!((rn.probs.p01[gid.index()] - ra.probs.p01[node.index()]).abs() < 1e-12);
+            prop_assert!((rn.probs.p10[gid.index()] - ra.probs.p10[node.index()]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_simulation(aig in arb_seq_aig()) {
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let fr = inject_faults(&aig, &w, &FaultOptions {
+            error_rate: 0.0,
+            patterns: 64,
+            cycles_per_pattern: 30,
+            seed: 3,
+        });
+        prop_assert_eq!(fr.output_reliability, 1.0);
+        prop_assert!(fr.node_reliability.iter().all(|&r| r == 1.0));
+    }
+
+    #[test]
+    fn reliability_bounded(aig in arb_seq_aig()) {
+        let w = Workload::uniform(aig.num_pis(), 0.5);
+        let fr = inject_faults(&aig, &w, &FaultOptions {
+            error_rate: 0.01,
+            patterns: 64,
+            cycles_per_pattern: 30,
+            seed: 3,
+        });
+        prop_assert!((0.0..=1.0).contains(&fr.output_reliability));
+        for v in 0..aig.len() {
+            prop_assert!((0.0..=1.0).contains(&fr.e01[v]));
+            prop_assert!((0.0..=1.0).contains(&fr.e10[v]));
+        }
+    }
+}

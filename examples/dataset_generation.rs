@@ -1,0 +1,82 @@
+//! Dataset generation — the Table I pipeline.
+//!
+//! Generates the three benchmark-family corpora, prints their statistics,
+//! extracts subcircuit cones the way the paper does (150–300 node windows),
+//! and round-trips a circuit through the ISCAS'89 `.bench` format.
+//!
+//! Run: `cargo run --release --example dataset_generation`
+
+use deepseq::data::dataset::{Corpus, Family};
+use deepseq::data::extract::{extract_random_cones, ExtractOptions};
+use deepseq::data::random::{random_circuit, CircuitSpec};
+use deepseq::netlist::bench_io::{parse_bench, write_bench};
+use deepseq::netlist::{CircuitStats, Levels};
+use deepseq::sim::{simulate, SimOptions, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Family corpora with Table I statistics.
+    println!("=== corpus statistics (cf. Table I) ===");
+    let corpus = Corpus::generate(60, 0);
+    for stat in corpus.stats() {
+        println!("{stat}");
+    }
+    for family in Family::all() {
+        let (mean, std) = family.size_distribution();
+        println!(
+            "  paper {}: {} subcircuits, {mean:.2} ± {std:.2} nodes",
+            family.name(),
+            family.paper_count()
+        );
+    }
+
+    // 2. Cone extraction from a large random design.
+    println!("\n=== subcircuit extraction (150-300 node cones) ===");
+    let mut rng = StdRng::seed_from_u64(1);
+    let parent = random_circuit(
+        "parent",
+        &CircuitSpec {
+            num_pis: 16,
+            num_ffs: 40,
+            num_gates: 2000,
+            ..CircuitSpec::default()
+        },
+        &mut rng,
+    );
+    println!("parent: {}", CircuitStats::of(&parent));
+    let cones = extract_random_cones(&parent, 5, &ExtractOptions { max_nodes: 300 }, &mut rng);
+    for cone in &cones {
+        let levels = Levels::build(cone);
+        println!(
+            "  cone {}: {} nodes, {} FFs, depth {}",
+            cone.name(),
+            cone.len(),
+            cone.num_ffs(),
+            levels.depth()
+        );
+    }
+
+    // 3. Simulate one cone to produce training labels.
+    if let Some(cone) = cones.first() {
+        let workload = Workload::random(cone.num_pis(), &mut rng);
+        let result = simulate(cone, &workload, &SimOptions::default());
+        let avg_toggle = result.probs.average_toggle_rate();
+        println!(
+            "\nsimulated {}: average toggle rate {avg_toggle:.4}",
+            cone.name()
+        );
+    }
+
+    // 4. `.bench` format round trip (drop-in path for real ISCAS'89 files).
+    println!("\n=== .bench round trip ===");
+    let text = "INPUT(G0)\nINPUT(G1)\nOUTPUT(G17)\nG10 = DFF(G14)\nG14 = NAND(G0, G10)\nG17 = NOT(G14)\n";
+    let netlist = parse_bench(text).expect("valid bench text");
+    println!(
+        "parsed: {} gates, {} inputs, {} DFFs",
+        netlist.len(),
+        netlist.inputs().len(),
+        netlist.dffs().len()
+    );
+    print!("{}", write_bench(&netlist));
+}

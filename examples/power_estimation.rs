@@ -1,0 +1,104 @@
+//! Power estimation on a large design — the Fig. 3 pipeline end to end.
+//!
+//! Builds the `ptc` (PWM/timer/counter) test design, pre-trains a small
+//! DeepSeq model on a synthetic corpus, fine-tunes it on the design's
+//! workloads, and compares power estimates from ground-truth simulation,
+//! the probabilistic baseline and DeepSeq — each flowing through a SAIF
+//! file into the power model.
+//!
+//! Run: `cargo run --release --example power_estimation`
+
+use deepseq::core::train::{train, TrainOptions};
+use deepseq::core::{DeepSeq, DeepSeqConfig};
+use deepseq::data::dataset::Corpus;
+use deepseq::data::designs::ptc;
+use deepseq::netlist::lower_to_aig;
+use deepseq::power::{finetune_samples, run_pipeline, PipelineConfig};
+use deepseq::sim::{SimOptions, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let hidden = 16;
+    let sim_opts = SimOptions {
+        cycles: 128,
+        warmup: 12,
+        seed: 0,
+    };
+
+    // 1. Pre-train on a small synthetic corpus (Table I pipeline, scaled).
+    println!("pre-training DeepSeq on a small corpus...");
+    let corpus = Corpus::generate(24, 3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let samples: Vec<_> = corpus
+        .circuits()
+        .iter()
+        .enumerate()
+        .map(|(i, aig)| {
+            let w = Workload::random(aig.num_pis(), &mut rng);
+            deepseq::core::TrainSample::generate(aig, &w, hidden, &sim_opts, i as u64)
+        })
+        .collect();
+    let config = DeepSeqConfig {
+        hidden_dim: hidden,
+        iterations: 3,
+        ..DeepSeqConfig::default()
+    };
+    let mut model = DeepSeq::new(config);
+    train(
+        &mut model,
+        &samples,
+        &TrainOptions {
+            epochs: 10,
+            lr: 2e-3,
+            ..TrainOptions::default()
+        },
+    );
+
+    // 2. Fine-tune on the test design under fresh workloads (Section V-A1).
+    let netlist = ptc();
+    let lowered = lower_to_aig(&netlist).expect("valid design");
+    println!(
+        "fine-tuning on {} ({} AIG nodes)...",
+        netlist.name(),
+        lowered.aig.len()
+    );
+    let n_pis = netlist.inputs().len();
+    let ft_workloads: Vec<Workload> =
+        (0..4).map(|_| Workload::random(n_pis, &mut rng)).collect();
+    let ft = finetune_samples(&lowered.aig, &ft_workloads, hidden, &sim_opts, 9);
+    train(
+        &mut model,
+        &ft,
+        &TrainOptions {
+            epochs: 4,
+            lr: 2e-3,
+            ..TrainOptions::default()
+        },
+    );
+
+    // 3. Run the pipeline on an unseen testbench workload.
+    let test_workload = Workload::random(n_pis, &mut rng);
+    let result = run_pipeline(
+        &netlist,
+        &test_workload,
+        None,
+        Some(&model),
+        &PipelineConfig {
+            sim: sim_opts,
+            ..PipelineConfig::default()
+        },
+    );
+    println!("\n=== power estimation on {} ===", result.design);
+    println!("ground truth : {:.3} mW", result.gt_mw);
+    println!(
+        "probabilistic: {:.3} mW  ({:.2}% error)",
+        result.probabilistic.mw, result.probabilistic.error_pct
+    );
+    if let Some(d) = result.deepseq {
+        println!(
+            "deepseq      : {:.3} mW  ({:.2}% error)",
+            d.mw, d.error_pct
+        );
+    }
+}

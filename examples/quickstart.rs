@@ -1,0 +1,103 @@
+//! Quickstart: build a sequential circuit, simulate a workload, train a
+//! small DeepSeq model on the resulting labels, and inspect predictions.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use deepseq::core::train::{evaluate, train};
+use deepseq::core::{DeepSeq, DeepSeqConfig, TrainOptions, TrainSample};
+use deepseq::netlist::{NetlistError, SeqAig};
+use deepseq::sim::{simulate, SimOptions, Workload};
+
+fn main() -> Result<(), NetlistError> {
+    // 1. Build a small sequential circuit: a 2-bit counter with enable.
+    //    (PIs, 2-input ANDs, inverters and D flip-flops — AIG form.)
+    let mut aig = SeqAig::new("counter2");
+    let en = aig.add_pi("en");
+    let q0 = aig.add_ff("q0", false);
+    let q1 = aig.add_ff("q1", false);
+    // q0' = q0 XOR en  (XOR decomposed into AND/NOT)
+    let nq0 = aig.add_not(q0);
+    let nen = aig.add_not(en);
+    let t0 = aig.add_and(q0, nen);
+    let t1 = aig.add_and(nq0, en);
+    let n0 = aig.add_not(t0);
+    let n1 = aig.add_not(t1);
+    let both = aig.add_and(n0, n1);
+    let q0_next = aig.add_not(both);
+    aig.connect_ff(q0, q0_next)?;
+    // q1' = q1 XOR (q0 AND en)
+    let carry = aig.add_and(q0, en);
+    let nq1 = aig.add_not(q1);
+    let ncarry = aig.add_not(carry);
+    let u0 = aig.add_and(q1, ncarry);
+    let u1 = aig.add_and(nq1, carry);
+    let m0 = aig.add_not(u0);
+    let m1 = aig.add_not(u1);
+    let both2 = aig.add_and(m0, m1);
+    let q1_next = aig.add_not(both2);
+    aig.connect_ff(q1, q1_next)?;
+    aig.set_output(q0, "count0");
+    aig.set_output(q1, "count1");
+    aig.validate()?;
+    println!("circuit: {} nodes, {} FFs", aig.len(), aig.num_ffs());
+
+    // 2. Define a workload (enable high 70% of cycles) and simulate it to
+    //    obtain the multi-task supervision: logic-1 and transition
+    //    probabilities per node.
+    let workload = Workload::uniform(1, 0.7);
+    let sim = simulate(&aig, &workload, &SimOptions::default());
+    println!(
+        "simulated: q0 p1 = {:.3} (expect 0.5), q0 toggles = {:.3} (expect 0.7)",
+        sim.probs.p1[q0.index()],
+        sim.probs.toggle_rate(q0.index()),
+    );
+
+    // 3. Train a small DeepSeq model on this circuit's labels.
+    let config = DeepSeqConfig {
+        hidden_dim: 16,
+        iterations: 3,
+        ..DeepSeqConfig::default()
+    };
+    let mut model = DeepSeq::new(config);
+    let sample = TrainSample::generate(
+        &aig,
+        &workload,
+        config.hidden_dim,
+        &SimOptions::default(),
+        0,
+    );
+    let before = evaluate(&model, std::slice::from_ref(&sample));
+    let history = train(
+        &mut model,
+        std::slice::from_ref(&sample),
+        &TrainOptions {
+            epochs: 40,
+            lr: 5e-3,
+            ..TrainOptions::default()
+        },
+    );
+    let after = evaluate(&model, std::slice::from_ref(&sample));
+    println!(
+        "training: loss {:.4} -> {:.4} over {} epochs",
+        history.first().map(|e| e.loss).unwrap_or(0.0),
+        history.last().map(|e| e.loss).unwrap_or(0.0),
+        history.len()
+    );
+    println!(
+        "avg prediction error: TR {:.4} -> {:.4}, LG {:.4} -> {:.4}",
+        before.pe_tr, after.pe_tr, before.pe_lg, after.pe_lg
+    );
+
+    // 4. Predict and compare a few nodes.
+    let preds = model.predict(&sample.graph, &sample.init_h);
+    println!("\nnode    predicted p1   simulated p1");
+    for (id, _) in aig.iter().take(6) {
+        println!(
+            "{:<6}  {:<13.3}  {:.3}",
+            format!("{id}"),
+            preds.lg.get(id.index(), 0),
+            sim.probs.p1[id.index()]
+        );
+    }
+    Ok(())
+}

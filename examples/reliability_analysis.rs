@@ -1,0 +1,101 @@
+//! Reliability analysis — downstream task 2 (paper Section V-B).
+//!
+//! Injects transient faults into the `rtcclock` design at the paper's
+//! 0.05 % error rate, compares Monte-Carlo ground truth against the
+//! analytical baseline, then fine-tunes a DeepSeq model with
+//! error-probability supervision and compares its estimate too.
+//!
+//! Run: `cargo run --release --example reliability_analysis`
+
+use deepseq::core::train::{train, TrainOptions};
+use deepseq::core::{DeepSeq, DeepSeqConfig};
+use deepseq::data::dataset::Corpus;
+use deepseq::data::designs::rtcclock;
+use deepseq::netlist::lower_to_aig;
+use deepseq::reliability::{analyze, predict_reliability, reliability_sample, AnalyticalOptions};
+use deepseq::sim::{inject_faults, FaultOptions, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let hidden = 16;
+    let fault_opts = FaultOptions {
+        error_rate: 0.0005, // the paper's 0.05 %
+        patterns: 512,
+        cycles_per_pattern: 100,
+        seed: 3,
+    };
+
+    // Fine-tune a model on a small corpus with fault labels (Section V-B1).
+    println!("fine-tuning DeepSeq with error-probability supervision...");
+    let corpus = Corpus::generate(16, 5);
+    let mut rng = StdRng::seed_from_u64(2);
+    let samples: Vec<_> = corpus
+        .circuits()
+        .iter()
+        .enumerate()
+        .map(|(i, aig)| {
+            let w = Workload::random(aig.num_pis(), &mut rng);
+            reliability_sample(aig, &w, &fault_opts, hidden, i as u64)
+        })
+        .collect();
+    let config = DeepSeqConfig {
+        hidden_dim: hidden,
+        iterations: 3,
+        ..DeepSeqConfig::default()
+    };
+    let mut model = DeepSeq::new(config);
+    train(
+        &mut model,
+        &samples,
+        &TrainOptions {
+            epochs: 12,
+            lr: 2e-3,
+            ..TrainOptions::default()
+        },
+    );
+
+    // Evaluate on the large unseen design.
+    let netlist = rtcclock();
+    let lowered = lower_to_aig(&netlist).expect("valid design");
+    let workload = Workload::random(netlist.inputs().len(), &mut rng);
+    println!(
+        "evaluating on {} ({} AIG nodes)...",
+        netlist.name(),
+        lowered.aig.len()
+    );
+
+    let gt = inject_faults(&lowered.aig, &workload, &fault_opts);
+    let analytical = analyze(
+        &lowered.aig,
+        &workload,
+        &AnalyticalOptions {
+            error_rate: fault_opts.error_rate,
+            ..AnalyticalOptions::default()
+        },
+    );
+    let prediction = predict_reliability(&model, &lowered.aig, &workload, 0);
+
+    println!("\n=== circuit reliability of {} ===", netlist.name());
+    println!("Monte-Carlo GT: {:.4}", gt.output_reliability);
+    println!(
+        "analytical    : {:.4}  ({:.2}% error)",
+        analytical.output_reliability,
+        pct(analytical.output_reliability, gt.output_reliability)
+    );
+    println!(
+        "deepseq       : {:.4}  ({:.2}% error)",
+        prediction.output_reliability,
+        pct(prediction.output_reliability, gt.output_reliability)
+    );
+
+    // Show a few per-node error probabilities.
+    println!("\nnode  GT e01   pred e01");
+    for v in (0..lowered.aig.len()).step_by(lowered.aig.len() / 5) {
+        println!("n{v:<4} {:.4}   {:.4}", gt.e01[v], prediction.e01[v]);
+    }
+}
+
+fn pct(estimate: f64, gt: f64) -> f64 {
+    ((estimate - gt) / gt).abs() * 100.0
+}
