@@ -23,10 +23,7 @@ fn main() {
     let mut rows = Vec::new();
     for t in sweep {
         let start = Instant::now();
-        let mut config = scale.config(
-            Aggregator::DualAttention,
-            PropagationScheme::Custom,
-        );
+        let mut config = scale.config(Aggregator::DualAttention, PropagationScheme::Custom);
         config.iterations = t;
         let mut model = DeepSeq::new(config);
         train(&mut model, &train_set, &scale.train_options());

@@ -108,7 +108,5 @@ fn main() {
         ],
         &rows,
     );
-    println!(
-        "(shape to check: ConvGNN worst, RecGNN better, DeepSeq best on both tasks)"
-    );
+    println!("(shape to check: ConvGNN worst, RecGNN better, DeepSeq best on both tasks)");
 }

@@ -85,7 +85,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut errors = (0.0f64, 0.0f64, 0.0f64);
-    for i in 0..5 {
+    for (i, paper_row) in paper.iter().enumerate() {
         let workload = Workload::random(n_pis, &mut rng);
         let result = run_pipeline(
             &netlist,
@@ -112,7 +112,7 @@ fn main() {
             fmt_pct(g.error_pct),
             fmt_mw(d.mw),
             fmt_pct(d.error_pct),
-            format!("{:.1}/{:.1}/{:.1}", paper[i].0, paper[i].1, paper[i].2),
+            format!("{:.1}/{:.1}/{:.1}", paper_row.0, paper_row.1, paper_row.2),
         ]);
     }
     rows.push(vec![

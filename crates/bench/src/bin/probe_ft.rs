@@ -39,7 +39,10 @@ fn main() {
     println!("label generation: {:.1}s", t0.elapsed().as_secs_f64());
 
     let mut model = if args.get(5).map(String::as_str) == Some("pretrained") {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/deepseq_cache/pretrained_h24_t3_c160_e40.txt");
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/deepseq_cache/pretrained_h24_t3_c160_e40.txt"
+        );
         let text = std::fs::read_to_string(path).expect("cached checkpoint");
         println!("starting from pretrained checkpoint");
         DeepSeq::from_checkpoint(&text).expect("valid checkpoint")

@@ -219,7 +219,10 @@ pub fn pretrained_deepseq(scale: &Scale, samples: &[TrainSample]) -> DeepSeq {
     let path = cache_path(scale);
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(model) = DeepSeq::from_checkpoint(&text) {
-            eprintln!("[deepseq-bench] loaded cached checkpoint {}", path.display());
+            eprintln!(
+                "[deepseq-bench] loaded cached checkpoint {}",
+                path.display()
+            );
             return model;
         }
     }

@@ -53,7 +53,13 @@ impl AggregatorLayer {
     ) -> Self {
         match kind {
             Aggregator::ConvSum => AggregatorLayer::ConvSum {
-                transform: Linear::new(params, &format!("{name}.conv"), hidden_dim, hidden_dim, rng),
+                transform: Linear::new(
+                    params,
+                    &format!("{name}.conv"),
+                    hidden_dim,
+                    hidden_dim,
+                    rng,
+                ),
             },
             Aggregator::Attention => AggregatorLayer::Attention {
                 attention: AdditiveAttention::new(params, &format!("{name}.att"), hidden_dim, rng),
@@ -158,7 +164,9 @@ mod tests {
         let edge_prev = tape.input(Matrix::full(3, 4, 0.1));
         let edge_msgs = tape.input(Matrix::full(3, 4, 0.5));
         let segs = vec![0, 0, 1];
-        let m = layer.aggregate(&mut tape, &params, node_prev, edge_prev, edge_msgs, &segs, 2);
+        let m = layer.aggregate(
+            &mut tape, &params, node_prev, edge_prev, edge_msgs, &segs, 2,
+        );
         let v = tape.value(m);
         (v.rows(), v.cols())
     }
@@ -189,7 +197,15 @@ mod tests {
         let node_prev = tape.input(Matrix::full(1, 4, 0.3));
         let edge_prev = tape.input(Matrix::full(3, 4, 0.3));
         let edge_msgs = tape.input(Matrix::full(3, 4, 0.7));
-        let m = layer.aggregate(&mut tape, &params, node_prev, edge_prev, edge_msgs, &[0, 0, 0], 1);
+        let m = layer.aggregate(
+            &mut tape,
+            &params,
+            node_prev,
+            edge_prev,
+            edge_msgs,
+            &[0, 0, 0],
+            1,
+        );
         for &v in tape.value(m).data() {
             assert!((v - 0.7).abs() < 1e-5);
         }
@@ -202,7 +218,15 @@ mod tests {
         let node_prev = tape.input(Matrix::full(1, 4, 0.2));
         let edge_prev = tape.input(Matrix::full(2, 4, 0.2));
         let edge_msgs = tape.input(Matrix::full(2, 4, 1.0));
-        let m = layer.aggregate(&mut tape, &params, node_prev, edge_prev, edge_msgs, &[0, 0], 1);
+        let m = layer.aggregate(
+            &mut tape,
+            &params,
+            node_prev,
+            edge_prev,
+            edge_msgs,
+            &[0, 0],
+            1,
+        );
         let v = tape.value(m);
         // Columns 4..8 hold m_LG = 1.0; columns 0..4 hold gate·m_LG with a
         // sigmoid gate in (0, 1).

@@ -159,8 +159,10 @@ mod tests {
 
     #[test]
     fn effective_iterations() {
-        let mut c = DeepSeqConfig::default();
-        c.iterations = 7;
+        let mut c = DeepSeqConfig {
+            iterations: 7,
+            ..DeepSeqConfig::default()
+        };
         assert_eq!(c.effective_iterations(), 7);
         c.scheme = PropagationScheme::DagConv;
         assert_eq!(c.effective_iterations(), 1);

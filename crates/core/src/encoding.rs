@@ -15,12 +15,7 @@ use rand::{Rng, SeedableRng};
 
 /// Builds the initial hidden-state matrix `h⁰` (`n×d`): PI rows filled with
 /// their workload logic-1 probability, other rows uniform random in `[0,1)`.
-pub fn initial_states(
-    aig: &SeqAig,
-    workload: &Workload,
-    hidden_dim: usize,
-    seed: u64,
-) -> Matrix {
+pub fn initial_states(aig: &SeqAig, workload: &Workload, hidden_dim: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = aig.len();
     let mut h = Matrix::from_fn(n, hidden_dim, |_, _| rng.gen::<f32>());
@@ -53,7 +48,11 @@ pub fn lg_targets(probs: &NodeProbabilities) -> Matrix {
 /// reliability fine-tuning head: `e01`, `e10`).
 pub fn pair_targets(a: &[f64], b: &[f64]) -> Matrix {
     assert_eq!(a.len(), b.len(), "pair_targets length mismatch");
-    Matrix::from_fn(a.len(), 2, |r, c| if c == 0 { a[r] as f32 } else { b[r] as f32 })
+    Matrix::from_fn(
+        a.len(),
+        2,
+        |r, c| if c == 0 { a[r] as f32 } else { b[r] as f32 },
+    )
 }
 
 #[cfg(test)]
@@ -98,8 +97,14 @@ mod tests {
     fn initial_states_deterministic_per_seed() {
         let aig = sample();
         let w = Workload::uniform(2, 0.5);
-        assert_eq!(initial_states(&aig, &w, 8, 7), initial_states(&aig, &w, 8, 7));
-        assert_ne!(initial_states(&aig, &w, 8, 7), initial_states(&aig, &w, 8, 8));
+        assert_eq!(
+            initial_states(&aig, &w, 8, 7),
+            initial_states(&aig, &w, 8, 7)
+        );
+        assert_ne!(
+            initial_states(&aig, &w, 8, 7),
+            initial_states(&aig, &w, 8, 8)
+        );
     }
 
     #[test]

@@ -187,7 +187,12 @@ pub fn merge_graphs(graphs: &[&CircuitGraph]) -> CircuitGraph {
             }
         }
         pis.extend(graph.pis.iter().map(|&p| p + offset));
-        ff_pairs.extend(graph.ff_pairs.iter().map(|&(ff, d)| (ff + offset, d + offset)));
+        ff_pairs.extend(
+            graph
+                .ff_pairs
+                .iter()
+                .map(|&(ff, d)| (ff + offset, d + offset)),
+        );
         for (level, batch) in graph.forward.iter().enumerate() {
             let merged = &mut forward[level];
             let seg_base = merged.nodes.len() as u32;
@@ -280,7 +285,7 @@ mod tests {
     fn edge_counts() {
         let g = CircuitGraph::build(&sample());
         assert_eq!(g.num_forward_edges(), 3); // NOT(1) + AND(2)
-        // Reverse edges: AND→FF, NOT→AND, FF→AND = one per updated node here.
+                                              // Reverse edges: AND→FF, NOT→AND, FF→AND = one per updated node here.
         assert_eq!(g.num_reverse_edges(), 3);
     }
 

@@ -97,10 +97,8 @@ impl DeepSeq {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut params = Params::new();
         let d = config.hidden_dim;
-        let forward_layer =
-            DirectionLayer::new(&mut params, "fwd", config.aggregator, d, &mut rng);
-        let reverse_layer =
-            DirectionLayer::new(&mut params, "rev", config.aggregator, d, &mut rng);
+        let forward_layer = DirectionLayer::new(&mut params, "fwd", config.aggregator, d, &mut rng);
+        let reverse_layer = DirectionLayer::new(&mut params, "rev", config.aggregator, d, &mut rng);
         // "2 independent sets of 3-MLPs" (Section IV-A3), one per task.
         let tr_head = Mlp::new(&mut params, "tr_head", &[d, d, d, 2], &mut rng);
         let lg_head = Mlp::new(&mut params, "lg_head", &[d, d, d, 1], &mut rng);
@@ -182,8 +180,7 @@ impl DeepSeq {
         if batch.nodes.is_empty() {
             return;
         }
-        let node_prev =
-            tape.gather_rows(batch.nodes.iter().map(|&v| cur[v as usize]).collect());
+        let node_prev = tape.gather_rows(batch.nodes.iter().map(|&v| cur[v as usize]).collect());
         let edge_prev = tape.gather_rows(
             batch
                 .edges
@@ -358,7 +355,11 @@ mod tests {
 
     #[test]
     fn predictions_are_probabilities() {
-        for agg in [Aggregator::ConvSum, Aggregator::Attention, Aggregator::DualAttention] {
+        for agg in [
+            Aggregator::ConvSum,
+            Aggregator::Attention,
+            Aggregator::DualAttention,
+        ] {
             for scheme in [
                 PropagationScheme::DagConv,
                 PropagationScheme::DagRec,

@@ -181,7 +181,10 @@ pub fn evaluate(model: &DeepSeq, samples: &[TrainSample]) -> EvalMetrics {
 /// # Panics
 /// Panics if `samples` is empty.
 pub fn merge_samples(samples: &[&TrainSample]) -> TrainSample {
-    assert!(!samples.is_empty(), "merge_samples needs at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "merge_samples needs at least one sample"
+    );
     let graphs: Vec<&crate::graph::CircuitGraph> = samples.iter().map(|s| &s.graph).collect();
     let graph = crate::graph::merge_graphs(&graphs);
     let d = samples[0].init_h.cols();

@@ -82,7 +82,10 @@ pub fn shift_register(nl: &mut Netlist, name: &str, input: GateId, len: usize) -
 /// Panics if `taps` is empty or a tap exceeds `bits`.
 pub fn lfsr(nl: &mut Netlist, name: &str, bits: usize, taps: &[usize]) -> Vec<GateId> {
     assert!(!taps.is_empty(), "lfsr needs at least one tap");
-    assert!(taps.iter().all(|&t| t >= 1 && t <= bits), "tap out of range");
+    assert!(
+        taps.iter().all(|&t| t >= 1 && t <= bits),
+        "tap out of range"
+    );
     let qs: Vec<GateId> = (0..bits)
         .map(|i| {
             // Seed 0b…001.
@@ -224,7 +227,13 @@ pub fn decoder(nl: &mut Netlist, sels: &[GateId]) -> Vec<GateId> {
             let literals: Vec<GateId> = sels
                 .iter()
                 .enumerate()
-                .map(|(bit, &s)| if (value >> bit) & 1 == 1 { s } else { nots[bit] })
+                .map(|(bit, &s)| {
+                    if (value >> bit) & 1 == 1 {
+                        s
+                    } else {
+                        nots[bit]
+                    }
+                })
                 .collect();
             and_tree(nl, &literals)
         })
@@ -276,7 +285,12 @@ pub fn round_robin_arbiter(nl: &mut Netlist, name: &str, reqs: &[GateId]) -> Vec
     let any_masked = or_tree(nl, &masked);
     // grant = any_masked ? masked_grant : plain_grant
     (0..n)
-        .map(|i| nl.add_gate(GateKind::Mux, vec![any_masked, plain_grants[i], masked_grants[i]]))
+        .map(|i| {
+            nl.add_gate(
+                GateKind::Mux,
+                vec![any_masked, plain_grants[i], masked_grants[i]],
+            )
+        })
         .collect()
 }
 

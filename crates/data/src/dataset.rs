@@ -120,10 +120,7 @@ impl Corpus {
 
     /// All circuits flattened.
     pub fn circuits(&self) -> Vec<&SeqAig> {
-        self.families
-            .iter()
-            .flat_map(|(_, cs)| cs.iter())
-            .collect()
+        self.families.iter().flat_map(|(_, cs)| cs.iter()).collect()
     }
 
     /// Total circuit count.

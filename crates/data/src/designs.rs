@@ -209,7 +209,13 @@ pub fn rtcclock() -> Netlist {
             .collect();
         // limit = modulus - 1 encoded in constants.
         let limit: Vec<GateId> = (0..bits)
-            .map(|i| if ((modulus - 1) >> i) & 1 == 1 { one } else { zero })
+            .map(|i| {
+                if ((modulus - 1) >> i) & 1 == 1 {
+                    one
+                } else {
+                    zero
+                }
+            })
             .collect();
         let at_limit = equals(&mut nl, &qs, &limit);
         let wrap = nl.add_gate(GateKind::And, vec![at_limit, carry]);
@@ -301,12 +307,7 @@ pub fn ac97_ctrl() -> Netlist {
         let data = inputs(&mut nl, &format!("slot{s}_d"), SLOT_W);
         let mut bus = register_en(&mut nl, &format!("slot{s}_reg"), &data, slot_we[s]);
         for depth in 0..FIFO_DEPTH {
-            bus = register_en(
-                &mut nl,
-                &format!("slot{s}_fifo{depth}"),
-                &bus,
-                slot_sel[s],
-            );
+            bus = register_en(&mut nl, &format!("slot{s}_fifo{depth}"), &bus, slot_sel[s]);
         }
         slot_buses.push(bus);
     }
@@ -521,7 +522,11 @@ mod tests {
             let nodes = lowered.aig.len();
             let paper = paper_node_count(nl.name()).unwrap();
             let ratio = nodes as f64 / paper as f64;
-            println!("{}: {} AIG nodes (paper {paper}, ratio {ratio:.2})", nl.name(), nodes);
+            println!(
+                "{}: {} AIG nodes (paper {paper}, ratio {ratio:.2})",
+                nl.name(),
+                nodes
+            );
             assert!(
                 (0.4..=2.5).contains(&ratio),
                 "{}: {} vs paper {} (ratio {:.2})",

@@ -491,10 +491,7 @@ mod tests {
         let mut aig = SeqAig::new("bad");
         let a = aig.add_pi("a");
         let b = aig.add_pi("b");
-        assert_eq!(
-            aig.connect_ff(a, b),
-            Err(NetlistError::NotAnFf { node: a })
-        );
+        assert_eq!(aig.connect_ff(a, b), Err(NetlistError::NotAnFf { node: a }));
     }
 
     #[test]

@@ -253,7 +253,9 @@ G17 = NOT(G14)
         assert_eq!(nl.dffs().len(), nl2.dffs().len());
         assert_eq!(nl.outputs().len(), nl2.outputs().len());
         for (id, gate) in nl.iter() {
-            let other = nl2.find(gate.name.as_deref().unwrap_or("")).map(|g| nl2.gate(g));
+            let other = nl2
+                .find(gate.name.as_deref().unwrap_or(""))
+                .map(|g| nl2.gate(g));
             if let Some(other) = other {
                 assert_eq!(gate.kind, other.kind, "kind mismatch for {id}");
                 assert_eq!(gate.fanins.len(), other.fanins.len());

@@ -91,10 +91,7 @@ impl fmt::Display for NetlistError {
                 node,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "gate {node} has {actual} fanins, expected {expected}"
-            ),
+            } => write!(f, "gate {node} has {actual} fanins, expected {expected}"),
         }
     }
 }

@@ -228,23 +228,16 @@ mod tests {
         nl.set_output(g, "y");
         let lowered = lower_to_aig(&nl).unwrap();
         let expected = truth_table(kind, arity);
-        for row in 0..(1usize << arity) {
+        assert_eq!(expected.len(), 1usize << arity);
+        for (row, &exp) in expected.iter().enumerate() {
             let assignment: Vec<_> = ins
                 .iter()
                 .enumerate()
-                .map(|(i, gid)| {
-                    (
-                        lowered.node_for(*gid),
-                        (row >> i) & 1 == 1,
-                    )
-                })
+                .map(|(i, gid)| (lowered.node_for(*gid), (row >> i) & 1 == 1))
                 .collect();
             let values = eval(&lowered.aig, &assignment);
             let out = values[lowered.node_for(g).index()];
-            assert_eq!(
-                out, expected[row],
-                "{kind} arity {arity} row {row:b} mismatch"
-            );
+            assert_eq!(out, exp, "{kind} arity {arity} row {row:b} mismatch");
         }
     }
 

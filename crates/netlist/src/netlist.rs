@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::error::NetlistError;
 use crate::aig::NodeId;
+use crate::error::NetlistError;
 
 /// Identifier of a gate inside a [`Netlist`] (dense, starting at 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -407,7 +407,11 @@ mod tests {
         let _ = nl.add_dff("q", false);
         assert!(matches!(
             nl.validate(),
-            Err(NetlistError::BadArity { expected: 1, actual: 0, .. })
+            Err(NetlistError::BadArity {
+                expected: 1,
+                actual: 0,
+                ..
+            })
         ));
     }
 
@@ -457,7 +461,11 @@ mod tests {
         let _ = nl.add_gate(GateKind::Mux, vec![a, a]);
         assert!(matches!(
             nl.validate(),
-            Err(NetlistError::BadArity { expected: 3, actual: 2, .. })
+            Err(NetlistError::BadArity {
+                expected: 3,
+                actual: 2,
+                ..
+            })
         ));
     }
 

@@ -74,7 +74,10 @@ impl Mlp {
         dims: &[usize],
         rng: &mut R,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .enumerate()

@@ -281,7 +281,12 @@ impl Tape {
 
     /// L1 loss with per-row weights (e.g. to exclude PI rows from
     /// supervision or reweight rare nodes). Weights of zero drop rows.
-    pub fn l1_loss_weighted(&mut self, pred: VarId, target: &Matrix, row_weights: Vec<f32>) -> VarId {
+    pub fn l1_loss_weighted(
+        &mut self,
+        pred: VarId,
+        target: &Matrix,
+        row_weights: Vec<f32>,
+    ) -> VarId {
         self.l1_loss_impl(pred, target.clone(), Some(row_weights))
     }
 
@@ -333,7 +338,11 @@ impl Tape {
         assert!(!scalars.is_empty(), "add_scalars needs inputs");
         let mut total = 0.0;
         for &s in &scalars {
-            assert_eq!(self.value(s).shape(), (1, 1), "add_scalars needs 1×1 inputs");
+            assert_eq!(
+                self.value(s).shape(),
+                (1, 1),
+                "add_scalars needs 1×1 inputs"
+            );
             total += self.value(s).get(0, 0);
         }
         self.push(Op::AddScalars(scalars), Matrix::full(1, 1, total), None)
@@ -345,7 +354,11 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not `1×1`.
     pub fn backward(&self, loss: VarId) -> GradStore {
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward needs a scalar loss");
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
         let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
         let mut store = GradStore::new();
@@ -421,8 +434,8 @@ impl Tape {
                 Op::GatherRows(sources) => {
                     for (i, &(var, row)) in sources.iter().enumerate() {
                         let shape = self.nodes[var.0].value.shape();
-                        let entry = grads[var.0]
-                            .get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+                        let entry =
+                            grads[var.0].get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
                         for (o, &g) in entry.row_mut(row).iter_mut().zip(grad.row(i)) {
                             *o += g;
                         }
@@ -453,9 +466,8 @@ impl Tape {
                 Op::MulCol(a, col) => {
                     let av = &self.nodes[a.0].value;
                     let cv = &self.nodes[col.0].value;
-                    let da = Matrix::from_fn(av.rows(), av.cols(), |r, c| {
-                        grad.get(r, c) * cv.get(r, 0)
-                    });
+                    let da =
+                        Matrix::from_fn(av.rows(), av.cols(), |r, c| grad.get(r, c) * cv.get(r, 0));
                     let mut dcol = Matrix::zeros(av.rows(), 1);
                     for r in 0..av.rows() {
                         let mut acc = 0.0;

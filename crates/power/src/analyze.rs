@@ -27,10 +27,7 @@ pub fn analyze_power(netlist: &Netlist, saif: &SaifDocument, library: &CellLibra
     let mut toggle_rates = vec![0.0f64; netlist.len()];
     let mut matched = 0usize;
     for (id, gate) in netlist.iter() {
-        let name = gate
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("n{}", id.0));
+        let name = gate.name.clone().unwrap_or_else(|| format!("n{}", id.0));
         if let Some(activity) = saif.nets.get(&name) {
             toggle_rates[id.index()] = activity.toggle_rate(saif.duration);
             matched += 1;

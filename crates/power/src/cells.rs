@@ -56,7 +56,10 @@ impl CellLibrary {
     /// Dynamic power (watts) of one gate given its toggle rate
     /// (transitions per clock cycle).
     pub fn gate_power(&self, kind: GateKind, fanout: usize, toggle_rate: f64) -> f64 {
-        0.5 * self.switched_capacitance(kind, fanout) * self.vdd * self.vdd * self.frequency
+        0.5 * self.switched_capacitance(kind, fanout)
+            * self.vdd
+            * self.vdd
+            * self.frequency
             * toggle_rate
     }
 
@@ -79,7 +82,9 @@ impl CellLibrary {
         }
         netlist
             .iter()
-            .map(|(id, gate)| self.gate_power(gate.kind, fanout[id.index()], toggle_rates[id.index()]))
+            .map(|(id, gate)| {
+                self.gate_power(gate.kind, fanout[id.index()], toggle_rates[id.index()])
+            })
             .sum()
     }
 }
@@ -129,7 +134,8 @@ mod tests {
         nl.set_output(g, "y");
         let lib = CellLibrary::default();
         let total = lib.netlist_power(&nl, &[0.5, 0.5]);
-        let by_hand = lib.gate_power(GateKind::Input, 1, 0.5) + lib.gate_power(GateKind::Not, 0, 0.5);
+        let by_hand =
+            lib.gate_power(GateKind::Input, 1, 0.5) + lib.gate_power(GateKind::Not, 0, 0.5);
         assert!((total - by_hand).abs() < 1e-18);
     }
 

@@ -48,7 +48,11 @@ pub fn grannite_features(aig: &SeqAig, source_probs: &NodeProbabilities) -> Matr
     for (id, node) in aig.iter() {
         feats.set(id.index(), node.type_index(), 1.0);
         if node.is_pi() || node.is_ff() {
-            feats.set(id.index(), NUM_NODE_TYPES, source_probs.p01[id.index()] as f32);
+            feats.set(
+                id.index(),
+                NUM_NODE_TYPES,
+                source_probs.p01[id.index()] as f32,
+            );
             feats.set(
                 id.index(),
                 NUM_NODE_TYPES + 1,
@@ -68,7 +72,13 @@ pub fn grannite_features(aig: &SeqAig, source_probs: &NodeProbabilities) -> Matr
 /// predict PI/FF activity).
 pub fn comb_mask(aig: &SeqAig) -> Vec<f32> {
     aig.iter()
-        .map(|(_, node)| if node.is_and() || node.is_not() { 1.0 } else { 0.0 })
+        .map(|(_, node)| {
+            if node.is_and() || node.is_not() {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 
@@ -123,13 +133,7 @@ impl Grannite {
         let d = config.hidden_dim;
         let embed = Linear::new(&mut params, "embed", GRANNITE_FEATURES, d, &mut rng);
         let agg = AggregatorLayer::new(&mut params, "agg", Aggregator::Attention, d, &mut rng);
-        let gru = GruCell::new(
-            &mut params,
-            "gru",
-            d + GRANNITE_FEATURES,
-            d,
-            &mut rng,
-        );
+        let gru = GruCell::new(&mut params, "gru", d + GRANNITE_FEATURES, d, &mut rng);
         let head = Mlp::new(&mut params, "head", &[d, d, 2], &mut rng);
         Grannite {
             config,
@@ -193,7 +197,11 @@ impl Grannite {
     /// FFs straight from the provided simulation results (the paper: "the
     /// transition probabilities of PIs and FFs comes from RTL level
     /// simulation").
-    pub fn predict_probs(&self, aig: &SeqAig, source_probs: &NodeProbabilities) -> NodeProbabilities {
+    pub fn predict_probs(
+        &self,
+        aig: &SeqAig,
+        source_probs: &NodeProbabilities,
+    ) -> NodeProbabilities {
         let graph = CircuitGraph::build(aig);
         let features = grannite_features(aig, source_probs);
         let mut tape = Tape::new();
@@ -330,7 +338,7 @@ mod tests {
         });
         let out = model.predict_probs(&aig, &probs);
         assert!(out.check_consistency(1.0).is_ok()); // range checks only
-        // PI/FF rows pass through simulation values exactly.
+                                                     // PI/FF rows pass through simulation values exactly.
         assert_eq!(out.p01[0], probs.p01[0]);
         assert_eq!(out.p1[4], probs.p1[4]);
     }

@@ -82,10 +82,7 @@ pub fn saif_for_netlist(
     let mut doc = SaifDocument::new(duration);
     for (id, gate) in netlist.iter() {
         let node = lowered.node_for(id);
-        let name = gate
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("n{}", id.0));
+        let name = gate.name.clone().unwrap_or_else(|| format!("n{}", id.0));
         doc.add_net(
             name,
             probs.p1[node.index()],
@@ -107,8 +104,12 @@ pub fn deepseq_probs(
     let preds = model.predict(&graph, &h0);
     NodeProbabilities {
         p1: preds.lg.data().iter().map(|&v| v as f64).collect(),
-        p01: (0..preds.tr.rows()).map(|r| preds.tr.get(r, 0) as f64).collect(),
-        p10: (0..preds.tr.rows()).map(|r| preds.tr.get(r, 1) as f64).collect(),
+        p01: (0..preds.tr.rows())
+            .map(|r| preds.tr.get(r, 0) as f64)
+            .collect(),
+        p10: (0..preds.tr.rows())
+            .map(|r| preds.tr.get(r, 1) as f64)
+            .collect(),
     }
 }
 
@@ -242,7 +243,11 @@ mod tests {
     fn saif_covers_every_gate() {
         let nl = small_design();
         let lowered = lower_to_aig(&nl).unwrap();
-        let gt = simulate(&lowered.aig, &Workload::uniform(2, 0.5), &SimOptions::default());
+        let gt = simulate(
+            &lowered.aig,
+            &Workload::uniform(2, 0.5),
+            &SimOptions::default(),
+        );
         let doc = saif_for_netlist(&nl, &lowered, &gt.probs, 1000);
         assert_eq!(doc.nets.len(), nl.len());
     }

@@ -39,7 +39,11 @@ impl Default for ProbabilisticOptions {
 ///
 /// Densities are clamped to the feasible `2·min(p, 1−p)` and reported as
 /// `p01 = p10 = D/2` (stationarity).
-pub fn estimate(aig: &SeqAig, workload: &Workload, opts: &ProbabilisticOptions) -> NodeProbabilities {
+pub fn estimate(
+    aig: &SeqAig,
+    workload: &Workload,
+    opts: &ProbabilisticOptions,
+) -> NodeProbabilities {
     let n = aig.len();
     let mut p1 = vec![0.0f64; n];
     let mut density = vec![0.0f64; n];
@@ -171,7 +175,10 @@ mod tests {
         let g = aig.add_and(a, n);
         let w = Workload::uniform(1, 0.5);
         let est = estimate(&aig, &w, &opts());
-        assert!((est.p1[g.index()] - 0.25).abs() < 1e-9, "baseline should err");
+        assert!(
+            (est.p1[g.index()] - 0.25).abs() < 1e-9,
+            "baseline should err"
+        );
         let sim = simulate(&aig, &w, &SimOptions::default());
         assert_eq!(sim.probs.p1[g.index()], 0.0, "simulation is exact");
     }

@@ -197,7 +197,14 @@ mod tests {
     #[test]
     fn syntax_contains_required_constructs() {
         let text = write_saif(&sample(), "d");
-        for token in ["(SAIFILE", "SAIFVERSION", "DURATION 10000", "(T0 ", "(T1 ", "(TC "] {
+        for token in [
+            "(SAIFILE",
+            "SAIFVERSION",
+            "DURATION 10000",
+            "(T0 ",
+            "(T1 ",
+            "(TC ",
+        ] {
             assert!(text.contains(token), "missing {token}");
         }
         // Balanced parentheses.

@@ -3,7 +3,9 @@
 //! power model must respect its algebraic structure.
 
 use deepseq_netlist::{NodeId, SeqAig};
-use deepseq_power::{estimate, parse_saif, write_saif, CellLibrary, ProbabilisticOptions, SaifDocument};
+use deepseq_power::{
+    estimate, parse_saif, write_saif, CellLibrary, ProbabilisticOptions, SaifDocument,
+};
 use deepseq_sim::{PiStimulus, Workload};
 use proptest::prelude::*;
 

@@ -94,9 +94,7 @@ pub fn simulate(aig: &SeqAig, workload: &Workload, opts: &SimOptions) -> SimResu
         // 2. Settle combinational logic (ordered ids ⇒ a single scan).
         for (id, node) in aig.iter() {
             match *node {
-                AigNode::And(a, b) => {
-                    values[id.index()] = values[a.index()] & values[b.index()]
-                }
+                AigNode::And(a, b) => values[id.index()] = values[a.index()] & values[b.index()],
                 AigNode::Not(a) => values[id.index()] = !values[a.index()],
                 AigNode::Pi | AigNode::Ff { .. } => {}
             }
@@ -158,9 +156,7 @@ where
         }
         for (id, node) in aig.iter() {
             match *node {
-                AigNode::And(a, b) => {
-                    values[id.index()] = values[a.index()] & values[b.index()]
-                }
+                AigNode::And(a, b) => values[id.index()] = values[a.index()] & values[b.index()],
                 AigNode::Not(a) => values[id.index()] = !values[a.index()],
                 AigNode::Pi | AigNode::Ff { .. } => {}
             }

@@ -114,7 +114,8 @@ pub fn inject_faults(aig: &SeqAig, workload: &Workload, opts: &FaultOptions) -> 
 
     for batch in 0..batches {
         let mut gen = PatternGenerator::new(workload);
-        let mut batch_rng = StdRng::seed_from_u64(opts.seed ^ (batch as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut batch_rng =
+            StdRng::seed_from_u64(opts.seed ^ (batch as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let mut gff: Vec<u64> = ffs
             .iter()
             .map(|&ff| match aig.node(ff) {
@@ -377,7 +378,10 @@ mod tests {
         for _ in 0..500 {
             let faults = stream.cycle_faults(100 * 64, &sites, &mut rng);
             total_bits += 100 * 64;
-            fault_bits += faults.iter().map(|(_, m)| m.count_ones() as u64).sum::<u64>();
+            fault_bits += faults
+                .iter()
+                .map(|(_, m)| m.count_ones() as u64)
+                .sum::<u64>();
         }
         let density = fault_bits as f64 / total_bits as f64;
         assert!((density - 0.01).abs() < 0.001, "density {density}");

@@ -238,10 +238,7 @@ mod tests {
                 ones += random_word(p, &mut rng).count_ones();
             }
             let freq = ones as f64 / (64.0 * words as f64);
-            assert!(
-                (freq - p).abs() < 0.01,
-                "p={p} measured {freq}"
-            );
+            assert!((freq - p).abs() < 0.01, "p={p} measured {freq}");
         }
     }
 

@@ -70,7 +70,8 @@ fn main() {
 
     // 4. `.bench` format round trip (drop-in path for real ISCAS'89 files).
     println!("\n=== .bench round trip ===");
-    let text = "INPUT(G0)\nINPUT(G1)\nOUTPUT(G17)\nG10 = DFF(G14)\nG14 = NAND(G0, G10)\nG17 = NOT(G14)\n";
+    let text =
+        "INPUT(G0)\nINPUT(G1)\nOUTPUT(G17)\nG10 = DFF(G14)\nG14 = NAND(G0, G10)\nG17 = NOT(G14)\n";
     let netlist = parse_bench(text).expect("valid bench text");
     println!(
         "parsed: {} gates, {} inputs, {} DFFs",

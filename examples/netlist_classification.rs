@@ -99,9 +99,15 @@ fn main() {
     }
 
     println!("\nnearest-centroid family classification over graph embeddings");
-    println!("accuracy: {correct}/{total} ({:.0}%)", 100.0 * correct as f64 / total as f64);
+    println!(
+        "accuracy: {correct}/{total} ({:.0}%)",
+        100.0 * correct as f64 / total as f64
+    );
     println!("\nconfusion (rows = true family):");
-    println!("{:<11} {:>9} {:>7} {:>10}", "", "ISCAS'89", "ITC'99", "Opencores");
+    println!(
+        "{:<11} {:>9} {:>7} {:>10}",
+        "", "ISCAS'89", "ITC'99", "Opencores"
+    );
     for (i, family) in families.into_iter().enumerate() {
         println!(
             "{:<11} {:>9} {:>7} {:>10}",

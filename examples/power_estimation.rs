@@ -64,8 +64,7 @@ fn main() {
         lowered.aig.len()
     );
     let n_pis = netlist.inputs().len();
-    let ft_workloads: Vec<Workload> =
-        (0..4).map(|_| Workload::random(n_pis, &mut rng)).collect();
+    let ft_workloads: Vec<Workload> = (0..4).map(|_| Workload::random(n_pis, &mut rng)).collect();
     let ft = finetune_samples(&lowered.aig, &ft_workloads, hidden, &sim_opts, 9);
     train(
         &mut model,
@@ -96,9 +95,6 @@ fn main() {
         result.probabilistic.mw, result.probabilistic.error_pct
     );
     if let Some(d) = result.deepseq {
-        println!(
-            "deepseq      : {:.3} mW  ({:.2}% error)",
-            d.mw, d.error_pct
-        );
+        println!("deepseq      : {:.3} mW  ({:.2}% error)", d.mw, d.error_pct);
     }
 }

@@ -33,7 +33,13 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &p)| {
-            TrainSample::generate(aig, &Workload::uniform(n_pis, p), hidden, &sim_opts, i as u64)
+            TrainSample::generate(
+                aig,
+                &Workload::uniform(n_pis, p),
+                hidden,
+                &sim_opts,
+                i as u64,
+            )
         })
         .collect();
     let mut model = DeepSeq::new(DeepSeqConfig {

@@ -1,0 +1,407 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment for this repository has no access to a cargo
+//! registry, so this vendored crate re-implements the *subset* of the
+//! `proptest 1.x` API that the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//!   [`prop_assert!`] and [`prop_assert_eq!`];
+//! * [`strategy::Strategy`] with `prop_map`, implemented for ranges,
+//!   tuples, [`strategy::Just`] and [`any`];
+//! * [`collection::vec`] with fixed or ranged lengths;
+//! * [`test_runner::Config`] (`ProptestConfig::with_cases`).
+//!
+//! Cases are generated from a deterministic per-test seed stream
+//! (case `i` of test `t` always sees the same input), and a failing case
+//! panics with the case number and message. There is **no shrinking** and
+//! no failure persistence file — rerun the named test to reproduce.
+//!
+//! Swap this path dependency for the real `proptest` in the workspace
+//! `Cargo.toml` when registry access is available; no source changes
+//! should be required (generated streams will differ).
+
+#![warn(missing_docs)]
+
+/// Test-case configuration and failure types.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Mirrors `proptest::test_runner::Config` (the `ProptestConfig` of the
+    /// prelude); only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A property failure: carries the `prop_assert!` message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives one property: `config.cases` deterministic cases through
+    /// `strategy`, panicking on the first failure. Called by [`proptest!`];
+    /// not part of the real crate's public API.
+    pub fn run<S, F>(config: &Config, test_name: &str, strategy: S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        // FNV-1a over the test name decorrelates sibling tests' streams.
+        let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            name_hash = (name_hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for case in 0..config.cases {
+            let mut rng = StdRng::seed_from_u64(name_hash ^ (case as u64).wrapping_mul(0x9e37));
+            let value = strategy.generate(&mut rng);
+            if let Err(e) = test(value) {
+                panic!(
+                    "property '{test_name}' failed at case {case}/{}: {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform, Standard};
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of random values, mirroring `proptest::strategy::Strategy`.
+    ///
+    /// The real trait produces value *trees* supporting shrinking; this
+    /// stand-in generates plain values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// The [`super::any`] strategy: uniform over a type's full value set.
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuple {
+        ($($name:ident)+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_for_tuple!(A);
+    impl_strategy_for_tuple!(A B);
+    impl_strategy_for_tuple!(A B C);
+    impl_strategy_for_tuple!(A B C D);
+    impl_strategy_for_tuple!(A B C D E);
+    impl_strategy_for_tuple!(A B C D E F);
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A fixed or ranged element count for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+}
+
+use std::marker::PhantomData;
+
+/// Returns a strategy producing arbitrary values of `T`.
+pub fn any<T: rand::Standard>() -> strategy::Any<T> {
+    strategy::Any(PhantomData)
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the attribute-first form with an optional
+/// `#![proptest_config(...)]` header and one or more
+/// `#[test] fn name(binding in strategy, ...) { ... }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $(#[test] fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body, failing the case (not the process),
+/// mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property body, mirroring
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            left, right
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            left, right, format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v < 19);
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0.0f32..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn just_yields_value(x in Just(41u8)) {
+            prop_assert_eq!(x, 41);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = (0u64..1_000_000, 0.0f64..1.0);
+        let a = strat.generate(&mut StdRng::seed_from_u64(11));
+        let b = strat.generate(&mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        let config = crate::test_runner::Config::with_cases(5);
+        crate::test_runner::run(&config, "always_fails", 0u32..10, |_| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+}
