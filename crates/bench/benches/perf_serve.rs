@@ -1,0 +1,114 @@
+//! Criterion benchmarks of the serving subsystem: the autograd-tape forward
+//! pass vs. the tape-free [`InferenceModel`] vs. the content-addressed
+//! cache-hit path, on the synthetic design suite and a training-scale
+//! random circuit. These back the PR-2 acceptance criterion (tape-free
+//! measurably faster than tape; cache hit faster still) and feed the
+//! `BENCH_serve.json` perf-trajectory artifact collected in CI.
+//!
+//! Run: `cargo bench -p deepseq-bench --bench perf_serve`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepseq_core::encoding::initial_states;
+use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
+use deepseq_data::designs::ptc;
+use deepseq_data::random::{random_circuit, CircuitSpec};
+use deepseq_netlist::{lower_to_aig, SeqAig};
+use deepseq_nn::Matrix;
+use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest, Workspace};
+use deepseq_sim::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    tag: &'static str,
+    aig: SeqAig,
+    model: DeepSeq,
+    frozen: InferenceModel,
+    graph: CircuitGraph,
+    h0: Matrix,
+}
+
+fn fixture(tag: &'static str, aig: SeqAig, config: DeepSeqConfig) -> Fixture {
+    let model = DeepSeq::new(config);
+    let frozen = InferenceModel::from_model(&model).expect("canonical params");
+    let graph = CircuitGraph::build(&aig);
+    let workload = Workload::uniform(aig.num_pis(), 0.5);
+    let h0 = initial_states(&aig, &workload, config.hidden_dim, 0);
+    Fixture {
+        tag,
+        aig,
+        model,
+        frozen,
+        graph,
+        h0,
+    }
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let config = DeepSeqConfig {
+        hidden_dim: 32,
+        iterations: 4,
+        ..DeepSeqConfig::default()
+    };
+    let random = random_circuit("rand200", &CircuitSpec::default(), &mut rng);
+    let suite = lower_to_aig(&ptc()).expect("valid design").aig;
+    vec![
+        fixture("rand200_d32_t4", random, config),
+        fixture("ptc_d32_t4", suite, config),
+    ]
+}
+
+fn bench_tape_forward(c: &mut Criterion) {
+    for f in fixtures() {
+        c.bench_function(&format!("serve_tape_forward_{}", f.tag), |b| {
+            b.iter(|| f.model.predict(&f.graph, &f.h0))
+        });
+    }
+}
+
+fn bench_tapefree_forward(c: &mut Criterion) {
+    for f in fixtures() {
+        let mut ws = Workspace::new();
+        c.bench_function(&format!("serve_tapefree_forward_{}", f.tag), |b| {
+            b.iter(|| f.frozen.run(&f.graph, &f.h0, &mut ws))
+        });
+    }
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    for f in fixtures() {
+        let engine = Engine::new(
+            f.frozen.clone(),
+            EngineOptions {
+                workers: 1,
+                cache_capacity: 8,
+            },
+        );
+        let make = |id| ServeRequest {
+            id,
+            aig: f.aig.clone(),
+            workload: Workload::uniform(f.aig.num_pis(), 0.5),
+            init_seed: 0,
+        };
+        // Warm the cache, then measure the full hit path (structural hash +
+        // key lookup + channel round-trip).
+        let warm = engine.serve_batch(vec![make(0)]);
+        assert!(!warm[0].result.as_ref().expect("serves").cache_hit);
+        let mut id = 1u64;
+        c.bench_function(&format!("serve_cache_hit_{}", f.tag), |b| {
+            b.iter(|| {
+                id += 1;
+                let r = engine.serve_batch(vec![make(id)]);
+                assert!(r[0].result.as_ref().expect("serves").cache_hit);
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tape_forward, bench_tapefree_forward, bench_cache_hit
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Collects `target/criterion/*/estimates.json` into one perf-trajectory
+//! file (default `BENCH_serve.json`), so CI runs and local runs produce a
+//! single committed-artifact snapshot instead of a directory tree.
+//!
+//! ```text
+//! cargo run -p deepseq-bench --bin collect_bench -- \
+//!     [--criterion-dir target/criterion] [--filter serve_] [--out BENCH_serve.json]
+//! ```
+//!
+//! Each matching benchmark's `estimates.json` is already a JSON object
+//! (`id`, `unit`, `mean`, `median`, `min`, `max`, …), so the output simply
+//! embeds them verbatim under their benchmark ids, sorted for stable diffs.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut criterion_dir = PathBuf::from("target/criterion");
+    let mut filter = String::from("serve_");
+    let mut out_path = PathBuf::from("BENCH_serve.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--criterion-dir" => match it.next() {
+                Some(v) => criterion_dir = PathBuf::from(v),
+                None => return usage("--criterion-dir needs a value"),
+            },
+            "--filter" => match it.next() {
+                Some(v) => filter = v.clone(),
+                None => return usage("--filter needs a value"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = PathBuf::from(v),
+                None => return usage("--out needs a value"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut entries: Vec<(String, String)> = Vec::new();
+    let dir = match fs::read_dir(&criterion_dir) {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read {} ({e}); run `cargo bench` first",
+                criterion_dir.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    for entry in dir.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !name.starts_with(&filter) {
+            continue;
+        }
+        let estimates = entry.path().join("estimates.json");
+        match fs::read_to_string(&estimates) {
+            Ok(content) => entries.push((name, content.trim().to_string())),
+            Err(_) => eprintln!("warning: {} has no estimates.json, skipped", name),
+        }
+    }
+    entries.sort();
+
+    if entries.is_empty() {
+        eprintln!(
+            "error: no benchmarks matching `{filter}*` under {}",
+            criterion_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"deepseq-bench v1\",\n  \"benches\": {\n");
+    for (i, (name, content)) in entries.iter().enumerate() {
+        let indented = content.replace('\n', "\n    ");
+        json.push_str(&format!("    \"{name}\": {indented}"));
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+
+    if let Err(e) = fs::write(&out_path, &json) {
+        eprintln!("error: writing {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {} ({} benches matching `{filter}*`)",
+        out_path.display(),
+        entries.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "error: {msg}\nusage: collect_bench [--criterion-dir DIR] [--filter PREFIX] [--out FILE]"
+    );
+    ExitCode::from(1)
+}

@@ -40,6 +40,7 @@ pub mod aig;
 pub mod aiger;
 pub mod bench_io;
 pub mod error;
+pub mod hash;
 pub mod level;
 pub mod lower;
 pub mod netlist;
@@ -48,6 +49,7 @@ pub mod stats;
 pub use aig::{AigNode, NodeId, SeqAig, NUM_NODE_TYPES};
 pub use aiger::{parse_aiger, write_aiger};
 pub use error::NetlistError;
+pub use hash::structural_hash;
 pub use level::Levels;
 pub use lower::{lower_to_aig, LoweredNetlist};
 pub use netlist::{GateId, GateKind, GateRef, Netlist};

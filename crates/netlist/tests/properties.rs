@@ -156,4 +156,111 @@ proptest! {
         prop_assert_eq!(nl.dffs().len(), back.dffs().len());
         prop_assert_eq!(nl.outputs().len(), back.outputs().len());
     }
+
+    #[test]
+    fn structural_hash_invariant_under_renumbering(aig in arb_seq_aig(), perm_seed in any::<u64>()) {
+        let renumbered = renumber(&aig, perm_seed);
+        prop_assert!(renumbered.validate().is_ok());
+        prop_assert_eq!(
+            deepseq_netlist::structural_hash(&aig),
+            deepseq_netlist::structural_hash(&renumbered),
+            "renumbering changed the hash"
+        );
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_modified_circuits(aig in arb_seq_aig(), perm_seed in any::<u64>()) {
+        let original = deepseq_netlist::structural_hash(&aig);
+        // Mutate the circuit structurally — a renumbered copy plus one extra
+        // inverter marked as a fresh output is never isomorphic to the
+        // original (node count differs).
+        let mut modified = renumber(&aig, perm_seed);
+        let last = deepseq_netlist::NodeId((modified.len() - 1) as u32);
+        let extra = modified.add_not(last);
+        modified.set_output(extra, "mutation");
+        prop_assert_ne!(original, deepseq_netlist::structural_hash(&modified));
+        // Flipping an FF power-on state is also a structural change: rebuild
+        // the graph identically except for one init bit.
+        if let Some(&ff) = aig.ffs().first() {
+            let mut flipped = SeqAig::new("flip");
+            for (id, node) in aig.iter() {
+                match *node {
+                    AigNode::Pi => { flipped.add_pi(aig.node_name(id).unwrap_or("p")); }
+                    AigNode::And(a, b) => { flipped.add_and(a, b); }
+                    AigNode::Not(a) => { flipped.add_not(a); }
+                    AigNode::Ff { init, .. } => {
+                        let flip = if id == ff { !init } else { init };
+                        flipped.add_ff(aig.node_name(id).unwrap_or("f"), flip);
+                    }
+                }
+            }
+            for (id, node) in aig.iter() {
+                if let AigNode::Ff { d: Some(dn), .. } = *node {
+                    flipped.connect_ff(id, dn).expect("rebuild ff");
+                }
+            }
+            for (node, name) in aig.outputs() {
+                flipped.set_output(*node, name.clone());
+            }
+            prop_assert_ne!(original, deepseq_netlist::structural_hash(&flipped));
+        }
+    }
+}
+
+/// Rebuilds `aig` under a random valid topological reordering of node ids
+/// (PIs/FFs anywhere, AND/NOT after their fanins), preserving names,
+/// FF connections and outputs — the renumbering the canonical hash must be
+/// blind to.
+fn renumber(aig: &SeqAig, seed: u64) -> SeqAig {
+    use deepseq_netlist::NodeId;
+    let n = aig.len();
+    let mut state = seed | 1;
+    let mut next = move |bound: usize| -> usize {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+    };
+    let mut out = SeqAig::new(aig.name());
+    let mut mapped: Vec<Option<NodeId>> = vec![None; n];
+    let mut remaining: Vec<NodeId> = aig.iter().map(|(id, _)| id).collect();
+    while !remaining.is_empty() {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| match *aig.node(**id) {
+                AigNode::Pi | AigNode::Ff { .. } => true,
+                AigNode::And(a, b) => mapped[a.index()].is_some() && mapped[b.index()].is_some(),
+                AigNode::Not(a) => mapped[a.index()].is_some(),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let pick = ready[next(ready.len())];
+        let id = remaining.swap_remove(pick);
+        let new_id = match *aig.node(id) {
+            AigNode::Pi => out.add_pi(aig.node_name(id).unwrap_or("pi")),
+            AigNode::Ff { init, .. } => out.add_ff(aig.node_name(id).unwrap_or("ff"), init),
+            AigNode::And(a, b) => {
+                // Also randomize commutative fanin order.
+                let (ma, mb) = (mapped[a.index()].unwrap(), mapped[b.index()].unwrap());
+                if next(2) == 0 {
+                    out.add_and(ma, mb)
+                } else {
+                    out.add_and(mb, ma)
+                }
+            }
+            AigNode::Not(a) => out.add_not(mapped[a.index()].unwrap()),
+        };
+        mapped[id.index()] = Some(new_id);
+    }
+    for (id, node) in aig.iter() {
+        if let AigNode::Ff { d: Some(d), .. } = *node {
+            out.connect_ff(mapped[id.index()].unwrap(), mapped[d.index()].unwrap())
+                .expect("renumbered FF connect");
+        }
+    }
+    for (node, name) in aig.outputs() {
+        out.set_output(mapped[node.index()].unwrap(), name.clone());
+    }
+    out
 }

@@ -14,8 +14,8 @@
 //!   (the paper's Combine function, Eq. 8) and [`AdditiveAttention`]
 //!   (the scoring used by Eq. 5/6);
 //! * [`Adam`] — the optimizer used throughout the paper (lr `1e-4`);
-//! * [`Params`] / [`GradStore`] — named parameter store with a text
-//!   checkpoint format (no serialization dependencies).
+//! * [`Params`] / [`GradStore`] — named parameter store with text and
+//!   binary checkpoint formats (no serialization dependencies).
 //!
 //! # Example: one training step
 //!
@@ -50,5 +50,5 @@ pub mod tape;
 pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::Adam;
-pub use params::{GradStore, ParamId, Params, ParamsError};
+pub use params::{BinReader, GradStore, ParamId, Params, ParamsError};
 pub use tape::{Tape, VarId};

@@ -182,6 +182,44 @@ impl Matrix {
         out
     }
 
+    /// Reshapes to `rows×cols` and zero-fills, reusing the existing
+    /// allocation when it is large enough. This is what lets the tape-free
+    /// inference path in `deepseq-serve` run on preallocated scratch
+    /// buffers instead of allocating per level.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Writes `self × other` into `out` (reshaped via [`Matrix::reset`]),
+    /// reusing `out`'s allocation. Bit-identical to [`Matrix::matmul`].
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or if `out` aliases an operand.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
     /// `selfᵀ × other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul row mismatch");

@@ -1,10 +1,21 @@
-//! Named parameter store with a self-contained text checkpoint format.
+//! Named parameter store with self-contained text and binary checkpoint
+//! formats.
 //!
 //! Models register their weights here and receive [`ParamId`]s; the autograd
 //! [`Tape`](crate::tape::Tape) accumulates gradients into a [`GradStore`]
 //! keyed by the same ids, and [`Adam`](crate::optim::Adam) applies updates.
-//! Checkpoints use a plain text format (name, shape, values) so that no
-//! serialization framework dependency is needed.
+//! Checkpoints come in two interchangeable formats, neither requiring a
+//! serialization framework dependency:
+//!
+//! * **text** (`deepseq-params v1`): name, shape and values as decimal
+//!   floats, one matrix row per line — human-readable and diff-friendly;
+//! * **binary** (`DSQP` magic, version 1): little-endian `f32` payloads
+//!   behind a length-prefixed name/shape header per parameter — compact and
+//!   fast to load, used by the serving subsystem (`deepseq-serve`).
+//!
+//! Both round-trip losslessly (Rust's float formatting prints the shortest
+//! exactly-round-tripping decimal), so [`Params::save_to_string`] and
+//! [`Params::save_binary`] restore bit-identical weights.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -204,6 +215,197 @@ impl Params {
     }
 }
 
+/// Magic bytes opening every binary parameter checkpoint.
+pub const BINARY_MAGIC: [u8; 4] = *b"DSQP";
+
+/// Version written by [`Params::save_binary`].
+pub const BINARY_VERSION: u16 = 1;
+
+impl Params {
+    /// Serializes all parameters to the binary checkpoint format.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// magic   b"DSQP"
+    /// u16     format version (1)
+    /// u16     reserved (0)
+    /// u32     parameter count
+    /// per parameter, in registration order:
+    ///   u32       name length in bytes, then the UTF-8 name
+    ///   u32 × 2   rows, cols
+    ///   f32 × n   row-major values, IEEE-754 little-endian
+    /// ```
+    pub fn save_binary(&self) -> Vec<u8> {
+        let payload: usize = self
+            .iter()
+            .map(|(_, name, m)| 12 + name.len() + 4 * m.data().len())
+            .sum();
+        let mut out = Vec::with_capacity(12 + payload);
+        out.extend_from_slice(&BINARY_MAGIC);
+        out.extend_from_slice(&BINARY_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for (_, name, value) in self.iter() {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(value.rows() as u32).to_le_bytes());
+            out.extend_from_slice(&(value.cols() as u32).to_le_bytes());
+            for &v in value.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Loads a binary checkpoint written by [`Params::save_binary`] *into*
+    /// already-registered parameters by name, mirroring the semantics of
+    /// [`Params::load_from_string`]: parameters missing from the checkpoint
+    /// stay untouched; unknown names are an error.
+    ///
+    /// # Errors
+    /// Returns [`ParamsError::BadMagic`] / [`ParamsError::UnsupportedVersion`]
+    /// on a foreign or future header, [`ParamsError::Truncated`] when the
+    /// payload ends early, and the usual [`ParamsError::UnknownParam`] /
+    /// [`ParamsError::ShapeMismatch`] on content mismatches.
+    pub fn load_binary(&mut self, bytes: &[u8]) -> Result<(), ParamsError> {
+        let mut r = BinReader::new(bytes);
+        if r.take::<4>()? != BINARY_MAGIC {
+            return Err(ParamsError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != BINARY_VERSION {
+            return Err(ParamsError::UnsupportedVersion { found: version });
+        }
+        let _reserved = r.u16()?;
+        let count = r.u32()? as usize;
+        for _ in 0..count {
+            let name_len = r.u32()? as usize;
+            let name_bytes = r.bytes(name_len)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| ParamsError::Corrupt {
+                    msg: "parameter name is not UTF-8".into(),
+                })?
+                .to_string();
+            let rows = r.u32()? as usize;
+            let cols = r.u32()? as usize;
+            let n = rows.checked_mul(cols).ok_or(ParamsError::Corrupt {
+                msg: format!("overflowing shape {rows}x{cols}"),
+            })?;
+            // Bound the claimed payload against the actual remaining bytes
+            // *before* allocating — an untrusted shape field must produce a
+            // typed error, never an allocation panic.
+            let byte_len = n.checked_mul(4).ok_or(ParamsError::Corrupt {
+                msg: format!("overflowing shape {rows}x{cols}"),
+            })?;
+            if byte_len > r.remaining() {
+                return Err(ParamsError::Truncated {
+                    offset: r.position(),
+                    needed: byte_len,
+                });
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(f32::from_le_bytes(r.take::<4>()?));
+            }
+            let id = self
+                .find(&name)
+                .ok_or(ParamsError::UnknownParam(name.clone()))?;
+            if self.get(id).shape() != (rows, cols) {
+                return Err(ParamsError::ShapeMismatch {
+                    name,
+                    expected: self.get(id).shape(),
+                    actual: (rows, cols),
+                });
+            }
+            *self.get_mut(id) = Matrix::from_vec(rows, cols, data);
+        }
+        if !r.is_done() {
+            return Err(ParamsError::Corrupt {
+                msg: format!("{} trailing bytes after last parameter", r.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Bounds-checked little-endian cursor shared by the binary checkpoint
+/// readers here and in `deepseq-core`.
+#[derive(Debug)]
+pub struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BinReader { bytes, pos: 0 }
+    }
+
+    /// Reads a fixed-size array, or fails with [`ParamsError::Truncated`].
+    pub fn take<const N: usize>(&mut self) -> Result<[u8; N], ParamsError> {
+        let slice = self.bytes(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], ParamsError> {
+        let end = self.pos.checked_add(n).ok_or(ParamsError::Truncated {
+            offset: self.pos,
+            needed: n,
+        })?;
+        if end > self.bytes.len() {
+            return Err(ParamsError::Truncated {
+                offset: self.pos,
+                needed: n,
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, ParamsError> {
+        Ok(u16::from_le_bytes(self.take::<2>()?))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ParamsError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ParamsError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// The rest of the input, consuming it.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        slice
+    }
+}
+
 fn parse_field(tok: Option<&str>, lineno: usize) -> Result<usize, ParamsError> {
     tok.and_then(|t| t.parse().ok()).ok_or(ParamsError::Parse {
         line: lineno + 1,
@@ -237,6 +439,26 @@ pub enum ParamsError {
     },
     /// File ended mid-parameter.
     UnexpectedEof,
+    /// Binary checkpoint does not start with the `DSQP` magic.
+    BadMagic,
+    /// Binary checkpoint was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// Binary checkpoint ended before a read completed.
+    Truncated {
+        /// Byte offset at which the read started.
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+    },
+    /// Binary checkpoint is structurally invalid (bad UTF-8 name,
+    /// overflowing shape, trailing bytes).
+    Corrupt {
+        /// Description.
+        msg: String,
+    },
 }
 
 impl fmt::Display for ParamsError {
@@ -254,6 +476,15 @@ impl fmt::Display for ParamsError {
                 "parameter `{name}` has shape {expected:?}, checkpoint has {actual:?}"
             ),
             ParamsError::UnexpectedEof => write!(f, "unexpected end of checkpoint"),
+            ParamsError::BadMagic => write!(f, "missing `DSQP` binary checkpoint magic"),
+            ParamsError::UnsupportedVersion { found } => {
+                write!(f, "unsupported binary checkpoint version {found}")
+            }
+            ParamsError::Truncated { offset, needed } => write!(
+                f,
+                "binary checkpoint truncated: needed {needed} bytes at offset {offset}"
+            ),
+            ParamsError::Corrupt { msg } => write!(f, "corrupt binary checkpoint: {msg}"),
         }
     }
 }
@@ -401,6 +632,118 @@ mod tests {
             p.load_from_string(text),
             Err(ParamsError::ShapeMismatch { .. })
         ));
+    }
+
+    fn sample_params(seed: u64) -> Params {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = Params::new();
+        p.register_xavier("layer1.w", 3, 4, &mut rng);
+        p.register_xavier("layer1.b", 1, 4, &mut rng);
+        p.register_xavier("head.w", 4, 2, &mut rng);
+        p
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_exact() {
+        let p = sample_params(1);
+        let bytes = p.save_binary();
+        let mut q = sample_params(2);
+        q.load_binary(&bytes).unwrap();
+        for (_, name, value) in p.iter() {
+            let qid = q.find(name).unwrap();
+            assert_eq!(value, q.get(qid), "{name}");
+        }
+        // Re-serializing restored values reproduces the exact byte stream.
+        assert_eq!(q.save_binary(), bytes);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_version() {
+        let mut p = sample_params(1);
+        assert_eq!(p.load_binary(b"NOPE"), Err(ParamsError::BadMagic));
+        let mut bytes = p.save_binary();
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(
+            p.load_binary(&bytes),
+            Err(ParamsError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_truncation_at_every_prefix_length() {
+        let mut p = sample_params(1);
+        let bytes = p.save_binary();
+        for cut in 0..bytes.len() {
+            let err = p.load_binary(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ParamsError::Truncated { .. }
+                        | ParamsError::BadMagic
+                        | ParamsError::Corrupt { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(matches!(
+            p.load_binary(&longer),
+            Err(ParamsError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_huge_claimed_shapes_without_allocating() {
+        // Valid header, one parameter claiming a ~1.8e19-element matrix:
+        // must fail with a typed error before any allocation is attempted.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BINARY_MAGIC);
+        bytes.extend_from_slice(&BINARY_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one parameter
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name length
+        bytes.push(b'w');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // cols
+        let mut p = Params::new();
+        p.register("w", Matrix::zeros(1, 1));
+        assert!(matches!(
+            p.load_binary(&bytes),
+            Err(ParamsError::Truncated { .. } | ParamsError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_unknown_param_and_shape_mismatch() {
+        let p = sample_params(1);
+        let bytes = p.save_binary();
+        let mut empty = Params::new();
+        assert!(matches!(
+            empty.load_binary(&bytes),
+            Err(ParamsError::UnknownParam(_))
+        ));
+        let mut wrong = Params::new();
+        wrong.register("layer1.w", Matrix::zeros(2, 2));
+        assert!(matches!(
+            wrong.load_binary(&bytes),
+            Err(ParamsError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn text_and_binary_checkpoints_agree() {
+        let p = sample_params(3);
+        let mut from_text = sample_params(4);
+        from_text.load_from_string(&p.save_to_string()).unwrap();
+        let mut from_binary = sample_params(5);
+        from_binary.load_binary(&p.save_binary()).unwrap();
+        for (_, name, _) in p.iter() {
+            let a = from_text.get(from_text.find(name).unwrap());
+            let b = from_binary.get(from_binary.find(name).unwrap());
+            assert_eq!(a, b, "{name}: text and binary restores diverge");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! checked against central finite differences on random inputs, and
 //! algebraic invariants of the matrix type are verified.
 
-use deepseq_nn::{Matrix, Params, Tape};
+use deepseq_nn::{Matrix, Params, ParamsError, Tape};
 use proptest::prelude::*;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -183,4 +183,87 @@ proptest! {
         prop_assert!(final_loss <= initial + 1e-6);
         prop_assert!(final_loss < 0.1 || initial < 0.1, "loss {initial} -> {final_loss}");
     }
+
+    #[test]
+    fn binary_checkpoint_roundtrips_bytes_exactly(store in arb_params()) {
+        // bytes → values → bytes: a second serialization of the restored
+        // store reproduces the first byte-for-byte.
+        let bytes = store.save_binary();
+        let mut restored = shapes_of(&store);
+        restored.load_binary(&bytes).expect("load own checkpoint");
+        for (_, name, value) in store.iter() {
+            let id = restored.find(name).expect("name survives");
+            prop_assert_eq!(value, restored.get(id), "{}", name);
+        }
+        prop_assert_eq!(restored.save_binary(), bytes);
+    }
+
+    #[test]
+    fn binary_checkpoint_rejects_any_truncation(store in arb_params(), frac in 0.0f32..1.0) {
+        let bytes = store.save_binary();
+        let cut = ((bytes.len() as f32 * frac) as usize).min(bytes.len().saturating_sub(1));
+        let mut target = shapes_of(&store);
+        let err = target.load_binary(&bytes[..cut]);
+        prop_assert!(err.is_err(), "truncation at {} accepted", cut);
+        // The error is typed, not a panic, and names a decoding failure.
+        prop_assert!(matches!(
+            err.unwrap_err(),
+            ParamsError::Truncated { .. } | ParamsError::BadMagic | ParamsError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn text_and_binary_checkpoints_restore_identical_values(store in arb_params()) {
+        let mut via_text = shapes_of(&store);
+        via_text.load_from_string(&store.save_to_string()).expect("text load");
+        let mut via_binary = shapes_of(&store);
+        via_binary.load_binary(&store.save_binary()).expect("binary load");
+        for (_, name, original) in store.iter() {
+            let t = via_text.get(via_text.find(name).expect("text name"));
+            let b = via_binary.get(via_binary.find(name).expect("binary name"));
+            prop_assert_eq!(t, b, "{}: text and binary restores diverge", name);
+            prop_assert_eq!(original, t, "{}: text restore is lossy", name);
+        }
+    }
+}
+
+/// Strategy: a parameter store with 1–4 randomly-shaped, randomly-valued
+/// matrices (values include exact and awkward floats).
+fn arb_params() -> impl Strategy<Value = Params> {
+    (1usize..5, any::<u64>()).prop_map(|(count, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut store = Params::new();
+        for i in 0..count {
+            let rows = 1 + next(5);
+            let cols = 1 + next(5);
+            let m = Matrix::from_fn(rows, cols, |r, c| {
+                // Mix of exact, tiny, negative and subnormal-ish values.
+                match next(5) {
+                    0 => 0.0,
+                    1 => -(r as f32) - c as f32,
+                    2 => 1.0 / (1 + next(1000)) as f32,
+                    3 => f32::from_bits(next(u32::MAX as usize) as u32 & 0x7F7F_FFFF),
+                    _ => next(1000) as f32 * 1e-3,
+                }
+            });
+            store.register(format!("p{i}.w"), m);
+        }
+        store
+    })
+}
+
+/// A fresh store with the same names/shapes as `store` but zeroed values —
+/// the "already registered model" a checkpoint loads into.
+fn shapes_of(store: &Params) -> Params {
+    let mut out = Params::new();
+    for (_, name, value) in store.iter() {
+        out.register(name.to_string(), Matrix::zeros(value.rows(), value.cols()));
+    }
+    out
 }

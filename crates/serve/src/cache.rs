@@ -1,0 +1,353 @@
+//! Content-addressed LRU cache of inference results.
+//!
+//! The serving workload described by the paper's downstream tasks (power
+//! estimation, reliability) hammers a *frozen* model with repeated queries
+//! over the same or near-identical circuits. The cache keys results by
+//! **content**, not identity: the circuit contributes its canonical
+//! [`structural_hash`] (invariant under node renumbering), the workload its
+//! per-PI stimulus *paired with the PI's name* (so a renumbered circuit with
+//! a correspondingly reordered workload still hits, while assigning the same
+//! stimulus vector to differently-named PIs misses), and the initial-state
+//! seed completes the key. Repeated circuit+workload queries are O(1).
+//!
+//! # Numbering semantics of cached results
+//!
+//! Content addressing deliberately identifies all renumberings of one
+//! circuit: a hit reproduces the outputs of the request that *populated*
+//! the entry, computed under that request's node numbering. Per-node rows
+//! are indexed by the populating numbering, and because
+//! `initial_states` seeds the random non-PI rows by node index, even
+//! circuit-level outputs (pooled embedding, prediction means) would come
+//! out slightly different under a different numbering of the same
+//! structure — the cache pins them to the first numbering seen. Callers
+//! that need numbering-exact results must query with one consistent
+//! numbering (or disable the cache); callers treating the model as a
+//! content-addressed embedding provider get exactly the determinism they
+//! want: one circuit structure + workload + seed ⇒ one stable answer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use deepseq_core::Predictions;
+use deepseq_netlist::hash::{combine, hash_bytes, mix};
+use deepseq_netlist::{structural_hash, SeqAig};
+use deepseq_nn::Matrix;
+use deepseq_sim::Workload;
+
+/// Content address of one inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical structural hash of the circuit.
+    pub structural: u64,
+    /// Order-invariant hash of the (PI name, stimulus) pairs.
+    pub workload: u64,
+    /// Seed of the random non-PI rows of the initial state matrix.
+    pub init_seed: u64,
+}
+
+impl CacheKey {
+    /// Computes the content address of a request.
+    pub fn for_request(aig: &SeqAig, workload: &Workload, init_seed: u64) -> CacheKey {
+        let stimuli = workload.stimuli();
+        let mut wsum = 0u64;
+        // Duplicate PI names are legal in parsed netlists; rank same-named
+        // PIs by id order so swapping their stimuli changes the key (a false
+        // miss under renumbering is safe, a false hit would not be).
+        let mut name_rank: HashMap<&str, u64> = HashMap::new();
+        for (i, pi) in aig.pis().iter().enumerate() {
+            let name = aig.node_name(*pi).unwrap_or("");
+            let rank = name_rank.entry(name).or_insert(0);
+            let mut h = combine(hash_bytes(name.as_bytes()), *rank);
+            *rank += 1;
+            match stimuli.get(i) {
+                Some(s) => {
+                    h = combine(h, s.p1.to_bits());
+                    h = combine(h, s.density.to_bits());
+                }
+                None => h = combine(h, u64::MAX),
+            }
+            // Order-invariant: the multiset of (name, rank, stimulus)
+            // triples is what matters, not PI id order.
+            wsum = wsum.wrapping_add(mix(h));
+        }
+        CacheKey {
+            structural: structural_hash(aig),
+            workload: combine(wsum, stimuli.len() as u64),
+            init_seed,
+        }
+    }
+}
+
+/// A cached forward-pass result, shared by `Arc` so cache hits are
+/// allocation-free.
+///
+/// Per-node rows follow the node numbering of the request that populated
+/// the entry — see the [module docs](self) on row-numbering semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedInference {
+    /// Per-node predictions.
+    pub predictions: Predictions,
+    /// `1×d` mean-pooled circuit embedding.
+    pub embedding: Matrix,
+    /// Node count of the circuit that produced them.
+    pub num_nodes: usize,
+}
+
+/// Hit/miss/eviction counters of an [`EmbeddingCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded LRU of [`CachedInference`] results keyed by [`CacheKey`].
+///
+/// Recency is tracked with a monotonic tick per entry; eviction scans for
+/// the minimum tick, which is O(capacity) — irrelevant next to a forward
+/// pass and free of unsafe pointer juggling. Wrap it in a `Mutex` to share
+/// (the [`Engine`](crate::Engine) does).
+///
+/// # Example
+/// ```
+/// use deepseq_serve::{CachedInference, CacheKey, EmbeddingCache};
+/// use deepseq_core::Predictions;
+/// use deepseq_nn::Matrix;
+/// use std::sync::Arc;
+///
+/// let mut cache = EmbeddingCache::new(2);
+/// let key = CacheKey { structural: 1, workload: 2, init_seed: 3 };
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(key, Arc::new(CachedInference {
+///     predictions: Predictions { tr: Matrix::zeros(1, 2), lg: Matrix::zeros(1, 1) },
+///     embedding: Matrix::zeros(1, 4),
+///     num_nodes: 1,
+/// }));
+/// assert!(cache.get(&key).is_some());
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EmbeddingCache {
+    map: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<CachedInference>,
+    last_used: u64,
+}
+
+impl EmbeddingCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        EmbeddingCache {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            capacity,
+            ..EmbeddingCache::default()
+        }
+    }
+
+    /// Looks a key up, refreshing its recency and counting hit/miss.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CachedInference>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<CachedInference>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries, keeping the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_sim::PiStimulus;
+
+    fn dummy(n: usize) -> Arc<CachedInference> {
+        Arc::new(CachedInference {
+            predictions: Predictions {
+                tr: Matrix::zeros(n, 2),
+                lg: Matrix::zeros(n, 1),
+            },
+            embedding: Matrix::zeros(1, 4),
+            num_nodes: n,
+        })
+    }
+
+    fn key(k: u64) -> CacheKey {
+        CacheKey {
+            structural: k,
+            workload: 0,
+            init_seed: 0,
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = EmbeddingCache::new(2);
+        cache.insert(key(1), dummy(1));
+        cache.insert(key(2), dummy(2));
+        assert!(cache.get(&key(1)).is_some()); // refresh 1 ⇒ 2 is LRU
+        cache.insert(key(3), dummy(3));
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = EmbeddingCache::new(0);
+        cache.insert(key(1), dummy(1));
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut cache = EmbeddingCache::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), dummy(1));
+        assert!(cache.get(&key(1)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_binds_workload_to_pi_names() {
+        let mut aig = SeqAig::new("k");
+        aig.add_pi("a");
+        aig.add_pi("b");
+        let w1 = Workload::new(vec![
+            PiStimulus::independent(0.1),
+            PiStimulus::independent(0.9),
+        ]);
+        let w2 = Workload::new(vec![
+            PiStimulus::independent(0.9),
+            PiStimulus::independent(0.1),
+        ]);
+        // Same stimulus multiset, different PI assignment ⇒ different key.
+        assert_ne!(
+            CacheKey::for_request(&aig, &w1, 0),
+            CacheKey::for_request(&aig, &w2, 0)
+        );
+        // Different init seed ⇒ different key.
+        assert_ne!(
+            CacheKey::for_request(&aig, &w1, 0),
+            CacheKey::for_request(&aig, &w1, 1)
+        );
+        // Identical request ⇒ identical key.
+        assert_eq!(
+            CacheKey::for_request(&aig, &w1, 0),
+            CacheKey::for_request(&aig, &w1, 0)
+        );
+    }
+
+    #[test]
+    fn key_distinguishes_swapped_stimuli_on_duplicate_pi_names() {
+        // Parsed netlists can legally carry duplicate input names; swapping
+        // the stimuli of two same-named PIs must change the key (the two
+        // requests produce different h0 matrices).
+        let mut aig = SeqAig::new("dup");
+        aig.add_pi("x");
+        aig.add_pi("x");
+        let w1 = Workload::new(vec![
+            PiStimulus::independent(0.1),
+            PiStimulus::independent(0.9),
+        ]);
+        let w2 = Workload::new(vec![
+            PiStimulus::independent(0.9),
+            PiStimulus::independent(0.1),
+        ]);
+        assert_ne!(
+            CacheKey::for_request(&aig, &w1, 0),
+            CacheKey::for_request(&aig, &w2, 0)
+        );
+    }
+}

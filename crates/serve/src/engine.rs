@@ -1,0 +1,377 @@
+//! Multi-threaded request engine.
+//!
+//! An [`Engine`] owns a frozen [`InferenceModel`], a worker pool fed by an
+//! `mpsc` channel, and a shared [`EmbeddingCache`]. Independent circuit
+//! requests are batched by the callers ([`Engine::serve_batch`]) and fan
+//! out across workers; each worker keeps its own [`Workspace`] so steady
+//! traffic runs without per-request allocation. Responses travel back over
+//! per-request channels, so completion order never scrambles a batch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use deepseq_core::encoding::initial_states;
+use deepseq_core::CircuitGraph;
+use deepseq_netlist::SeqAig;
+use deepseq_sim::Workload;
+
+use crate::cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
+use crate::infer::{InferenceModel, Workspace};
+use crate::ServeError;
+
+/// One inference request: a circuit plus the workload applied at its PIs.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: u64,
+    /// The circuit (must pass [`SeqAig::validate`]).
+    pub aig: SeqAig,
+    /// Per-PI stimulus; must cover every PI.
+    pub workload: Workload,
+    /// Seed for the random non-PI rows of the initial state matrix.
+    pub init_seed: u64,
+}
+
+/// Successful inference payload of a [`ServeResponse`].
+#[derive(Debug, Clone)]
+pub struct ServedInference {
+    /// Node count of the served circuit.
+    pub num_nodes: usize,
+    /// True if the result came from the embedding cache.
+    pub cache_hit: bool,
+    /// Shared predictions + embedding. On a cache hit these are the outputs
+    /// of the request that populated the entry, computed under *that*
+    /// request's node numbering — see the
+    /// [`cache` module docs](crate::cache) on numbering semantics.
+    pub data: Arc<CachedInference>,
+}
+
+/// Outcome of one request.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The request's identifier.
+    pub id: u64,
+    /// Design name of the request's circuit.
+    pub design: String,
+    /// Predictions, or why the request was rejected.
+    pub result: Result<ServedInference, ServeError>,
+}
+
+/// Sizing knobs of an [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Worker threads. Clamped to at least 1.
+    pub workers: usize,
+    /// Embedding-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(8);
+        EngineOptions {
+            workers,
+            cache_capacity: 256,
+        }
+    }
+}
+
+struct Job {
+    request: ServeRequest,
+    reply: mpsc::Sender<ServeResponse>,
+}
+
+/// The serving engine (see the [module docs](self)).
+///
+/// # Example
+/// ```
+/// use deepseq_core::{DeepSeq, DeepSeqConfig};
+/// use deepseq_netlist::SeqAig;
+/// use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest};
+/// use deepseq_sim::Workload;
+///
+/// let model = DeepSeq::new(DeepSeqConfig { hidden_dim: 8, iterations: 2,
+///                                          ..DeepSeqConfig::default() });
+/// let engine = Engine::new(InferenceModel::from_model(&model).unwrap(),
+///                          EngineOptions { workers: 2, cache_capacity: 16 });
+///
+/// let mut aig = SeqAig::new("toggle");
+/// let q = aig.add_ff("q", false);
+/// let n = aig.add_not(q);
+/// aig.connect_ff(q, n)?;
+///
+/// let make = |id| ServeRequest { id, aig: aig.clone(),
+///                                workload: Workload::uniform(0, 0.5), init_seed: 0 };
+/// // Warm the cache, then identical requests hit it (warming must finish
+/// // first — two identical requests *in one batch* may race to distinct
+/// // workers and both miss).
+/// let cold = engine.serve_batch(vec![make(0)]);
+/// assert!(!cold[0].result.as_ref().unwrap().cache_hit);
+/// let warm = engine.serve_batch(vec![make(1), make(2)]);
+/// assert!(warm.iter().all(|r| r.result.as_ref().unwrap().cache_hit));
+/// assert_eq!(engine.cache_stats().hits, 2);
+/// # Ok::<(), deepseq_netlist::NetlistError>(())
+/// ```
+pub struct Engine {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<Mutex<EmbeddingCache>>,
+    served: Arc<AtomicU64>,
+}
+
+impl Engine {
+    /// Spawns the worker pool around a frozen model.
+    pub fn new(model: InferenceModel, options: EngineOptions) -> Engine {
+        let model = Arc::new(model);
+        let cache = Arc::new(Mutex::new(EmbeddingCache::new(options.cache_capacity)));
+        let served = Arc::new(AtomicU64::new(0));
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..options.workers.max(1))
+            .map(|_| {
+                let model = Arc::clone(&model);
+                let cache = Arc::clone(&cache);
+                let served = Arc::clone(&served);
+                let receiver = Arc::clone(&receiver);
+                thread::spawn(move || {
+                    let mut ws = Workspace::new();
+                    loop {
+                        // Hold the receiver lock only for the dequeue so
+                        // workers drain the queue concurrently.
+                        let job = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => {
+                                let response = process(&model, &cache, job.request, &mut ws);
+                                served.fetch_add(1, Ordering::Relaxed);
+                                // A dropped reply receiver just means the
+                                // caller lost interest.
+                                let _ = job.reply.send(response);
+                            }
+                            Err(_) => break, // engine dropped
+                        }
+                    }
+                })
+            })
+            .collect();
+        Engine {
+            sender: Some(sender),
+            workers,
+            cache,
+            served,
+        }
+    }
+
+    /// Enqueues one request; the response arrives on the returned channel.
+    pub fn submit(&self, request: ServeRequest) -> mpsc::Receiver<ServeResponse> {
+        let (reply, receiver) = mpsc::channel();
+        self.sender
+            .as_ref()
+            .expect("engine sender lives until drop")
+            .send(Job { request, reply })
+            .expect("workers live until drop");
+        receiver
+    }
+
+    /// Serves a batch of independent requests across the worker pool and
+    /// returns the responses in request order.
+    pub fn serve_batch(&self, requests: Vec<ServeRequest>) -> Vec<ServeResponse> {
+        let receivers: Vec<_> = requests.into_iter().map(|r| self.submit(r)).collect();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("worker replies before engine drop"))
+            .collect()
+    }
+
+    /// Current embedding-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Total requests processed since construction.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn process(
+    model: &InferenceModel,
+    cache: &Mutex<EmbeddingCache>,
+    request: ServeRequest,
+    ws: &mut Workspace,
+) -> ServeResponse {
+    let design = request.aig.name().to_string();
+    let id = request.id;
+    let result = serve_one(model, cache, request, ws);
+    ServeResponse { id, design, result }
+}
+
+fn serve_one(
+    model: &InferenceModel,
+    cache: &Mutex<EmbeddingCache>,
+    request: ServeRequest,
+    ws: &mut Workspace,
+) -> Result<ServedInference, ServeError> {
+    request.aig.validate()?;
+    if request.workload.len() < request.aig.num_pis() {
+        return Err(ServeError::WorkloadTooShort {
+            pis: request.aig.num_pis(),
+            stimuli: request.workload.len(),
+        });
+    }
+    let key = CacheKey::for_request(&request.aig, &request.workload, request.init_seed);
+    if let Some(data) = cache.lock().expect("cache lock").get(&key) {
+        return Ok(ServedInference {
+            num_nodes: data.num_nodes,
+            cache_hit: true,
+            data,
+        });
+    }
+    let graph = CircuitGraph::build(&request.aig);
+    let h0 = initial_states(
+        &request.aig,
+        &request.workload,
+        model.config().hidden_dim,
+        request.init_seed,
+    );
+    let out = model.run(&graph, &h0, ws);
+    let data = Arc::new(CachedInference {
+        predictions: out.predictions,
+        embedding: out.embedding,
+        num_nodes: graph.num_nodes,
+    });
+    cache
+        .lock()
+        .expect("cache lock")
+        .insert(key, Arc::clone(&data));
+    Ok(ServedInference {
+        num_nodes: graph.num_nodes,
+        cache_hit: false,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepseq_core::{DeepSeq, DeepSeqConfig};
+
+    fn toggle(name: &str) -> SeqAig {
+        let mut aig = SeqAig::new(name);
+        let q = aig.add_ff("q", false);
+        let n = aig.add_not(q);
+        aig.connect_ff(q, n).unwrap();
+        aig
+    }
+
+    fn engine(workers: usize) -> Engine {
+        let model = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        Engine::new(
+            InferenceModel::from_model(&model).unwrap(),
+            EngineOptions {
+                workers,
+                cache_capacity: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let engine = engine(3);
+        let requests: Vec<ServeRequest> = (0..12)
+            .map(|id| ServeRequest {
+                id,
+                aig: toggle(&format!("t{}", id % 3)),
+                workload: Workload::uniform(0, 0.5),
+                init_seed: id % 2,
+            })
+            .collect();
+        let responses = engine.serve_batch(requests);
+        let ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+        assert!(responses.iter().all(|r| r.result.is_ok()));
+        assert_eq!(engine.requests_served(), 12);
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache_across_workers() {
+        let engine = engine(4);
+        let make = |id| ServeRequest {
+            id,
+            aig: toggle("t"),
+            workload: Workload::uniform(0, 0.5),
+            init_seed: 0,
+        };
+        // Warm sequentially, then spray the same request.
+        let first = engine.serve_batch(vec![make(0)]);
+        assert!(!first[0].result.as_ref().unwrap().cache_hit);
+        let responses = engine.serve_batch((1..9).map(make).collect());
+        assert!(responses
+            .iter()
+            .all(|r| r.result.as_ref().unwrap().cache_hit));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 8);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn invalid_circuit_yields_typed_error_not_a_dead_worker() {
+        let engine = engine(1);
+        let mut bad = SeqAig::new("bad");
+        bad.add_ff("q", false); // never connected
+        let responses = engine.serve_batch(vec![
+            ServeRequest {
+                id: 0,
+                aig: bad,
+                workload: Workload::uniform(0, 0.5),
+                init_seed: 0,
+            },
+            ServeRequest {
+                id: 1,
+                aig: toggle("ok"),
+                workload: Workload::uniform(0, 0.5),
+                init_seed: 0,
+            },
+        ]);
+        assert!(matches!(responses[0].result, Err(ServeError::Netlist(_))));
+        // The worker survived and served the next request.
+        assert!(responses[1].result.is_ok());
+    }
+
+    #[test]
+    fn short_workload_is_rejected() {
+        let engine = engine(1);
+        let mut aig = SeqAig::new("pi");
+        aig.add_pi("a");
+        let responses = engine.serve_batch(vec![ServeRequest {
+            id: 0,
+            aig,
+            workload: Workload::uniform(0, 0.5),
+            init_seed: 0,
+        }]);
+        assert!(matches!(
+            responses[0].result,
+            Err(ServeError::WorkloadTooShort { pis: 1, stimuli: 0 })
+        ));
+    }
+}

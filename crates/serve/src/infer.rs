@@ -1,0 +1,558 @@
+//! Tape-free forward pass for serving.
+//!
+//! [`DeepSeq::forward`](deepseq_core::DeepSeq) records every intermediate on
+//! an autograd [`Tape`](deepseq_nn::Tape) so gradients can flow backwards —
+//! exactly what inference traffic does *not* need. [`InferenceModel`] owns a
+//! frozen copy of the weights and replays the same levelized propagation
+//! (paper Fig. 2) on plain [`Matrix`] ops: one `n×d` state matrix updated in
+//! place, per-level gathers and GRU steps into preallocated scratch buffers
+//! ([`Workspace`]), no gradient bookkeeping, no tape growth.
+//!
+//! Every operation mirrors the corresponding tape op's arithmetic — same
+//! loops, same accumulation order — so the predictions are **bitwise equal**
+//! to [`DeepSeq::predict`] on the same checkpoint (asserted by the crate's
+//! equivalence tests); only the time and memory differ.
+
+use deepseq_core::{Aggregator, CircuitGraph, DeepSeq, DeepSeqConfig, LevelBatch, Predictions};
+use deepseq_netlist::aig::NUM_NODE_TYPES;
+use deepseq_nn::{Matrix, Params};
+
+use crate::ServeError;
+
+/// `y = x·W + b` weights of one dense layer.
+#[derive(Debug, Clone)]
+struct LinearWeights {
+    w: Matrix,
+    b: Matrix,
+}
+
+/// Additive-attention scoring vectors (Eq. 5/6).
+#[derive(Debug, Clone)]
+struct AttentionWeights {
+    w1: Matrix,
+    w2: Matrix,
+}
+
+/// Frozen aggregation weights of one propagation direction.
+#[derive(Debug, Clone)]
+enum AggWeights {
+    ConvSum(LinearWeights),
+    Attention(AttentionWeights),
+    Dual {
+        att: AttentionWeights,
+        gate: AttentionWeights,
+    },
+}
+
+impl AggWeights {
+    fn output_dim(&self, hidden_dim: usize) -> usize {
+        match self {
+            AggWeights::Dual { .. } => 2 * hidden_dim,
+            _ => hidden_dim,
+        }
+    }
+}
+
+/// Frozen GRU cell weights (the Combine function, Eq. 8).
+#[derive(Debug, Clone)]
+struct GruWeights {
+    wz: Matrix,
+    uz: Matrix,
+    bz: Matrix,
+    wr: Matrix,
+    ur: Matrix,
+    br: Matrix,
+    wn: Matrix,
+    un: Matrix,
+    bn: Matrix,
+}
+
+/// One propagation direction: aggregation + GRU combine.
+#[derive(Debug, Clone)]
+struct DirectionWeights {
+    agg: AggWeights,
+    gru: GruWeights,
+}
+
+/// A frozen, tape-free DeepSeq model for inference.
+///
+/// Construct it from a trained [`DeepSeq`] (or directly from a text/binary
+/// checkpoint) and call [`InferenceModel::predict`]; for request loops,
+/// keep one [`Workspace`] per thread and use
+/// [`InferenceModel::run`] to avoid per-request allocation.
+///
+/// # Example
+/// ```
+/// use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
+/// use deepseq_core::encoding::initial_states;
+/// use deepseq_netlist::SeqAig;
+/// use deepseq_serve::InferenceModel;
+/// use deepseq_sim::Workload;
+///
+/// let mut aig = SeqAig::new("toggle");
+/// let q = aig.add_ff("q", false);
+/// let n = aig.add_not(q);
+/// aig.connect_ff(q, n)?;
+///
+/// let model = DeepSeq::new(DeepSeqConfig { hidden_dim: 8, iterations: 2,
+///                                          ..DeepSeqConfig::default() });
+/// let frozen = InferenceModel::from_model(&model).unwrap();
+/// let graph = CircuitGraph::build(&aig);
+/// let h0 = initial_states(&aig, &Workload::uniform(0, 0.5), 8, 0);
+/// // Tape-free predictions are bitwise equal to the tape path.
+/// assert_eq!(frozen.predict(&graph, &h0), model.predict(&graph, &h0));
+/// # Ok::<(), deepseq_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferenceModel {
+    config: DeepSeqConfig,
+    forward: DirectionWeights,
+    reverse: DirectionWeights,
+    tr_head: Vec<LinearWeights>,
+    lg_head: Vec<LinearWeights>,
+}
+
+/// Predictions plus the mean-pooled circuit embedding of one forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutput {
+    /// Per-node transition / logic probability predictions.
+    pub predictions: Predictions,
+    /// `1×d` mean-pooled circuit embedding (Eq. 2 readout).
+    pub embedding: Matrix,
+}
+
+impl InferenceModel {
+    /// Freezes the weights of a trained model.
+    ///
+    /// # Errors
+    /// [`ServeError::MissingParam`] if the parameter store does not contain
+    /// the canonical DeepSeq parameter names (never for models built by
+    /// [`DeepSeq::new`]).
+    pub fn from_model(model: &DeepSeq) -> Result<Self, ServeError> {
+        let config = *model.config();
+        let params = model.params();
+        Ok(InferenceModel {
+            config,
+            forward: direction_weights(params, "fwd", config.aggregator)?,
+            reverse: direction_weights(params, "rev", config.aggregator)?,
+            tr_head: mlp_weights(params, "tr_head", 3)?,
+            lg_head: mlp_weights(params, "lg_head", 3)?,
+        })
+    }
+
+    /// Loads a text checkpoint (see [`DeepSeq::from_checkpoint`]) and
+    /// freezes it.
+    ///
+    /// # Errors
+    /// Propagates checkpoint parse errors as [`ServeError::Checkpoint`].
+    pub fn from_text_checkpoint(text: &str) -> Result<Self, ServeError> {
+        InferenceModel::from_model(&DeepSeq::from_checkpoint(text)?)
+    }
+
+    /// Loads a binary checkpoint (see [`DeepSeq::from_binary_checkpoint`])
+    /// and freezes it.
+    ///
+    /// # Errors
+    /// Propagates checkpoint decode errors as [`ServeError::Checkpoint`].
+    pub fn from_binary_checkpoint(bytes: &[u8]) -> Result<Self, ServeError> {
+        InferenceModel::from_model(&DeepSeq::from_binary_checkpoint(bytes)?)
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DeepSeqConfig {
+        &self.config
+    }
+
+    /// Runs one forward pass into `ws` and returns predictions plus the
+    /// pooled circuit embedding. `init_h` is the `n×d` initial state matrix
+    /// from [`initial_states`](deepseq_core::encoding::initial_states).
+    ///
+    /// # Panics
+    /// Panics if `init_h` is not `n×hidden_dim` (same contract as
+    /// [`DeepSeq::forward`]).
+    pub fn run(
+        &self,
+        graph: &CircuitGraph,
+        init_h: &Matrix,
+        ws: &mut Workspace,
+    ) -> InferenceOutput {
+        let d = self.config.hidden_dim;
+        assert_eq!(
+            init_h.shape(),
+            (graph.num_nodes, d),
+            "init_h must be n×hidden_dim"
+        );
+        ws.state.reset(graph.num_nodes, d);
+        ws.state.data_mut().copy_from_slice(init_h.data());
+
+        for _t in 0..self.config.effective_iterations() {
+            for batch in &graph.forward {
+                self.run_batch(&self.forward, graph, batch, ws);
+            }
+            for batch in &graph.reverse {
+                self.run_batch(&self.reverse, graph, batch, ws);
+            }
+            if self.config.scheme.updates_ffs() {
+                // Fig. 2 step 4: FFs copy their D-input representation; pair
+                // order matters when FFs chain, mirroring the tape version.
+                for &(ff, dn) in &graph.ff_pairs {
+                    for c in 0..d {
+                        let v = ws.state.get(dn as usize, c);
+                        ws.state.set(ff as usize, c, v);
+                    }
+                }
+            }
+        }
+
+        let tr = run_head(&self.tr_head, &ws.state, &mut ws.head_a, &mut ws.head_b);
+        let lg = run_head(&self.lg_head, &ws.state, &mut ws.head_a, &mut ws.head_b);
+        let embedding = mean_pool(&ws.state);
+        InferenceOutput {
+            predictions: Predictions { tr, lg },
+            embedding,
+        }
+    }
+
+    /// Convenience wrapper around [`InferenceModel::run`] with a throwaway
+    /// workspace.
+    pub fn predict(&self, graph: &CircuitGraph, init_h: &Matrix) -> Predictions {
+        self.run(graph, init_h, &mut Workspace::new()).predictions
+    }
+
+    /// One level batch: gather → aggregate → GRU combine → scatter.
+    fn run_batch(
+        &self,
+        dir: &DirectionWeights,
+        graph: &CircuitGraph,
+        batch: &LevelBatch,
+        ws: &mut Workspace,
+    ) {
+        if batch.nodes.is_empty() {
+            return;
+        }
+        let d = self.config.hidden_dim;
+        let k = batch.nodes.len();
+        let m = batch.edges.len();
+        let agg_out = dir.agg.output_dim(d);
+
+        // Gather h_v^{t-1} per node, and per edge both the owner's previous
+        // state and the neighbour message state.
+        ws.node_prev.reset(k, d);
+        for (i, &v) in batch.nodes.iter().enumerate() {
+            ws.node_prev
+                .row_mut(i)
+                .copy_from_slice(ws.state.row(v as usize));
+        }
+        ws.edge_prev.reset(m, d);
+        ws.edge_msgs.reset(m, d);
+        for (i, &(u, seg)) in batch.edges.iter().enumerate() {
+            let owner = batch.nodes[seg as usize] as usize;
+            ws.edge_prev.row_mut(i).copy_from_slice(ws.state.row(owner));
+            ws.edge_msgs
+                .row_mut(i)
+                .copy_from_slice(ws.state.row(u as usize));
+        }
+
+        // Aggregate into the left `agg_out` columns of the GRU input buffer;
+        // the right NUM_NODE_TYPES columns take the node features.
+        ws.input.reset(k, agg_out + NUM_NODE_TYPES);
+        match &dir.agg {
+            AggWeights::ConvSum(lin) => {
+                ws.edge_msgs.matmul_into(&lin.w, &mut ws.weighted);
+                add_row_in_place(&mut ws.weighted, &lin.b);
+                segment_sum_into(&ws.weighted, batch, k, d, &mut ws.m_lg);
+                for i in 0..k {
+                    ws.input.row_mut(i)[..d].copy_from_slice(ws.m_lg.row(i));
+                }
+            }
+            AggWeights::Attention(att) => {
+                attention_message(att, batch, k, ws);
+                for i in 0..k {
+                    ws.input.row_mut(i)[..d].copy_from_slice(ws.m_lg.row(i));
+                }
+            }
+            AggWeights::Dual { att, gate } => {
+                // Eq. 5: logic message m_LG.
+                attention_message(att, batch, k, ws);
+                // Eq. 6: sigmoid transition gate of m_LG against h_v^{t-1}.
+                ws.node_prev.matmul_into(&gate.w1, &mut ws.gate_a);
+                ws.m_lg.matmul_into(&gate.w2, &mut ws.gate_b);
+                ws.gate_a.add_assign(&ws.gate_b);
+                sigmoid_in_place(&mut ws.gate_a);
+                // Eq. 7: input = [m_TR | m_LG | features].
+                for i in 0..k {
+                    let g = ws.gate_a.get(i, 0);
+                    let lg_row = ws.m_lg.row(i);
+                    let row = ws.input.row_mut(i);
+                    for (c, &v) in lg_row.iter().enumerate() {
+                        row[c] = v * g;
+                        row[d + c] = v;
+                    }
+                }
+            }
+        }
+        for (i, &v) in batch.nodes.iter().enumerate() {
+            ws.input.row_mut(i)[agg_out..].copy_from_slice(graph.features.row(v as usize));
+        }
+
+        // GRU combine (Eq. 8): z/r gates, candidate state, interpolation.
+        let gru = &dir.gru;
+        ws.input.matmul_into(&gru.wz, &mut ws.z);
+        ws.node_prev.matmul_into(&gru.uz, &mut ws.tmp);
+        ws.z.add_assign(&ws.tmp);
+        add_row_in_place(&mut ws.z, &gru.bz);
+        sigmoid_in_place(&mut ws.z);
+
+        ws.input.matmul_into(&gru.wr, &mut ws.r);
+        ws.node_prev.matmul_into(&gru.ur, &mut ws.tmp);
+        ws.r.add_assign(&ws.tmp);
+        add_row_in_place(&mut ws.r, &gru.br);
+        sigmoid_in_place(&mut ws.r);
+
+        ws.input.matmul_into(&gru.wn, &mut ws.n);
+        mul_into(&ws.r, &ws.node_prev, &mut ws.tmp);
+        ws.tmp.matmul_into(&gru.un, &mut ws.tmp2);
+        ws.n.add_assign(&ws.tmp2);
+        add_row_in_place(&mut ws.n, &gru.bn);
+        tanh_in_place(&mut ws.n);
+
+        // h' = (1 - z) ⊙ n + z ⊙ h, with the tape's exact expression tree.
+        for ((n, &z), &h) in
+            ws.n.data_mut()
+                .iter_mut()
+                .zip(ws.z.data())
+                .zip(ws.node_prev.data())
+        {
+            *n = (-z + 1.0) * *n + z * h;
+        }
+
+        for (i, &v) in batch.nodes.iter().enumerate() {
+            ws.state.row_mut(v as usize).copy_from_slice(ws.n.row(i));
+        }
+    }
+}
+
+/// Shared Eq. 5 path: additive scores → segment softmax → weighted segment
+/// sum into `ws.m_lg`.
+fn attention_message(att: &AttentionWeights, batch: &LevelBatch, k: usize, ws: &mut Workspace) {
+    let d = att.w1.rows();
+    ws.edge_prev.matmul_into(&att.w1, &mut ws.scores);
+    ws.edge_msgs.matmul_into(&att.w2, &mut ws.scores_b);
+    ws.scores.add_assign(&ws.scores_b);
+    segment_softmax_into(&ws.scores, batch, &mut ws.alpha);
+    ws.weighted.reset(batch.edges.len(), d);
+    for i in 0..batch.edges.len() {
+        let a = ws.alpha.get(i, 0);
+        for (o, &v) in ws.weighted.row_mut(i).iter_mut().zip(ws.edge_msgs.row(i)) {
+            *o = v * a;
+        }
+    }
+    segment_sum_into(&ws.weighted, batch, k, d, &mut ws.m_lg);
+}
+
+/// Segment softmax over an `m×1` score column, numerically identical to
+/// [`Tape::segment_softmax`](deepseq_nn::Tape::segment_softmax).
+fn segment_softmax_into(scores: &Matrix, batch: &LevelBatch, alpha: &mut Matrix) {
+    let m = batch.edges.len();
+    let num_segments = batch.nodes.len();
+    let mut seg_max = vec![f32::NEG_INFINITY; num_segments];
+    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
+        let seg = seg as usize;
+        seg_max[seg] = seg_max[seg].max(scores.get(i, 0));
+    }
+    let mut seg_total = vec![0.0f32; num_segments];
+    alpha.reset(m, 1);
+    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
+        let e = (scores.get(i, 0) - seg_max[seg as usize]).exp();
+        alpha.set(i, 0, e);
+        seg_total[seg as usize] += e;
+    }
+    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
+        alpha.set(i, 0, alpha.get(i, 0) / seg_total[seg as usize]);
+    }
+}
+
+/// Sums edge rows into their owning node rows, in edge order (matching the
+/// tape's accumulation order).
+fn segment_sum_into(src: &Matrix, batch: &LevelBatch, k: usize, d: usize, out: &mut Matrix) {
+    out.reset(k, d);
+    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
+        for (o, &v) in out.row_mut(seg as usize).iter_mut().zip(src.row(i)) {
+            *o += v;
+        }
+    }
+}
+
+/// Broadcast-adds a `1×c` bias row to every row.
+fn add_row_in_place(a: &mut Matrix, row: &Matrix) {
+    let c = a.cols();
+    assert_eq!(row.shape(), (1, c), "add_row_in_place needs 1x{c}");
+    for r in 0..a.rows() {
+        for (o, &b) in a.row_mut(r).iter_mut().zip(row.row(0)) {
+            *o += b;
+        }
+    }
+}
+
+fn sigmoid_in_place(a: &mut Matrix) {
+    for v in a.data_mut() {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
+fn tanh_in_place(a: &mut Matrix) {
+    for v in a.data_mut() {
+        *v = v.tanh();
+    }
+}
+
+fn relu_in_place(a: &mut Matrix) {
+    for v in a.data_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// Element-wise product into `out`.
+fn mul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), b.shape(), "mul_into shape mismatch");
+    out.reset(a.rows(), a.cols());
+    for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = x * y;
+    }
+}
+
+/// Runs a regressor head (Linear + ReLU stack, final sigmoid) over the full
+/// state matrix, alternating between two scratch buffers.
+fn run_head(layers: &[LinearWeights], state: &Matrix, a: &mut Matrix, b: &mut Matrix) -> Matrix {
+    let mut src_is_a = false;
+    for (i, layer) in layers.iter().enumerate() {
+        let (src, dst): (&Matrix, &mut Matrix) = if i == 0 {
+            (state, &mut *a)
+        } else if src_is_a {
+            (&*a, &mut *b)
+        } else {
+            (&*b, &mut *a)
+        };
+        src.matmul_into(&layer.w, dst);
+        add_row_in_place(dst, &layer.b);
+        if i + 1 < layers.len() {
+            relu_in_place(dst);
+        }
+        src_is_a = !src_is_a;
+    }
+    let out = if src_is_a { &mut *a } else { &mut *b };
+    sigmoid_in_place(out);
+    out.clone()
+}
+
+/// Mean-pools node states into a `1×d` embedding, mirroring
+/// [`DeepSeq::embed_graph`]'s accumulation order.
+fn mean_pool(hidden: &Matrix) -> Matrix {
+    let (n, d) = hidden.shape();
+    let mut pooled = Matrix::zeros(1, d);
+    for r in 0..n {
+        for c in 0..d {
+            pooled.set(0, c, pooled.get(0, c) + hidden.get(r, c));
+        }
+    }
+    pooled.scale_assign(1.0 / n.max(1) as f32);
+    pooled
+}
+
+/// Preallocated scratch buffers for [`InferenceModel::run`].
+///
+/// All buffers are reshaped with [`Matrix::reset`], which reuses their
+/// allocations: after the first request of a given size a worker thread
+/// serves follow-ups with near-zero allocator traffic. Keep one workspace
+/// per thread (the engine does); they are cheap when idle.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    state: Matrix,
+    node_prev: Matrix,
+    edge_prev: Matrix,
+    edge_msgs: Matrix,
+    scores: Matrix,
+    scores_b: Matrix,
+    alpha: Matrix,
+    weighted: Matrix,
+    m_lg: Matrix,
+    gate_a: Matrix,
+    gate_b: Matrix,
+    input: Matrix,
+    z: Matrix,
+    r: Matrix,
+    n: Matrix,
+    tmp: Matrix,
+    tmp2: Matrix,
+    head_a: Matrix,
+    head_b: Matrix,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+fn linear_weights(params: &Params, name: &str) -> Result<LinearWeights, ServeError> {
+    Ok(LinearWeights {
+        w: take(params, &format!("{name}.w"))?,
+        b: take(params, &format!("{name}.b"))?,
+    })
+}
+
+fn attention_weights(params: &Params, name: &str) -> Result<AttentionWeights, ServeError> {
+    Ok(AttentionWeights {
+        w1: take(params, &format!("{name}.w1"))?,
+        w2: take(params, &format!("{name}.w2"))?,
+    })
+}
+
+fn direction_weights(
+    params: &Params,
+    name: &str,
+    aggregator: Aggregator,
+) -> Result<DirectionWeights, ServeError> {
+    let agg = match aggregator {
+        Aggregator::ConvSum => {
+            AggWeights::ConvSum(linear_weights(params, &format!("{name}.agg.conv"))?)
+        }
+        Aggregator::Attention => {
+            AggWeights::Attention(attention_weights(params, &format!("{name}.agg.att"))?)
+        }
+        Aggregator::DualAttention => AggWeights::Dual {
+            att: attention_weights(params, &format!("{name}.agg.att"))?,
+            gate: attention_weights(params, &format!("{name}.agg.gate"))?,
+        },
+    };
+    let gru = GruWeights {
+        wz: take(params, &format!("{name}.gru.wz"))?,
+        uz: take(params, &format!("{name}.gru.uz"))?,
+        bz: take(params, &format!("{name}.gru.bz"))?,
+        wr: take(params, &format!("{name}.gru.wr"))?,
+        ur: take(params, &format!("{name}.gru.ur"))?,
+        br: take(params, &format!("{name}.gru.br"))?,
+        wn: take(params, &format!("{name}.gru.wn"))?,
+        un: take(params, &format!("{name}.gru.un"))?,
+        bn: take(params, &format!("{name}.gru.bn"))?,
+    };
+    Ok(DirectionWeights { agg, gru })
+}
+
+fn mlp_weights(
+    params: &Params,
+    name: &str,
+    depth: usize,
+) -> Result<Vec<LinearWeights>, ServeError> {
+    (0..depth)
+        .map(|i| linear_weights(params, &format!("{name}.{i}")))
+        .collect()
+}
+
+fn take(params: &Params, name: &str) -> Result<Matrix, ServeError> {
+    params
+        .find(name)
+        .map(|id| params.get(id).clone())
+        .ok_or_else(|| ServeError::MissingParam(name.to_string()))
+}

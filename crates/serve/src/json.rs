@@ -1,0 +1,140 @@
+//! Minimal JSON emission for serving responses (no serialization
+//! dependencies, matching the repository's offline constraint).
+
+use std::fmt::Write;
+
+use deepseq_core::Predictions;
+
+use crate::engine::ServeResponse;
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn number(v: f32) -> String {
+    if v.is_finite() {
+        // Rust's Display prints the shortest exactly-round-tripping decimal,
+        // which is always a valid JSON number.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn matrix_rows(rows: usize, cols: usize, get: impl Fn(usize, usize) -> f32) -> String {
+    let mut out = String::from("[");
+    for r in 0..rows {
+        if r > 0 {
+            out.push(',');
+        }
+        if cols == 1 {
+            out.push_str(&number(get(r, 0)));
+        } else {
+            out.push('[');
+            for c in 0..cols {
+                if c > 0 {
+                    out.push(',');
+                }
+                out.push_str(&number(get(r, c)));
+            }
+            out.push(']');
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// Renders one response as a single JSON object (one line, no trailing
+/// newline). Full mode includes the per-node prediction matrices; summary
+/// mode only their means.
+pub fn response_to_json(response: &ServeResponse, summary: bool) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"id\":{},\"design\":\"{}\"",
+        response.id,
+        escape(&response.design)
+    );
+    match &response.result {
+        Err(err) => {
+            let _ = write!(out, ",\"error\":\"{}\"", escape(&err.to_string()));
+        }
+        Ok(served) => {
+            let preds = &served.data.predictions;
+            let _ = write!(
+                out,
+                ",\"nodes\":{},\"cache_hit\":{}",
+                served.num_nodes, served.cache_hit
+            );
+            if summary {
+                let _ = write!(
+                    out,
+                    ",\"mean_tr\":{},\"mean_lg\":{}",
+                    number(preds.tr.mean_abs()),
+                    number(preds.lg.mean_abs())
+                );
+            } else {
+                let _ = write!(out, ",\"tr\":{}", predictions_tr(preds));
+                let _ = write!(out, ",\"lg\":{}", predictions_lg(preds));
+            }
+            let emb = &served.data.embedding;
+            let _ = write!(
+                out,
+                ",\"embedding\":{}",
+                matrix_rows(1, emb.cols(), |_, c| emb.get(0, c))
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn predictions_tr(preds: &Predictions) -> String {
+    matrix_rows(preds.tr.rows(), preds.tr.cols(), |r, c| preds.tr.get(r, c))
+}
+
+fn predictions_lg(preds: &Predictions) -> String {
+    matrix_rows(preds.lg.rows(), preds.lg.cols(), |r, c| preds.lg.get(r, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(f32::NAN), "null");
+        assert_eq!(number(f32::INFINITY), "null");
+    }
+
+    #[test]
+    fn matrix_rendering_flattens_columns() {
+        assert_eq!(matrix_rows(2, 1, |r, _| r as f32), "[0,1]");
+        assert_eq!(
+            matrix_rows(2, 2, |r, c| (r * 2 + c) as f32),
+            "[[0,1],[2,3]]"
+        );
+    }
+}

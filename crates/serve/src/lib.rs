@@ -1,0 +1,125 @@
+//! # deepseq-serve — batched tape-free inference for DeepSeq
+//!
+//! Downstream, a trained DeepSeq model is a *frozen embedding provider*:
+//! power estimation (paper Section IV-C), reliability analysis and the
+//! disentangled follow-up DeepSeq2 all issue many forward queries against
+//! the same weights, often on the same or near-identical circuits. This
+//! crate is the serving chassis for that traffic:
+//!
+//! * [`InferenceModel`] — a **tape-free forward pass**: the levelized
+//!   propagation of `deepseq-core` replayed on plain matrix ops with
+//!   preallocated [`Workspace`] scratch buffers. No autograd tape is grown,
+//!   and predictions are bitwise-equal to [`DeepSeq::predict`]
+//!   (`deepseq_core::DeepSeq::predict`) on the same checkpoint;
+//! * **binary checkpoints** — loads the `DSQM`/`DSQP` little-endian format
+//!   added to `deepseq-nn`/`deepseq-core` alongside the text format
+//!   ([`InferenceModel::from_binary_checkpoint`]);
+//! * [`EmbeddingCache`] — a **content-addressed LRU**: results keyed by the
+//!   canonical structural hash of the circuit
+//!   ([`deepseq_netlist::structural_hash`], invariant under node
+//!   renumbering) plus the name-bound workload and the init seed, so
+//!   repeated circuit+workload queries are O(1);
+//! * [`Engine`] — an **`mpsc`-fed worker pool** batching independent
+//!   requests across threads, one workspace per worker;
+//! * the `deepseq-serve` **CLI** — AIGER / `.bench` circuits in, JSON
+//!   predictions out, plus a text↔binary checkpoint converter.
+//!
+//! # Example
+//!
+//! ```
+//! use deepseq_core::{DeepSeq, DeepSeqConfig};
+//! use deepseq_netlist::SeqAig;
+//! use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest};
+//! use deepseq_sim::Workload;
+//!
+//! // Freeze a (here: untrained) model and start an engine.
+//! let model = DeepSeq::new(DeepSeqConfig { hidden_dim: 8, iterations: 2,
+//!                                          ..DeepSeqConfig::default() });
+//! let engine = Engine::new(InferenceModel::from_model(&model).unwrap(),
+//!                          EngineOptions { workers: 2, cache_capacity: 32 });
+//!
+//! // Serve a circuit under a workload.
+//! let mut aig = SeqAig::new("toggle");
+//! let q = aig.add_ff("q", false);
+//! let n = aig.add_not(q);
+//! aig.connect_ff(q, n)?;
+//! let responses = engine.serve_batch(vec![ServeRequest {
+//!     id: 0, aig, workload: Workload::uniform(0, 0.5), init_seed: 0,
+//! }]);
+//! let served = responses[0].result.as_ref().unwrap();
+//! assert_eq!(served.data.predictions.lg.rows(), 2);
+//! # Ok::<(), deepseq_netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod infer;
+pub mod json;
+
+use std::error::Error;
+use std::fmt;
+
+use deepseq_netlist::NetlistError;
+use deepseq_nn::ParamsError;
+
+pub use cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
+pub use engine::{Engine, EngineOptions, ServeRequest, ServeResponse, ServedInference};
+pub use infer::{InferenceModel, InferenceOutput, Workspace};
+
+/// Errors of the serving subsystem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A checkpoint failed to parse or decode.
+    Checkpoint(ParamsError),
+    /// The parameter store lacks a canonical DeepSeq parameter.
+    MissingParam(String),
+    /// The request's circuit is structurally invalid.
+    Netlist(NetlistError),
+    /// The request's workload covers fewer PIs than the circuit has.
+    WorkloadTooShort {
+        /// PIs in the circuit.
+        pis: usize,
+        /// Stimuli in the workload.
+        stimuli: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::MissingParam(name) => {
+                write!(f, "parameter store is missing `{name}`")
+            }
+            ServeError::Netlist(e) => write!(f, "invalid circuit: {e}"),
+            ServeError::WorkloadTooShort { pis, stimuli } => {
+                write!(f, "workload covers {stimuli} PIs but the circuit has {pis}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Checkpoint(e) => Some(e),
+            ServeError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamsError> for ServeError {
+    fn from(e: ParamsError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl From<NetlistError> for ServeError {
+    fn from(e: NetlistError) -> Self {
+        ServeError::Netlist(e)
+    }
+}

@@ -1,0 +1,306 @@
+//! `deepseq-serve` — serve DeepSeq predictions from the command line.
+//!
+//! ```text
+//! deepseq-serve predict [options] <circuit files...>
+//! deepseq-serve convert <input> <output>
+//! deepseq-serve help
+//! ```
+//!
+//! `predict` loads circuits (`.aag` ASCII AIGER or `.bench` ISCAS'89,
+//! lowered to AIGs), runs them through the batched inference engine and
+//! prints one JSON object per circuit to stdout. `convert` converts a model
+//! checkpoint between the text and binary formats (direction autodetected
+//! from the input's magic).
+
+use std::fs;
+use std::process::ExitCode;
+
+use deepseq_core::{DeepSeq, DeepSeqConfig};
+use deepseq_netlist::{lower_to_aig, parse_aiger, SeqAig};
+use deepseq_serve::json::response_to_json;
+use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest};
+use deepseq_sim::Workload;
+
+const USAGE: &str = "deepseq-serve — batched tape-free DeepSeq inference
+
+USAGE:
+    deepseq-serve predict [OPTIONS] <FILES...>
+    deepseq-serve convert <INPUT> <OUTPUT>
+    deepseq-serve help
+
+predict options:
+    --checkpoint <FILE>  model checkpoint, text or binary (autodetected);
+                         without it a freshly seeded model is used
+    --hidden <D>         hidden dim for the fresh model (default 32)
+    --iters <T>          propagation iterations for the fresh model (default 4)
+    --p1 <P>             uniform workload logic-1 probability (default 0.5)
+    --seed <S>           initial-state seed (default 0)
+    --workers <N>        worker threads (default: available parallelism)
+    --cache <N>          embedding-cache capacity (default 256)
+    --repeat <N>         serve the file batch N times (default 1; >1 shows
+                         the cache-hit path)
+    --summary            emit mean predictions instead of full matrices
+    --stats              print engine/cache statistics to stderr
+
+convert:
+    text checkpoints (`deepseq-model v1` header) become binary (`DSQM`),
+    binary checkpoints become text; the weights are preserved exactly.
+
+Circuits: *.aag (ASCII AIGER) are read directly; *.bench netlists are
+lowered to sequential AIGs first. Each PI receives the uniform --p1
+stimulus.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    let result = match command {
+        "predict" => predict(rest),
+        "convert" => convert(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct PredictArgs {
+    checkpoint: Option<String>,
+    hidden: usize,
+    iters: usize,
+    p1: f64,
+    seed: u64,
+    workers: Option<usize>,
+    cache: usize,
+    repeat: usize,
+    summary: bool,
+    stats: bool,
+    files: Vec<String>,
+}
+
+fn parse_predict_args(args: &[String]) -> Result<PredictArgs, String> {
+    let mut out = PredictArgs {
+        checkpoint: None,
+        hidden: 32,
+        iters: 4,
+        p1: 0.5,
+        seed: 0,
+        workers: None,
+        cache: 256,
+        repeat: 1,
+        summary: false,
+        stats: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--checkpoint" => out.checkpoint = Some(value("--checkpoint")?.clone()),
+            "--hidden" => out.hidden = parse_num(value("--hidden")?, "--hidden")?,
+            "--iters" => out.iters = parse_num(value("--iters")?, "--iters")?,
+            "--p1" => {
+                out.p1 = value("--p1")?
+                    .parse()
+                    .map_err(|_| "--p1 needs a float".to_string())?
+            }
+            "--seed" => out.seed = parse_num(value("--seed")?, "--seed")? as u64,
+            "--workers" => out.workers = Some(parse_num(value("--workers")?, "--workers")?),
+            "--cache" => out.cache = parse_num(value("--cache")?, "--cache")?,
+            "--repeat" => out.repeat = parse_num(value("--repeat")?, "--repeat")?.max(1),
+            "--summary" => out.summary = true,
+            "--stats" => out.stats = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            file => out.files.push(file.to_string()),
+        }
+    }
+    if out.files.is_empty() {
+        return Err(format!("no circuit files given\n\n{USAGE}"));
+    }
+    Ok(out)
+}
+
+fn parse_num(s: &str, name: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{name} needs an integer"))
+}
+
+fn predict(args: &[String]) -> Result<(), String> {
+    let args = parse_predict_args(args)?;
+
+    let model = match &args.checkpoint {
+        Some(path) => load_checkpoint(path)?,
+        None => {
+            let config = DeepSeqConfig {
+                hidden_dim: args.hidden,
+                iterations: args.iters,
+                ..DeepSeqConfig::default()
+            };
+            InferenceModel::from_model(&DeepSeq::new(config))
+                .map_err(|e| format!("freezing fresh model: {e}"))?
+        }
+    };
+
+    let circuits: Vec<SeqAig> = args
+        .files
+        .iter()
+        .map(|path| load_circuit(path))
+        .collect::<Result<_, _>>()?;
+
+    let options = EngineOptions {
+        workers: args.workers.unwrap_or(EngineOptions::default().workers),
+        cache_capacity: args.cache,
+    };
+    let engine = Engine::new(model, options);
+
+    let mut next_id = 0u64;
+    for _round in 0..args.repeat {
+        let requests: Vec<ServeRequest> = circuits
+            .iter()
+            .map(|aig| {
+                let id = next_id;
+                next_id += 1;
+                ServeRequest {
+                    id,
+                    aig: aig.clone(),
+                    workload: Workload::uniform(aig.num_pis(), args.p1),
+                    init_seed: args.seed,
+                }
+            })
+            .collect();
+        for response in engine.serve_batch(requests) {
+            println!("{}", response_to_json(&response, args.summary));
+        }
+    }
+
+    if args.stats {
+        let s = engine.cache_stats();
+        eprintln!(
+            "served {} requests | cache: {} hits, {} misses, {} evictions, {}/{} entries ({:.0}% hit)",
+            engine.requests_served(),
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.entries,
+            s.capacity,
+            100.0 * s.hit_ratio()
+        );
+    }
+    Ok(())
+}
+
+fn load_checkpoint(path: &str) -> Result<InferenceModel, String> {
+    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.starts_with(&deepseq_core::model::MODEL_MAGIC) {
+        InferenceModel::from_binary_checkpoint(&bytes)
+            .map_err(|e| format!("loading binary checkpoint {path}: {e}"))
+    } else {
+        let text =
+            String::from_utf8(bytes).map_err(|_| format!("{path} is neither binary nor text"))?;
+        InferenceModel::from_text_checkpoint(&text)
+            .map_err(|e| format!("loading text checkpoint {path}: {e}"))
+    }
+}
+
+fn load_circuit(path: &str) -> Result<SeqAig, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let stem = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".aag")
+        .trim_end_matches(".bench")
+        .to_string();
+    if path.ends_with(".aag") {
+        let mut aig = parse_aiger(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        // The parser has no design name to work with; use the file stem.
+        if aig.name().is_empty() || aig.name() == "aiger" {
+            aig = rename(aig, &stem);
+        }
+        Ok(aig)
+    } else if path.ends_with(".bench") {
+        let netlist = deepseq_netlist::bench_io::parse_bench_named(&text, &stem)
+            .map_err(|e| format!("parsing {path}: {e}"))?;
+        let lowered = lower_to_aig(&netlist).map_err(|e| format!("lowering {path}: {e}"))?;
+        Ok(lowered.aig)
+    } else {
+        Err(format!(
+            "{path}: unsupported extension (expected .aag or .bench)"
+        ))
+    }
+}
+
+/// Rebuilds an AIG under a new design name (SeqAig names are immutable).
+fn rename(aig: SeqAig, name: &str) -> SeqAig {
+    let mut out = SeqAig::new(name);
+    for (id, node) in aig.iter() {
+        use deepseq_netlist::AigNode;
+        match *node {
+            AigNode::Pi => {
+                out.add_pi(
+                    aig.node_name(id)
+                        .unwrap_or(&format!("pi{}", id.0))
+                        .to_string(),
+                );
+            }
+            AigNode::And(a, b) => {
+                out.add_and(a, b);
+            }
+            AigNode::Not(a) => {
+                out.add_not(a);
+            }
+            AigNode::Ff { init, .. } => {
+                out.add_ff(
+                    aig.node_name(id)
+                        .unwrap_or(&format!("ff{}", id.0))
+                        .to_string(),
+                    init,
+                );
+            }
+        }
+    }
+    for (id, node) in aig.iter() {
+        if let deepseq_netlist::AigNode::Ff { d: Some(d), .. } = *node {
+            let _ = out.connect_ff(id, d);
+        }
+    }
+    for (node, oname) in aig.outputs() {
+        out.set_output(*node, oname.clone());
+    }
+    out
+}
+
+fn convert(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err(format!("convert needs <INPUT> <OUTPUT>\n\n{USAGE}"));
+    };
+    let bytes = fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    if bytes.starts_with(&deepseq_core::model::MODEL_MAGIC) {
+        let model = DeepSeq::from_binary_checkpoint(&bytes)
+            .map_err(|e| format!("loading binary checkpoint {input}: {e}"))?;
+        fs::write(output, model.save_to_string()).map_err(|e| format!("writing {output}: {e}"))?;
+        eprintln!("converted binary → text: {input} → {output}");
+    } else {
+        let text =
+            String::from_utf8(bytes).map_err(|_| format!("{input} is neither binary nor text"))?;
+        let model = DeepSeq::from_checkpoint(&text)
+            .map_err(|e| format!("loading text checkpoint {input}: {e}"))?;
+        fs::write(output, model.save_binary()).map_err(|e| format!("writing {output}: {e}"))?;
+        eprintln!("converted text → binary: {input} → {output}");
+    }
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! Property tests of the serving subsystem: the content address must be
+//! blind to node renumbering (that is what makes it *content* addressing),
+//! and the threaded engine must return exactly what a direct forward pass
+//! returns.
+
+use std::collections::HashMap;
+
+use deepseq_core::encoding::initial_states;
+use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
+use deepseq_netlist::{AigNode, NodeId, SeqAig};
+use deepseq_serve::{CacheKey, Engine, EngineOptions, InferenceModel, ServeRequest};
+use deepseq_sim::{PiStimulus, Workload};
+use proptest::prelude::*;
+
+/// Strategy: a small random sequential AIG (same recipe as the netlist
+/// crate's property tests).
+fn arb_seq_aig() -> impl Strategy<Value = SeqAig> {
+    (1usize..6, 0usize..5, 0usize..30, any::<u64>()).prop_map(|(n_pi, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("prop");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        let mut ffs = Vec::new();
+        for i in 0..n_ff {
+            ffs.push(aig.add_ff(format!("ff{i}"), next(2) == 1));
+        }
+        for _ in 0..n_gate {
+            let len = aig.len();
+            if next(3) == 0 {
+                let a = NodeId(next(len) as u32);
+                aig.add_not(a);
+            } else {
+                let a = NodeId(next(len) as u32);
+                let b = NodeId(next(len) as u32);
+                aig.add_and(a, b);
+            }
+        }
+        let len = aig.len();
+        for &ff in &ffs {
+            let d = NodeId(next(len) as u32);
+            aig.connect_ff(ff, d).expect("ff connect");
+        }
+        aig.set_output(NodeId((len - 1) as u32), "out");
+        aig
+    })
+}
+
+/// Random valid topological renumbering (mirror of the netlist property
+/// helper; kept local so the crates' tests stay self-contained).
+fn renumber(aig: &SeqAig, seed: u64) -> SeqAig {
+    let n = aig.len();
+    let mut state = seed | 1;
+    let mut next = move |bound: usize| -> usize {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+    };
+    let mut out = SeqAig::new(aig.name());
+    let mut mapped: Vec<Option<NodeId>> = vec![None; n];
+    let mut remaining: Vec<NodeId> = aig.iter().map(|(id, _)| id).collect();
+    while !remaining.is_empty() {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| match *aig.node(**id) {
+                AigNode::Pi | AigNode::Ff { .. } => true,
+                AigNode::And(a, b) => mapped[a.index()].is_some() && mapped[b.index()].is_some(),
+                AigNode::Not(a) => mapped[a.index()].is_some(),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let pick = ready[next(ready.len())];
+        let id = remaining.swap_remove(pick);
+        let new_id = match *aig.node(id) {
+            AigNode::Pi => out.add_pi(aig.node_name(id).unwrap_or("pi")),
+            AigNode::Ff { init, .. } => out.add_ff(aig.node_name(id).unwrap_or("ff"), init),
+            AigNode::And(a, b) => {
+                out.add_and(mapped[a.index()].unwrap(), mapped[b.index()].unwrap())
+            }
+            AigNode::Not(a) => out.add_not(mapped[a.index()].unwrap()),
+        };
+        mapped[id.index()] = Some(new_id);
+    }
+    for (id, node) in aig.iter() {
+        if let AigNode::Ff { d: Some(d), .. } = *node {
+            out.connect_ff(mapped[id.index()].unwrap(), mapped[d.index()].unwrap())
+                .expect("renumbered FF connect");
+        }
+    }
+    for (node, name) in aig.outputs() {
+        out.set_output(mapped[node.index()].unwrap(), name.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_key_invariant_under_renumbering(aig in arb_seq_aig(), perm_seed in any::<u64>(), seed in any::<u64>()) {
+        // Give every PI a distinct stimulus keyed by its name...
+        let stim_of = |name: &str| {
+            let salt = name.bytes().map(|b| b as u64).sum::<u64>() % 97;
+            PiStimulus::independent(0.01 + salt as f64 / 100.0)
+        };
+        let workload = Workload::new(
+            aig.pis().iter().map(|&pi| stim_of(aig.node_name(pi).unwrap())).collect(),
+        );
+        let renumbered = renumber(&aig, perm_seed);
+        // ...and rebuild the workload in the renumbered circuit's PI order.
+        let workload2 = Workload::new(
+            renumbered.pis().iter().map(|&pi| stim_of(renumbered.node_name(pi).unwrap())).collect(),
+        );
+        prop_assert_eq!(
+            CacheKey::for_request(&aig, &workload, seed),
+            CacheKey::for_request(&renumbered, &workload2, seed),
+            "renumbering broke the content address"
+        );
+    }
+
+    #[test]
+    fn engine_matches_direct_forward(aigs in proptest::collection::vec(arb_seq_aig(), 1..4), workers in 1usize..4) {
+        let config = DeepSeqConfig { hidden_dim: 6, iterations: 2, ..DeepSeqConfig::default() };
+        let model = DeepSeq::new(config);
+        let frozen = InferenceModel::from_model(&model).unwrap();
+        let engine = Engine::new(frozen, EngineOptions { workers, cache_capacity: 8 });
+
+        let requests: Vec<ServeRequest> = aigs.iter().enumerate().map(|(i, aig)| ServeRequest {
+            id: i as u64,
+            aig: aig.clone(),
+            workload: Workload::uniform(aig.num_pis(), 0.5),
+            init_seed: 1,
+        }).collect();
+        let responses = engine.serve_batch(requests);
+
+        let mut expected = HashMap::new();
+        for (i, aig) in aigs.iter().enumerate() {
+            let graph = CircuitGraph::build(aig);
+            let h0 = initial_states(aig, &Workload::uniform(aig.num_pis(), 0.5), 6, 1);
+            expected.insert(i as u64, model.predict(&graph, &h0));
+        }
+        for response in &responses {
+            let served = response.result.as_ref().expect("valid circuits serve");
+            prop_assert_eq!(
+                &served.data.predictions,
+                &expected[&response.id],
+                "engine diverged from the tape path on request {}",
+                response.id
+            );
+        }
+    }
+}

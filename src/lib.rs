@@ -17,6 +17,7 @@
 //! | [`data`] | `deepseq-data` | benchmark families, the six Table IV designs |
 //! | [`power`] | `deepseq-power` | power pipeline: probabilistic + Grannite baselines, SAIF |
 //! | [`reliability`] | `deepseq-reliability` | analytical baseline, reliability fine-tuning |
+//! | [`serve`] | `deepseq-serve` | batched tape-free inference engine, binary checkpoints, embedding cache |
 //!
 //! # Quickstart
 //!
@@ -58,4 +59,5 @@ pub use deepseq_netlist as netlist;
 pub use deepseq_nn as nn;
 pub use deepseq_power as power;
 pub use deepseq_reliability as reliability;
+pub use deepseq_serve as serve;
 pub use deepseq_sim as sim;

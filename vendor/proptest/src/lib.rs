@@ -254,7 +254,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 use std::marker::PhantomData;
@@ -346,6 +346,40 @@ macro_rules! prop_assert_eq {
                     return ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::fail(format!(
                             "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            left, right, format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property body, mirroring
+/// `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                            left, right
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`: {}",
                             left, right, format!($($fmt)+)
                         )),
                     );
