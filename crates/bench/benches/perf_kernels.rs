@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the GEMM kernel variants (`deepseq_nn::Kernel`)
+//! on the shapes the serving hot path actually sees: per-level gathers times
+//! weight matrices, and the fused GRU gate `act(x·W + h·U + b)`.
+//!
+//! Bench ids carry the `serve_` prefix so `collect_bench` folds them into
+//! the committed `BENCH_serve.json` perf trajectory; the PR-3 acceptance
+//! criterion (blocked ≥ 1.5× naive on `256×256 · 256×64`) reads
+//! `serve_kernel_blocked_256x256x64` against `serve_kernel_naive_256x256x64`
+//! there.
+//!
+//! Run: `cargo bench -p deepseq-bench --bench perf_kernels`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepseq_nn::{Act, Kernel, Matrix};
+
+/// `(m, k, n)` product shapes from the serve path: the acceptance shape, a
+/// level-batch × GRU-gate shape (`input_dim = 2d + 4` node types at
+/// `d = 32`), and a wide-hidden shape where packing starts to pay.
+const SHAPES: [(usize, usize, usize); 3] = [(256, 256, 64), (512, 68, 32), (128, 128, 128)];
+
+fn filled(rows: usize, cols: usize, seed: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * cols + c) as f32).sin() * seed + (r as f32 - c as f32) * 0.01
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    for &(m, k, n) in &SHAPES {
+        let a = filled(m, k, 0.6);
+        let b = filled(k, n, -0.4);
+        for kernel in Kernel::ALL {
+            let mut out = Matrix::default();
+            c.bench_function(
+                &format!("serve_kernel_{}_{m}x{k}x{n}", kernel.name()),
+                |bch| bch.iter(|| kernel.matmul_into(&a, &b, &mut out)),
+            );
+        }
+    }
+}
+
+fn bench_fused_gate(c: &mut Criterion) {
+    // One GRU gate at serve scale: 256-node level batch, d = 32,
+    // input_dim = 2d + 4.
+    let (batch, d) = (256, 32);
+    let x = filled(batch, 2 * d + 4, 0.5);
+    let w = filled(2 * d + 4, d, -0.3);
+    let h = filled(batch, d, 0.8);
+    let u = filled(d, d, 0.2);
+    let bias = filled(1, d, 0.05);
+    for kernel in Kernel::ALL {
+        let mut out = Matrix::default();
+        let mut tmp = Matrix::default();
+        c.bench_function(&format!("serve_fused_gate_{}_d{d}", kernel.name()), |bch| {
+            bch.iter(|| {
+                kernel.matmul_bias_act(
+                    &x,
+                    &w,
+                    Some((&h, &u)),
+                    Some(&bias),
+                    Act::Sigmoid,
+                    &mut out,
+                    &mut tmp,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_fused_gate
+}
+criterion_main!(benches);

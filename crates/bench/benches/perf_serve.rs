@@ -13,7 +13,7 @@ use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
 use deepseq_data::designs::ptc;
 use deepseq_data::random::{random_circuit, CircuitSpec};
 use deepseq_netlist::{lower_to_aig, SeqAig};
-use deepseq_nn::Matrix;
+use deepseq_nn::{Kernel, Matrix};
 use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest, Workspace};
 use deepseq_sim::Workload;
 use rand::rngs::StdRng;
@@ -69,10 +69,27 @@ fn bench_tape_forward(c: &mut Criterion) {
 
 fn bench_tapefree_forward(c: &mut Criterion) {
     for f in fixtures() {
+        // The serving default kernel — this id is the long-running
+        // tape-free trajectory entry in BENCH_serve.json.
         let mut ws = Workspace::new();
         c.bench_function(&format!("serve_tapefree_forward_{}", f.tag), |b| {
             b.iter(|| f.frozen.run(&f.graph, &f.h0, &mut ws))
         });
+    }
+}
+
+/// The same tape-free forward pass pinned to each GEMM kernel, so
+/// `BENCH_serve.json` records the per-kernel end-to-end numbers alongside
+/// the raw GEMM microbenches of `perf_kernels`.
+fn bench_tapefree_per_kernel(c: &mut Criterion) {
+    for f in fixtures() {
+        for kernel in Kernel::ALL {
+            let mut ws = Workspace::with_kernel(kernel);
+            c.bench_function(
+                &format!("serve_tapefree_{}_{}", kernel.name(), f.tag),
+                |b| b.iter(|| f.frozen.run(&f.graph, &f.h0, &mut ws)),
+            );
+        }
     }
 }
 
@@ -109,6 +126,6 @@ fn bench_cache_hit(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_tape_forward, bench_tapefree_forward, bench_cache_hit
+    targets = bench_tape_forward, bench_tapefree_forward, bench_tapefree_per_kernel, bench_cache_hit
 }
 criterion_main!(benches);

@@ -1,27 +1,45 @@
 //! Collects `target/criterion/*/estimates.json` into one perf-trajectory
-//! file (default `BENCH_serve.json`), so CI runs and local runs produce a
-//! single committed-artifact snapshot instead of a directory tree.
+//! file (default `BENCH_serve.json`) and regenerates the README bench table
+//! from it, so CI runs, local runs and the committed docs all read from a
+//! single snapshot instead of a directory tree or hand-copied numbers.
 //!
 //! ```text
+//! # fold criterion estimates into the snapshot
 //! cargo run -p deepseq-bench --bin collect_bench -- \
 //!     [--criterion-dir target/criterion] [--filter serve_] [--out BENCH_serve.json]
+//!
+//! # rewrite the generated table in README.md from the snapshot
+//! cargo run -p deepseq-bench --bin collect_bench -- --readme [README.md]
 //! ```
 //!
 //! Each matching benchmark's `estimates.json` is already a JSON object
-//! (`id`, `unit`, `mean`, `median`, `min`, `max`, …), so the output simply
-//! embeds them verbatim under their benchmark ids, sorted for stable diffs.
+//! (`id`, `unit`, `mean`, `median`, `min`, `max`, …), so the output embeds
+//! them verbatim under their benchmark ids, sorted for stable diffs. A
+//! `derived` section adds the ratios the acceptance criteria and the README
+//! table read: tape → tape-free speedup per design, naive → blocked/packed
+//! kernel speedup per GEMM shape and for the fused GRU gate.
+//!
+//! `--readme` replaces everything between the `<!-- bench-table:begin -->`
+//! and `<!-- bench-table:end -->` markers with a table generated from the
+//! snapshot; it touches nothing else in the file.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Marker opening the generated README section.
+const TABLE_BEGIN: &str = "<!-- bench-table:begin -->";
+/// Marker closing the generated README section.
+const TABLE_END: &str = "<!-- bench-table:end -->";
+
 fn main() -> ExitCode {
     let mut criterion_dir = PathBuf::from("target/criterion");
     let mut filter = String::from("serve_");
     let mut out_path = PathBuf::from("BENCH_serve.json");
+    let mut readme_path: Option<PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--criterion-dir" => match it.next() {
@@ -36,12 +54,27 @@ fn main() -> ExitCode {
                 Some(v) => out_path = PathBuf::from(v),
                 None => return usage("--out needs a value"),
             },
+            "--readme" => {
+                let next_is_value = it.peek().is_some_and(|v| !v.starts_with("--"));
+                readme_path = Some(if next_is_value {
+                    PathBuf::from(it.next().expect("peeked"))
+                } else {
+                    PathBuf::from("README.md")
+                });
+            }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
+    if let Some(readme) = readme_path {
+        return regenerate_readme(&out_path, &readme);
+    }
+    collect(&criterion_dir, &filter, &out_path)
+}
+
+fn collect(criterion_dir: &PathBuf, filter: &str, out_path: &PathBuf) -> ExitCode {
     let mut entries: Vec<(String, String)> = Vec::new();
-    let dir = match fs::read_dir(&criterion_dir) {
+    let dir = match fs::read_dir(criterion_dir) {
         Ok(dir) => dir,
         Err(e) => {
             eprintln!(
@@ -53,7 +86,7 @@ fn main() -> ExitCode {
     };
     for entry in dir.flatten() {
         let name = entry.file_name().to_string_lossy().to_string();
-        if !name.starts_with(&filter) {
+        if !name.starts_with(filter) {
             continue;
         }
         let estimates = entry.path().join("estimates.json");
@@ -72,29 +105,235 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let means: Vec<(String, f64)> = entries
+        .iter()
+        .filter_map(|(name, content)| extract_number(content, "mean").map(|m| (name.clone(), m)))
+        .collect();
+    let derived = derive_speedups(&means);
+
     let mut json = String::from("{\n  \"schema\": \"deepseq-bench v1\",\n  \"benches\": {\n");
     for (i, (name, content)) in entries.iter().enumerate() {
         let indented = content.replace('\n', "\n    ");
         json.push_str(&format!("    \"{name}\": {indented}"));
         json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  },\n  \"derived\": {\n");
+    for (i, (name, value)) in derived.iter().enumerate() {
+        json.push_str(&format!("    \"{name}\": {value:.3}"));
+        json.push_str(if i + 1 < derived.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  }\n}\n");
 
-    if let Err(e) = fs::write(&out_path, &json) {
+    if let Err(e) = fs::write(out_path, &json) {
         eprintln!("error: writing {}: {e}", out_path.display());
         return ExitCode::from(2);
     }
     println!(
-        "wrote {} ({} benches matching `{filter}*`)",
+        "wrote {} ({} benches matching `{filter}*`, {} derived ratios)",
         out_path.display(),
-        entries.len()
+        entries.len(),
+        derived.len()
     );
     ExitCode::SUCCESS
 }
 
+/// Speedup ratios between related benchmark ids, from their means.
+fn derive_speedups(means: &[(String, f64)]) -> Vec<(String, f64)> {
+    let mean_of = |id: &str| -> Option<f64> {
+        means
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|&(_, m)| m)
+            .filter(|&m| m > 0.0)
+    };
+    let mut out = Vec::new();
+    for (name, mean) in means {
+        if *mean <= 0.0 {
+            continue;
+        }
+        // Tape → tape-free (serving-default kernel), per design tag.
+        if let Some(tag) = name.strip_prefix("serve_tapefree_forward_") {
+            if let Some(tape) = mean_of(&format!("serve_tape_forward_{tag}")) {
+                out.push((format!("tapefree_speedup_{tag}"), tape / mean));
+            }
+        }
+        // Naive → blocked/packed GEMM, per shape.
+        for kernel in ["blocked", "packed"] {
+            if let Some(rest) = name.strip_prefix(&format!("serve_kernel_{kernel}_")) {
+                if let Some(naive) = mean_of(&format!("serve_kernel_naive_{rest}")) {
+                    out.push((format!("kernel_speedup_{kernel}_{rest}"), naive / mean));
+                }
+            }
+            if let Some(rest) = name.strip_prefix(&format!("serve_fused_gate_{kernel}_")) {
+                if let Some(naive) = mean_of(&format!("serve_fused_gate_naive_{rest}")) {
+                    out.push((format!("fused_gate_speedup_{kernel}_{rest}"), naive / mean));
+                }
+            }
+            if let Some(rest) = name.strip_prefix(&format!("serve_tapefree_{kernel}_")) {
+                if let Some(naive) = mean_of(&format!("serve_tapefree_naive_{rest}")) {
+                    out.push((
+                        format!("tapefree_kernel_speedup_{kernel}_{rest}"),
+                        naive / mean,
+                    ));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn regenerate_readme(snapshot: &PathBuf, readme: &PathBuf) -> ExitCode {
+    let json = match fs::read_to_string(snapshot) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read {} ({e}); run the collect step first",
+                snapshot.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let benches = parse_benches(&json);
+    let derived = parse_derived(&json);
+    if benches.is_empty() {
+        eprintln!("error: no benches found in {}", snapshot.display());
+        return ExitCode::from(2);
+    }
+
+    let mut table = String::new();
+    table.push_str(TABLE_BEGIN);
+    table.push_str(
+        "\n<!-- Generated from BENCH_serve.json by\n     \
+         `cargo run -p deepseq-bench --bin collect_bench -- --readme`.\n     \
+         Do not edit by hand: rerun the benches + collect step instead. -->\n",
+    );
+    table.push_str("\n| benchmark | mean/iter |\n|---|---:|\n");
+    for (name, mean) in &benches {
+        table.push_str(&format!("| `{name}` | {} |\n", format_ns(*mean)));
+    }
+    if !derived.is_empty() {
+        table.push_str("\n| derived ratio | speedup |\n|---|---:|\n");
+        for (name, value) in &derived {
+            table.push_str(&format!("| `{name}` | {value:.2}× |\n"));
+        }
+    }
+    table.push_str(TABLE_END);
+
+    let content = match fs::read_to_string(readme) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {} ({e})", readme.display());
+            return ExitCode::from(2);
+        }
+    };
+    let (Some(begin), Some(end)) = (content.find(TABLE_BEGIN), content.find(TABLE_END)) else {
+        eprintln!(
+            "error: {} lacks the `{TABLE_BEGIN}` / `{TABLE_END}` markers",
+            readme.display()
+        );
+        return ExitCode::from(2);
+    };
+    if end < begin {
+        eprintln!("error: bench-table markers are out of order");
+        return ExitCode::from(2);
+    }
+    let mut updated = String::with_capacity(content.len());
+    updated.push_str(&content[..begin]);
+    updated.push_str(&table);
+    updated.push_str(&content[end + TABLE_END.len()..]);
+    if let Err(e) = fs::write(readme, &updated) {
+        eprintln!("error: writing {}: {e}", readme.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "updated {} ({} bench rows, {} derived ratios)",
+        readme.display(),
+        benches.len(),
+        derived.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Extracts `(id, mean)` pairs from the snapshot's `benches` section by
+/// scanning for the `"id"`/`"mean"` fields this tool itself wrote — no JSON
+/// dependency needed for a format we control end to end.
+fn parse_benches(json: &str) -> Vec<(String, f64)> {
+    let body = match json.find("\"benches\"") {
+        Some(at) => &json[at..],
+        None => return Vec::new(),
+    };
+    let body = body
+        .find("\"derived\"")
+        .map_or(body, |derived_at| &body[..derived_at]);
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(at) = rest.find("\"id\": \"") {
+        rest = &rest[at + 7..];
+        let Some(name_end) = rest.find('"') else {
+            break;
+        };
+        let name = rest[..name_end].to_string();
+        if let Some(mean) = extract_number(rest, "mean") {
+            out.push((name, mean));
+        }
+    }
+    out
+}
+
+/// Extracts `(name, value)` pairs from the snapshot's `derived` section.
+fn parse_derived(json: &str) -> Vec<(String, f64)> {
+    let Some(at) = json.find("\"derived\"") else {
+        return Vec::new();
+    };
+    let body = &json[at..];
+    let Some(open) = body.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = body.find('}') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in body[open + 1..close].lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Finds `"field": <number>` after the current position and parses it.
+fn extract_number(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = json.find(&key)?;
+    let rest = json[at + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Human-readable duration from nanoseconds.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "error: {msg}\nusage: collect_bench [--criterion-dir DIR] [--filter PREFIX] [--out FILE]"
+        "error: {msg}\nusage: collect_bench [--criterion-dir DIR] [--filter PREFIX] [--out FILE]\n       collect_bench --readme [README] [--out SNAPSHOT]"
     );
     ExitCode::from(1)
 }

@@ -22,12 +22,12 @@ use crate::config::Aggregator;
 /// A parameterized aggregation layer (one per propagation direction).
 #[derive(Debug, Clone)]
 pub enum AggregatorLayer {
-    /// Linear transform then segment sum (GCN-style conv. sum [12]).
+    /// Linear transform then segment sum (GCN-style conv. sum \[12\]).
     ConvSum {
         /// The shared message transform.
         transform: Linear,
     },
-    /// Additive attention over predecessors ([14], [16]; paper Eq. 5).
+    /// Additive attention over predecessors (\[14\], \[16\]; paper Eq. 5).
     Attention {
         /// Scores `w1ᵀ h_v^{t-1} + w2ᵀ h_u^t` per edge.
         attention: AdditiveAttention,

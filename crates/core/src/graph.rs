@@ -148,7 +148,7 @@ pub fn build_graphs(circuits: &[SeqAig]) -> Vec<CircuitGraph> {
 }
 
 /// Merges several circuit graphs into one batched graph ("topological
-/// batching", Thost & Chen [16], used by the paper to speed up training).
+/// batching", Thost & Chen \[16\], used by the paper to speed up training).
 ///
 /// Node ids are offset per circuit; forward batches are merged by logic
 /// level and reverse batches by reverse rank, which preserves the

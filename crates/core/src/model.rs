@@ -300,6 +300,8 @@ impl DeepSeq {
     /// followed by the [`Params::save_binary`] blob. Binary checkpoints are
     /// ~4× smaller than the text format and load without float parsing —
     /// this is the format the serving subsystem (`deepseq-serve`) ships.
+    /// The byte-level layout is specified for third-party loaders in
+    /// `docs/CHECKPOINTS.md` at the repository root.
     pub fn save_binary(&self) -> Vec<u8> {
         let c = &self.config;
         let params = self.params.save_binary();

@@ -172,7 +172,7 @@ pub fn evaluate(model: &DeepSeq, samples: &[TrainSample]) -> EvalMetrics {
 }
 
 /// Merges several training samples into one batched sample via
-/// [`merge_graphs`](crate::graph::merge_graphs) (topological batching [16]).
+/// [`merge_graphs`](crate::graph::merge_graphs) (topological batching \[16\]).
 /// A forward pass over the merged sample is mathematically identical to
 /// independent passes over the parts; gradients become true mini-batch
 /// gradients, and per-level tape ops grow by the batch size, which is what

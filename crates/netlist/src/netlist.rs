@@ -2,10 +2,10 @@
 //!
 //! Realistic designs (the power-estimation test circuits of Table IV) use a
 //! full standard-cell-style gate library. [`Netlist`] models those; the
-//! [`lower`](crate::lower) module decomposes a `Netlist` into a [`SeqAig`]
+//! [`lower`](crate::lower) module decomposes a `Netlist` into a [`SeqAig`](crate::SeqAig)
 //! *without optimization*, as required for inference (paper, Section V-A2).
 //!
-//! Unlike [`SeqAig`], gates may be declared in any order; [`Netlist::topo_order`]
+//! Unlike [`SeqAig`](crate::SeqAig), gates may be declared in any order; [`Netlist::topo_order`]
 //! computes a topological order of the combinational part (DFF data edges cut)
 //! and detects combinational cycles.
 

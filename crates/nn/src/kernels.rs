@@ -1,0 +1,757 @@
+//! Cache-blocked, vectorizer-friendly `f32` GEMM kernels and the runtime
+//! dispatcher selecting between them.
+//!
+//! DeepSeq's levelized propagation spends nearly all of its time in matrix
+//! products (per-level message transforms and the GRU gates of the paper's
+//! Combine function, Eq. 8). This module concentrates the hot inner loops in
+//! one place, behind the [`Kernel`] dispatch enum:
+//!
+//! * [`Kernel::Naive`] — the reference `i-k-j` triple loop. Slowest, but the
+//!   arithmetic every other variant is required to reproduce. Default for
+//!   training so tape results stay bit-for-bit stable across releases.
+//! * [`Kernel::Blocked`] — the same accumulation order, restructured into
+//!   cache-sized `k`-panels and register-tiled output columns so the
+//!   autovectorizer emits wide mul-add loops and each output element stays
+//!   in a register across a whole panel. Default for serving.
+//! * [`Kernel::Packed`] — additionally packs the right-hand operand into
+//!   contiguous column panels and amortizes them over a 4-row micro-kernel;
+//!   wins once operands outgrow L1 (wide hidden dims, big level batches).
+//!
+//! Every variant accumulates each output element over `k` **in ascending
+//! order**, without fused multiply-add, so for finite inputs all kernels
+//! produce bitwise-identical results (property-tested in
+//! `crates/nn/tests/properties.rs`). Picking a kernel is therefore purely a
+//! performance decision, never a numerics decision.
+//!
+//! The fused entry point [`Kernel::matmul_bias_act`] covers the GRU gate
+//! pattern `act(x·W + h·U + b)` in one call; it performs the identical
+//! floating-point sequence as the unfused ops it replaces (product, zip-add,
+//! broadcast bias, activation), so fusing is also numerics-neutral.
+//!
+//! # Selection
+//!
+//! The `DEEPSEQ_KERNEL` environment variable (`naive` | `blocked` |
+//! `packed`, read once per process) overrides both defaults:
+//!
+//! ```text
+//! DEEPSEQ_KERNEL=packed target/release/deepseq-serve predict design.aag
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use deepseq_nn::{Kernel, Matrix};
+//!
+//! let a = Matrix::from_fn(64, 48, |r, c| (r + c) as f32 * 0.01);
+//! let b = Matrix::from_fn(48, 32, |r, c| (r as f32 - c as f32) * 0.01);
+//!
+//! // All kernels agree bitwise on finite inputs.
+//! let reference = Kernel::Naive.matmul(&a, &b);
+//! assert_eq!(Kernel::Blocked.matmul(&a, &b), reference);
+//! assert_eq!(Kernel::Packed.matmul(&a, &b), reference);
+//!
+//! // `Matrix::matmul` dispatches through the process-wide default.
+//! assert_eq!(a.matmul(&b), reference);
+//! ```
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+use crate::matrix::Matrix;
+
+/// Environment variable naming the kernel to use process-wide
+/// (`naive` | `blocked` | `packed`). Read once, on first dispatch.
+pub const KERNEL_ENV: &str = "DEEPSEQ_KERNEL";
+
+/// Output-column register tile width of the blocked/packed kernels.
+const NR: usize = 8;
+
+/// Rows of the right-hand operand kept hot per `k`-panel (`KC × n` f32s
+/// should sit comfortably in L1/L2 for serve-path widths).
+const KC: usize = 128;
+
+/// Row tile height of the packed micro-kernel.
+const MR: usize = 4;
+
+thread_local! {
+    /// Reused panel-packing scratch of [`Kernel::Packed`]; grows to the
+    /// largest right-hand operand seen on this thread and is then reused,
+    /// mirroring the serve path's `Workspace` buffer discipline.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Element-wise activation applied by the fused kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Act {
+    /// No activation.
+    Identity,
+    /// Logistic sigmoid `1 / (1 + e^(-x))`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit `max(x, 0)`.
+    Relu,
+}
+
+impl Act {
+    /// Applies the activation in place. The per-element expressions match
+    /// [`Tape`](crate::Tape)'s `sigmoid`/`tanh`/`relu` ops exactly, so fused
+    /// and unfused paths stay bitwise-equal.
+    pub fn apply(self, data: &mut [f32]) {
+        match self {
+            Act::Identity => {}
+            Act::Sigmoid => {
+                for v in data {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Act::Tanh => {
+                for v in data {
+                    *v = v.tanh();
+                }
+            }
+            Act::Relu => {
+                for v in data {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// The GEMM variant used by the matrix-product entry points.
+///
+/// `Kernel` is a stateless `Copy` token: hold one wherever you do repeated
+/// products (the serve `Workspace` does) and call its methods. See the
+/// [module docs](self) for variant trade-offs and the `DEEPSEQ_KERNEL`
+/// override.
+///
+/// # Example
+/// ```
+/// use deepseq_nn::{Kernel, Matrix};
+///
+/// let x = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+/// let w = Matrix::eye(5);
+/// let mut out = Matrix::default();
+/// Kernel::Blocked.matmul_into(&x, &w, &mut out);
+/// assert_eq!(out, x);
+/// assert_eq!(Kernel::parse("blocked"), Some(Kernel::Blocked));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Kernel {
+    /// Reference `i-k-j` triple loop (skips zero left-hand entries).
+    #[default]
+    Naive,
+    /// Cache-blocked `k`-panels with register-tiled output columns.
+    Blocked,
+    /// Blocked plus contiguous B-panel packing and a 4×8 micro-kernel.
+    Packed,
+}
+
+impl Kernel {
+    /// All kernels, for iteration in tests and benchmarks.
+    pub const ALL: [Kernel; 3] = [Kernel::Naive, Kernel::Blocked, Kernel::Packed];
+
+    /// Parses a kernel name (`naive` | `blocked` | `packed`,
+    /// case-insensitive).
+    pub fn parse(name: &str) -> Option<Kernel> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "naive" => Some(Kernel::Naive),
+            "blocked" => Some(Kernel::Blocked),
+            "packed" => Some(Kernel::Packed),
+            _ => None,
+        }
+    }
+
+    /// The kernel named by `DEEPSEQ_KERNEL`, if set to a recognized name.
+    /// The variable is read once; later changes have no effect.
+    pub fn from_env() -> Option<Kernel> {
+        static FROM_ENV: OnceLock<Option<Kernel>> = OnceLock::new();
+        *FROM_ENV.get_or_init(|| {
+            std::env::var(KERNEL_ENV)
+                .ok()
+                .and_then(|v| Kernel::parse(&v))
+        })
+    }
+
+    /// The process-wide default kernel used by the [`Matrix`] product
+    /// methods (and therefore the autograd tape): `DEEPSEQ_KERNEL` if set,
+    /// otherwise [`Kernel::Naive`] — training stays on the reference loops
+    /// unless explicitly overridden.
+    pub fn global() -> Kernel {
+        Kernel::from_env().unwrap_or(Kernel::Naive)
+    }
+
+    /// The serving default: `DEEPSEQ_KERNEL` if set, otherwise
+    /// [`Kernel::Blocked`]. The tape-free inference path
+    /// (`deepseq-serve`) starts from this.
+    pub fn for_serve() -> Kernel {
+        Kernel::from_env().unwrap_or(Kernel::Blocked)
+    }
+
+    /// The lower-case name (`"naive"` | `"blocked"` | `"packed"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Naive => "naive",
+            Kernel::Blocked => "blocked",
+            Kernel::Packed => "packed",
+        }
+    }
+
+    /// Matrix product `a × b` into a fresh matrix.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul(self, a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(a, b, &mut out);
+        out
+    }
+
+    /// Writes `a × b` into `out` (reshaped via [`Matrix::reset`]), reusing
+    /// `out`'s allocation.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul_into(self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "matmul {}x{} × {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        out.reset(a.rows(), b.cols());
+        self.gemm_acc(
+            a.data(),
+            b.data(),
+            out.data_mut(),
+            a.rows(),
+            a.cols(),
+            b.cols(),
+        );
+    }
+
+    /// `aᵀ × b` without materializing the transpose (tape backward pass).
+    ///
+    /// # Panics
+    /// Panics if row counts differ.
+    pub fn t_matmul(self, a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "t_matmul row mismatch");
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        match self {
+            Kernel::Naive => t_gemm_naive(
+                a.data(),
+                b.data(),
+                out.data_mut(),
+                a.rows(),
+                a.cols(),
+                b.cols(),
+            ),
+            Kernel::Blocked | Kernel::Packed => t_gemm_blocked(
+                a.data(),
+                b.data(),
+                out.data_mut(),
+                a.rows(),
+                a.cols(),
+                b.cols(),
+            ),
+        }
+        out
+    }
+
+    /// `a × bᵀ` without materializing the transpose (tape backward pass).
+    ///
+    /// # Panics
+    /// Panics if column counts differ.
+    pub fn matmul_t(self, a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_t col mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        match self {
+            Kernel::Naive => gemm_bt_naive(
+                a.data(),
+                b.data(),
+                out.data_mut(),
+                a.rows(),
+                a.cols(),
+                b.rows(),
+            ),
+            Kernel::Blocked | Kernel::Packed => gemm_bt_blocked(
+                a.data(),
+                b.data(),
+                out.data_mut(),
+                a.rows(),
+                a.cols(),
+                b.rows(),
+            ),
+        }
+        out
+    }
+
+    /// Fused `out = act(x·w [+ h·u] [+ bias])` — the GRU gate pattern of the
+    /// Combine function (Eq. 8) and the additive-attention score (Eq. 5/6)
+    /// in one call.
+    ///
+    /// `tmp` is caller-owned scratch for the optional second product (the
+    /// serve `Workspace` threads its own buffer through); it is only touched
+    /// when `second` is `Some`. The floating-point sequence is exactly the
+    /// unfused one — product, zip-add of the fully formed second product,
+    /// broadcast bias, activation — so results are bitwise-identical to
+    /// composing [`Kernel::matmul_into`], [`Matrix::add_assign`],
+    /// [`Matrix::add_row_assign`] and [`Act::apply`] by hand.
+    ///
+    /// # Panics
+    /// Panics on any operand dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_bias_act(
+        self,
+        x: &Matrix,
+        w: &Matrix,
+        second: Option<(&Matrix, &Matrix)>,
+        bias: Option<&Matrix>,
+        act: Act,
+        out: &mut Matrix,
+        tmp: &mut Matrix,
+    ) {
+        self.matmul_into(x, w, out);
+        if let Some((h, u)) = second {
+            self.matmul_into(h, u, tmp);
+            out.add_assign(tmp);
+        }
+        if let Some(b) = bias {
+            out.add_row_assign(b);
+        }
+        act.apply(out.data_mut());
+    }
+
+    /// Fused `out = act(x·w [+ bias])` — the dense-layer pattern of the
+    /// regressor heads (single product, no scratch needed). Identical to
+    /// [`Kernel::matmul_bias_act`] with `second = None`.
+    ///
+    /// # Panics
+    /// Panics on operand dimension mismatch.
+    pub fn linear_act(
+        self,
+        x: &Matrix,
+        w: &Matrix,
+        bias: Option<&Matrix>,
+        act: Act,
+        out: &mut Matrix,
+    ) {
+        self.matmul_into(x, w, out);
+        if let Some(b) = bias {
+            out.add_row_assign(b);
+        }
+        act.apply(out.data_mut());
+    }
+
+    /// `out += a × b` on raw row-major slices.
+    fn gemm_acc(self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        match self {
+            Kernel::Naive => gemm_naive(a, b, out, m, k, n),
+            Kernel::Blocked => gemm_blocked(a, b, out, m, k, n),
+            Kernel::Packed => PACK_SCRATCH.with(|scratch| {
+                gemm_packed(a, b, out, m, k, n, &mut scratch.borrow_mut());
+            }),
+        }
+    }
+}
+
+/// Reference `i-k-j` loop; skips zero left-hand entries. This is the
+/// arithmetic contract every other kernel reproduces bit-for-bit.
+fn gemm_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Cache-blocked GEMM: `k` is split into `KC`-row panels of `b` (processed
+/// in ascending order, preserving per-element accumulation order); within a
+/// panel each output row is walked in `NR`-wide register tiles so the
+/// accumulators never round-trip through memory per `k` step.
+fn gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let n_main = n - n % NR;
+    let mut kk = 0;
+    while kk < k {
+        let kc = KC.min(k - kk);
+        let bpanel = &b[kk * n..(kk + kc) * n];
+        // Two output rows at a time: every loaded `b` tile is used twice.
+        // `chunks_exact` + `first_chunk` keep the inner loops free of bounds
+        // checks, so they compile to straight-line vector mul-adds over the
+        // register accumulators.
+        let m_main = m - m % 2;
+        let mut i = 0;
+        while i < m_main {
+            let arow0 = &a[i * k + kk..i * k + kk + kc];
+            let arow1 = &a[(i + 1) * k + kk..(i + 1) * k + kk + kc];
+            let (orow0, orow1) = out[i * n..(i + 2) * n].split_at_mut(n);
+            let mut j = 0;
+            while j < n_main {
+                let mut acc0 = [0.0f32; NR];
+                let mut acc1 = [0.0f32; NR];
+                acc0.copy_from_slice(&orow0[j..j + NR]);
+                acc1.copy_from_slice(&orow1[j..j + NR]);
+                for ((&av0, &av1), brow_full) in arow0.iter().zip(arow1).zip(bpanel.chunks_exact(n))
+                {
+                    let brow: &[f32; NR] = brow_full[j..].first_chunk().expect("j + NR <= n");
+                    for t in 0..NR {
+                        acc0[t] += av0 * brow[t];
+                        acc1[t] += av1 * brow[t];
+                    }
+                }
+                orow0[j..j + NR].copy_from_slice(&acc0);
+                orow1[j..j + NR].copy_from_slice(&acc1);
+                j += NR;
+            }
+            for j in n_main..n {
+                let mut acc0 = orow0[j];
+                let mut acc1 = orow1[j];
+                for ((&av0, &av1), brow_full) in arow0.iter().zip(arow1).zip(bpanel.chunks_exact(n))
+                {
+                    acc0 += av0 * brow_full[j];
+                    acc1 += av1 * brow_full[j];
+                }
+                orow0[j] = acc0;
+                orow1[j] = acc1;
+            }
+            i += 2;
+        }
+        if i < m {
+            let arow = &a[i * k + kk..i * k + kk + kc];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j < n_main {
+                let mut acc = [0.0f32; NR];
+                acc.copy_from_slice(&orow[j..j + NR]);
+                for (&av, brow_full) in arow.iter().zip(bpanel.chunks_exact(n)) {
+                    let brow: &[f32; NR] = brow_full[j..].first_chunk().expect("j + NR <= n");
+                    for t in 0..NR {
+                        acc[t] += av * brow[t];
+                    }
+                }
+                orow[j..j + NR].copy_from_slice(&acc);
+                j += NR;
+            }
+            for j in n_main..n {
+                let mut acc = orow[j];
+                for (&av, brow_full) in arow.iter().zip(bpanel.chunks_exact(n)) {
+                    acc += av * brow_full[j];
+                }
+                orow[j] = acc;
+            }
+        }
+        kk += kc;
+    }
+}
+
+/// Packing GEMM: `b` is copied once into `NR`-wide column panels laid out
+/// `k`-major (contiguous per `k` step), then an `MR×NR` register micro-kernel
+/// sweeps `MR` rows of `a` at a time, amortizing every packed panel load.
+/// Panel tails are zero-padded; padded lanes are computed and discarded.
+fn gemm_packed(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: &mut Vec<f32>,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let panels = n.div_ceil(NR);
+    pack.clear();
+    pack.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut pack[jp * k * NR..(jp + 1) * k * NR];
+        for p in 0..k {
+            dst[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    let m_main = m - m % MR;
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &pack[jp * k * NR..(jp + 1) * k * NR];
+        let mut i = 0;
+        while i < m_main {
+            // MR×NR register micro-kernel: pre-sliced `a` rows zipped with
+            // the packed panel keep the `k` loop bounds-check free, and each
+            // panel row load is amortized over MR output rows.
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr[..w].copy_from_slice(&out[(i + r) * n + j0..(i + r) * n + j0 + w]);
+            }
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let a2 = &a[(i + 2) * k..(i + 3) * k];
+            let a3 = &a[(i + 3) * k..(i + 4) * k];
+            let [mut c0, mut c1, mut c2, mut c3] = acc;
+            for ((((&av0, &av1), &av2), &av3), brow) in a0
+                .iter()
+                .zip(a1)
+                .zip(a2)
+                .zip(a3)
+                .zip(panel.chunks_exact(NR))
+            {
+                for t in 0..NR {
+                    c0[t] += av0 * brow[t];
+                    c1[t] += av1 * brow[t];
+                    c2[t] += av2 * brow[t];
+                    c3[t] += av3 * brow[t];
+                }
+            }
+            for (r, accr) in [c0, c1, c2, c3].iter().enumerate() {
+                out[(i + r) * n + j0..(i + r) * n + j0 + w].copy_from_slice(&accr[..w]);
+            }
+            i += MR;
+        }
+        while i < m {
+            let mut acc = [0.0f32; NR];
+            acc[..w].copy_from_slice(&out[i * n + j0..i * n + j0 + w]);
+            let arow = &a[i * k..(i + 1) * k];
+            for (&av, brow) in arow.iter().zip(panel.chunks_exact(NR)) {
+                for t in 0..NR {
+                    acc[t] += av * brow[t];
+                }
+            }
+            out[i * n + j0..i * n + j0 + w].copy_from_slice(&acc[..w]);
+            i += 1;
+        }
+    }
+}
+
+/// Reference `aᵀ × b`: accumulates row `r` of `a` against row `r` of `b`,
+/// `r` ascending per output element.
+fn t_gemm_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, ka: usize, n: usize) {
+    for r in 0..m {
+        let arow = &a[r * ka..(r + 1) * ka];
+        let brow = &b[r * n..(r + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Blocked `aᵀ × b`: `r` is split into `KC` panels (ascending, preserving
+/// accumulation order); each output row is walked in `NR` register tiles.
+fn t_gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, ka: usize, n: usize) {
+    let n_main = n - n % NR;
+    let mut rr = 0;
+    while rr < m {
+        let rc = KC.min(m - rr);
+        for i in 0..ka {
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j < n_main {
+                let mut acc = [0.0f32; NR];
+                acc.copy_from_slice(&orow[j..j + NR]);
+                for p in rr..rr + rc {
+                    let av = a[p * ka + i];
+                    let brow = &b[p * n + j..p * n + j + NR];
+                    for t in 0..NR {
+                        acc[t] += av * brow[t];
+                    }
+                }
+                orow[j..j + NR].copy_from_slice(&acc);
+                j += NR;
+            }
+            for j in n_main..n {
+                let mut acc = orow[j];
+                for p in rr..rr + rc {
+                    acc += a[p * ka + i] * b[p * n + j];
+                }
+                orow[j] = acc;
+            }
+        }
+        rr += rc;
+    }
+}
+
+/// Reference `a × bᵀ`: one dot product per output element, `k` ascending.
+fn gemm_bt_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, nb: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..nb {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = out[i * nb + j];
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * nb + j] = acc;
+        }
+    }
+}
+
+/// Blocked `a × bᵀ`: four simultaneous dot products per `a` row, reusing
+/// each loaded `a` element across a 4-row `b` tile.
+fn gemm_bt_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, nb: usize) {
+    let nb_main = nb - nb % MR;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j < nb_main {
+            let mut acc = [0.0f32; MR];
+            for (t, accv) in acc.iter_mut().enumerate() {
+                *accv = out[i * nb + j + t];
+            }
+            for (p, &av) in arow.iter().enumerate() {
+                for (t, accv) in acc.iter_mut().enumerate() {
+                    *accv += av * b[(j + t) * k + p];
+                }
+            }
+            out[i * nb + j..i * nb + j + MR].copy_from_slice(&acc);
+            j += MR;
+        }
+        while j < nb {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = out[i * nb + j];
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * nb + j] = acc;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * cols + c) as f32).sin() * seed + (r as f32 - c as f32) * 0.01
+        })
+    }
+
+    #[test]
+    fn all_kernels_agree_bitwise() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (8, 8, 8),
+            (17, 33, 9),
+            (64, 96, 40),
+            (5, 1, 5),
+            (1, 12, 1),
+        ] {
+            let a = filled(m, k, 0.7);
+            let b = filled(k, n, -0.4);
+            let reference = Kernel::Naive.matmul(&a, &b);
+            for kernel in Kernel::ALL {
+                let got = kernel.matmul(&a, &b);
+                assert_eq!(
+                    got.data(),
+                    reference.data(),
+                    "{} {m}x{k}x{n}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_variants_agree_bitwise() {
+        let a = filled(13, 6, 0.3);
+        let b = filled(13, 11, -0.9);
+        let reference = Kernel::Naive.t_matmul(&a, &b);
+        let bt_a = filled(9, 14, 0.5);
+        let bt_b = filled(7, 14, 0.2);
+        let bt_reference = Kernel::Naive.matmul_t(&bt_a, &bt_b);
+        for kernel in Kernel::ALL {
+            assert_eq!(kernel.t_matmul(&a, &b), reference, "{}", kernel.name());
+            assert_eq!(
+                kernel.matmul_t(&bt_a, &bt_b),
+                bt_reference,
+                "{}",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_shapes_are_handled() {
+        for kernel in Kernel::ALL {
+            let a = Matrix::zeros(0, 4);
+            let b = Matrix::zeros(4, 3);
+            assert_eq!(kernel.matmul(&a, &b).shape(), (0, 3));
+            let a = Matrix::zeros(3, 0);
+            let b = Matrix::zeros(0, 2);
+            assert_eq!(kernel.matmul(&a, &b), Matrix::zeros(3, 2));
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused_sequence() {
+        let x = filled(10, 6, 0.4);
+        let w = filled(6, 4, -0.3);
+        let h = filled(10, 3, 0.9);
+        let u = filled(3, 4, 0.6);
+        let bias = filled(1, 4, 0.1);
+        for kernel in Kernel::ALL {
+            let mut out = Matrix::default();
+            let mut tmp = Matrix::default();
+            kernel.matmul_bias_act(
+                &x,
+                &w,
+                Some((&h, &u)),
+                Some(&bias),
+                Act::Sigmoid,
+                &mut out,
+                &mut tmp,
+            );
+            let mut expect = kernel.matmul(&x, &w);
+            expect.add_assign(&kernel.matmul(&h, &u));
+            expect.add_row_assign(&bias);
+            Act::Sigmoid.apply(expect.data_mut());
+            assert_eq!(out, expect, "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn parse_and_names_roundtrip() {
+        for kernel in Kernel::ALL {
+            assert_eq!(Kernel::parse(kernel.name()), Some(kernel));
+            assert_eq!(Kernel::parse(&kernel.name().to_uppercase()), Some(kernel));
+        }
+        assert_eq!(Kernel::parse("simd9000"), None);
+    }
+
+    #[test]
+    fn activations_apply_expected_maps() {
+        let mut v = [-1.0f32, 0.0, 2.0];
+        Act::Relu.apply(&mut v);
+        assert_eq!(v, [0.0, 0.0, 2.0]);
+        let mut v = [0.0f32];
+        Act::Sigmoid.apply(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        let mut v = [0.0f32];
+        Act::Tanh.apply(&mut v);
+        assert_eq!(v[0], 0.0);
+        let mut v = [3.0f32];
+        Act::Identity.apply(&mut v);
+        assert_eq!(v[0], 3.0);
+    }
+}

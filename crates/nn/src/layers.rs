@@ -7,6 +7,7 @@
 
 use rand::Rng;
 
+use crate::kernels::Act;
 use crate::params::{ParamId, Params};
 use crate::tape::{Tape, VarId};
 
@@ -173,30 +174,27 @@ impl GruCell {
 
     /// Records one GRU step: `input` is `n×input_dim`, `hidden` is
     /// `n×hidden_dim`; returns the new `n×hidden_dim` state.
+    ///
+    /// Each gate is one fused tape node
+    /// ([`Tape::fused_gate`], `act(x·W + h·U + b)`), dispatched through the
+    /// process-wide GEMM [`Kernel`](crate::Kernel) — numerically identical
+    /// to the unfused op chain, but the tape stores one intermediate per
+    /// gate instead of five.
     pub fn forward(&self, tape: &mut Tape, params: &Params, input: VarId, hidden: VarId) -> VarId {
-        let gate = |tape: &mut Tape, w, u, b| {
+        let gate = |tape: &mut Tape, w, u, b, act| {
             let wv = tape.param(params, w);
             let uv = tape.param(params, u);
             let bv = tape.param(params, b);
-            let xi = tape.matmul(input, wv);
-            let hh = tape.matmul(hidden, uv);
-            let s = tape.add(xi, hh);
-            tape.add_row(s, bv)
+            tape.fused_gate(input, wv, hidden, uv, Some(bv), act)
         };
-        let z_pre = gate(tape, self.wz, self.uz, self.bz);
-        let z = tape.sigmoid(z_pre);
-        let r_pre = gate(tape, self.wr, self.ur, self.br);
-        let r = tape.sigmoid(r_pre);
+        let z = gate(tape, self.wz, self.uz, self.bz, Act::Sigmoid);
+        let r = gate(tape, self.wr, self.ur, self.br, Act::Sigmoid);
 
         let wnv = tape.param(params, self.wn);
         let unv = tape.param(params, self.un);
         let bnv = tape.param(params, self.bn);
-        let xi = tape.matmul(input, wnv);
         let rh = tape.mul(r, hidden);
-        let rhu = tape.matmul(rh, unv);
-        let n_pre = tape.add(xi, rhu);
-        let n_pre = tape.add_row(n_pre, bnv);
-        let n = tape.tanh(n_pre);
+        let n = tape.fused_gate(input, wnv, rh, unv, Some(bnv), Act::Tanh);
 
         // h' = (1 - z) ⊙ n + z ⊙ h
         let one_minus_z = tape.affine(z, -1.0, 1.0);
@@ -225,13 +223,12 @@ impl AdditiveAttention {
 
     /// Scores queries (`n×d`) against keys (`m×d`) that were pre-aligned:
     /// returns `query·w1 + key·w2` where both operands are `k×d` matrices
-    /// with matching rows, yielding a `k×1` score column.
+    /// with matching rows, yielding a `k×1` score column. Recorded as one
+    /// fused tape node ([`Tape::fused_gate`] without bias or activation).
     pub fn score(&self, tape: &mut Tape, params: &Params, query: VarId, key: VarId) -> VarId {
         let w1 = tape.param(params, self.w1);
         let w2 = tape.param(params, self.w2);
-        let s1 = tape.matmul(query, w1);
-        let s2 = tape.matmul(key, w2);
-        tape.add(s1, s2)
+        tape.fused_gate(query, w1, key, w2, None, Act::Identity)
     }
 }
 

@@ -7,6 +7,9 @@
 //! more:
 //!
 //! * [`Matrix`] — dense row-major `f32` matrices;
+//! * [`kernels`] — cache-blocked GEMM variants behind the [`Kernel`]
+//!   dispatch enum (selectable via `DEEPSEQ_KERNEL`), including the fused
+//!   gate op `act(x·W + h·U + b)` used by both training and serving;
 //! * [`Tape`] — a define-by-run reverse-mode autograd tape with the segment
 //!   ops (gather / segment-softmax / segment-sum) that make levelized
 //!   "topological batching" over circuit graphs efficient;
@@ -41,12 +44,14 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod params;
 pub mod tape;
 
+pub use kernels::{Act, Kernel};
 pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::Adam;

@@ -154,32 +154,14 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self × other`.
+    /// Matrix product `self × other`, dispatched through the process-wide
+    /// default [`Kernel`](crate::Kernel) (naive unless `DEEPSEQ_KERNEL`
+    /// overrides it — see [`crate::kernels`]).
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul {}x{} × {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both operands.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernels::Kernel::global().matmul(self, other)
     }
 
     /// Reshapes to `rows×cols` and zero-fills, reusing the existing
@@ -194,68 +176,32 @@ impl Matrix {
     }
 
     /// Writes `self × other` into `out` (reshaped via [`Matrix::reset`]),
-    /// reusing `out`'s allocation. Bit-identical to [`Matrix::matmul`].
+    /// reusing `out`'s allocation. Bit-identical to [`Matrix::matmul`];
+    /// dispatched through the same process-wide default
+    /// [`Kernel`](crate::Kernel).
     ///
     /// # Panics
     /// Panics on dimension mismatch or if `out` aliases an operand.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul_into {}x{} × {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        out.reset(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::Kernel::global().matmul_into(self, other, out);
     }
 
-    /// `selfᵀ × other` without materializing the transpose.
+    /// `selfᵀ × other` without materializing the transpose (dispatched, see
+    /// [`Matrix::matmul`]).
+    ///
+    /// # Panics
+    /// Panics if row counts differ.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernels::Kernel::global().t_matmul(self, other)
     }
 
-    /// `self × otherᵀ` without materializing the transpose.
+    /// `self × otherᵀ` without materializing the transpose (dispatched, see
+    /// [`Matrix::matmul`]).
+    ///
+    /// # Panics
+    /// Panics if column counts differ.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t col mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
-        out
+        crate::kernels::Kernel::global().matmul_t(self, other)
     }
 
     /// The transpose.
@@ -298,6 +244,20 @@ impl Matrix {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
+        }
+    }
+
+    /// Broadcast-adds a `1×c` bias row to every row in place.
+    ///
+    /// # Panics
+    /// Panics if `row` is not `1×cols`.
+    pub fn add_row_assign(&mut self, row: &Matrix) {
+        let c = self.cols;
+        assert_eq!(row.shape(), (1, c), "add_row_assign needs 1x{c}");
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(row.row(0)) {
+                *o += b;
+            }
         }
     }
 

@@ -11,7 +11,9 @@
 //!   floats, one matrix row per line — human-readable and diff-friendly;
 //! * **binary** (`DSQP` magic, version 1): little-endian `f32` payloads
 //!   behind a length-prefixed name/shape header per parameter — compact and
-//!   fast to load, used by the serving subsystem (`deepseq-serve`).
+//!   fast to load, used by the serving subsystem (`deepseq-serve`). The
+//!   byte-level layout is specified for third-party loaders in
+//!   `docs/CHECKPOINTS.md` at the repository root.
 //!
 //! Both round-trip losslessly (Rust's float formatting prints the shortest
 //! exactly-round-tripping decimal), so [`Params::save_to_string`] and

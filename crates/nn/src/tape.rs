@@ -26,6 +26,7 @@
 //! assert_eq!(grads.get(w).unwrap().get(0, 0), 3.0);
 //! ```
 
+use crate::kernels::{Act, Kernel};
 use crate::matrix::Matrix;
 use crate::params::{GradStore, ParamId, Params};
 
@@ -56,6 +57,14 @@ enum Op {
         segments: Vec<usize>,
     },
     MulCol(VarId, VarId),
+    FusedGate {
+        x: VarId,
+        w: VarId,
+        h: VarId,
+        u: VarId,
+        b: Option<VarId>,
+        act: Act,
+    },
     L1Loss {
         pred: VarId,
         target: Matrix,
@@ -273,6 +282,42 @@ impl Tape {
         self.push(Op::MulCol(a, col), value, None)
     }
 
+    /// Fused `act(x·w + h·u [+ b])` — the GRU gate pattern (Eq. 8) and the
+    /// additive-attention score (Eq. 5/6) as a single tape node.
+    ///
+    /// The forward value is computed by the fused kernel entry point
+    /// ([`Kernel::matmul_bias_act`](crate::Kernel::matmul_bias_act)) under
+    /// the process-wide default kernel, with the exact floating-point
+    /// sequence of the unfused op chain (`matmul`, `matmul`, `add`,
+    /// `add_row`, activation) — so fusing changes tape size and speed, never
+    /// results. One fused node stores one matrix instead of five, which is
+    /// what keeps training-tape memory flat as hidden dims grow.
+    ///
+    /// # Panics
+    /// Panics on operand dimension mismatches.
+    pub fn fused_gate(
+        &mut self,
+        x: VarId,
+        w: VarId,
+        h: VarId,
+        u: VarId,
+        b: Option<VarId>,
+        act: Act,
+    ) -> VarId {
+        let mut out = Matrix::default();
+        let mut tmp = Matrix::default();
+        Kernel::global().matmul_bias_act(
+            self.value(x),
+            self.value(w),
+            Some((self.value(h), self.value(u))),
+            b.map(|bv| self.value(bv)),
+            act,
+            &mut out,
+            &mut tmp,
+        );
+        self.push(Op::FusedGate { x, w, h, u, b, act }, out, None)
+    }
+
     /// Mean absolute error against a constant target, as a `1×1` scalar
     /// (paper Eq. 3 / Eq. 9 use L1 throughout).
     pub fn l1_loss(&mut self, pred: VarId, target: &Matrix) -> VarId {
@@ -478,6 +523,35 @@ impl Tape {
                     }
                     accumulate(&mut grads, *a, da);
                     accumulate(&mut grads, *col, dcol);
+                }
+                Op::FusedGate { x, w, h, u, b, act } => {
+                    // Same chain rule as the unfused sequence: activation
+                    // derivative from the stored output, then the two matmul
+                    // backward pairs and the bias row-sum.
+                    let y = &node.value;
+                    let g = match act {
+                        Act::Identity => grad.clone(),
+                        Act::Sigmoid => grad.zip(y, |g, y| g * y * (1.0 - y)),
+                        Act::Tanh => grad.zip(y, |g, y| g * (1.0 - y * y)),
+                        Act::Relu => grad.zip(y, |g, y| if y > 0.0 { g } else { 0.0 }),
+                    };
+                    let dx = g.matmul_t(&self.nodes[w.0].value);
+                    let dw = self.nodes[x.0].value.t_matmul(&g);
+                    let dh = g.matmul_t(&self.nodes[u.0].value);
+                    let du = self.nodes[h.0].value.t_matmul(&g);
+                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, *w, dw);
+                    accumulate(&mut grads, *h, dh);
+                    accumulate(&mut grads, *u, du);
+                    if let Some(b) = b {
+                        let mut db = Matrix::zeros(1, g.cols());
+                        for r in 0..g.rows() {
+                            for c in 0..g.cols() {
+                                db.set(0, c, db.get(0, c) + g.get(r, c));
+                            }
+                        }
+                        accumulate(&mut grads, *b, db);
+                    }
                 }
                 Op::L1Loss {
                     pred,

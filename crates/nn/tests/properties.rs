@@ -1,8 +1,10 @@
 //! Property-based tests for the autograd engine: every differentiable op is
-//! checked against central finite differences on random inputs, and
-//! algebraic invariants of the matrix type are verified.
+//! checked against central finite differences on random inputs, algebraic
+//! invariants of the matrix type are verified, and every GEMM kernel variant
+//! is held to the naive kernel's bit patterns across randomized shapes
+//! (including the degenerate `1×N` / `N×1` / empty cases).
 
-use deepseq_nn::{Matrix, Params, ParamsError, Tape};
+use deepseq_nn::{Act, Kernel, Matrix, Params, ParamsError, Tape};
 use proptest::prelude::*;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -225,6 +227,184 @@ proptest! {
             prop_assert_eq!(original, t, "{}: text restore is lossy", name);
         }
     }
+
+    #[test]
+    fn kernels_agree_with_naive_to_zero_ulp(seed in any::<u64>()) {
+        // Every kernel variant must reproduce the naive kernel's exact bit
+        // patterns — accumulation order is part of the kernel contract, so a
+        // kernel switch may never change results. Shapes sweep the
+        // degenerate cases (empty, 1×N, N×1) and blocked-aligned sizes.
+        let (a, b) = gemm_operands(seed);
+        let reference = Kernel::Naive.matmul(&a, &b);
+        for kernel in Kernel::ALL {
+            let got = kernel.matmul(&a, &b);
+            prop_assert_eq!(got.shape(), reference.shape());
+            for (i, (x, y)) in got.data().iter().zip(reference.data()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "{} {}x{}x{} elem {}: {} vs {}",
+                    kernel.name(), a.rows(), a.cols(), b.cols(), i, x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_agree_with_naive_to_zero_ulp(seed in any::<u64>()) {
+        // t_matmul contracts over rows (`aᵀ·b` with matching row counts);
+        // matmul_t over columns (`a·bᵀ` with matching column counts).
+        let (a, t_b, bt_b) = transpose_operands(seed);
+        let t_ref = Kernel::Naive.t_matmul(&a, &t_b);
+        let bt_ref = Kernel::Naive.matmul_t(&a, &bt_b);
+        for kernel in Kernel::ALL {
+            let got = kernel.t_matmul(&a, &t_b);
+            prop_assert_eq!(got.shape(), t_ref.shape());
+            for (x, y) in got.data().iter().zip(t_ref.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "t_matmul {}", kernel.name());
+            }
+            let got = kernel.matmul_t(&a, &bt_b);
+            prop_assert_eq!(got.shape(), bt_ref.shape());
+            for (x, y) in got.data().iter().zip(bt_ref.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "matmul_t {}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_ops_match_unfused_within_1e5(seed in any::<u64>()) {
+        // The fused gate `act(x·w + h·u + b)` must stay within 1e-5 relative
+        // error of the unfused naive-kernel composition for every kernel and
+        // activation (the implementation is in fact bitwise-equal; the spec
+        // bound is what third-party kernels must meet).
+        let (x, w, h, u, bias) = gate_operands(seed);
+        for act in [Act::Identity, Act::Sigmoid, Act::Tanh, Act::Relu] {
+            let mut reference = Kernel::Naive.matmul(&x, &w);
+            reference.add_assign(&Kernel::Naive.matmul(&h, &u));
+            reference.add_row_assign(&bias);
+            act.apply(reference.data_mut());
+            for kernel in Kernel::ALL {
+                let mut out = Matrix::default();
+                let mut tmp = Matrix::default();
+                kernel.matmul_bias_act(
+                    &x, &w, Some((&h, &u)), Some(&bias), act, &mut out, &mut tmp,
+                );
+                prop_assert_eq!(out.shape(), reference.shape());
+                for (got, want) in out.data().iter().zip(reference.data()) {
+                    let scale = want.abs().max(1.0);
+                    prop_assert!(
+                        (got - want).abs() <= 1e-5 * scale,
+                        "{} {:?}: {} vs {}", kernel.name(), act, got, want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gate_tape_op_matches_unfused_ops(seed in any::<u64>()) {
+        // The tape's fused node computes the same value the five unfused
+        // nodes used to produce, bit for bit.
+        let (x, w, h, u, bias) = gate_operands(seed);
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let wv = tape.input(w.clone());
+        let hv = tape.input(h.clone());
+        let uv = tape.input(u.clone());
+        let bv = tape.input(bias.clone());
+        let fused = tape.fused_gate(xv, wv, hv, uv, Some(bv), Act::Sigmoid);
+        let xw = tape.matmul(xv, wv);
+        let hu = tape.matmul(hv, uv);
+        let s = tape.add(xw, hu);
+        let s = tape.add_row(s, bv);
+        let unfused = tape.sigmoid(s);
+        let fv = tape.value(fused);
+        let uv2 = tape.value(unfused);
+        prop_assert_eq!(fv.shape(), uv2.shape());
+        for (a, b) in fv.data().iter().zip(uv2.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+/// Deterministic xorshift over a proptest-supplied seed, for deriving
+/// random shapes *and* values from one input (the vendored proptest has no
+/// `flat_map`).
+struct SeedRng(u64);
+
+impl SeedRng {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        (self.0.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+    }
+
+    fn value(&mut self) -> f32 {
+        // Mix exact zeros (exercising the naive kernel's zero-skip), exact
+        // small integers and awkward fractions.
+        match self.next(6) {
+            0 => 0.0,
+            1 => -(self.next(4) as f32),
+            2 => 1.0 / (1 + self.next(100)) as f32,
+            _ => (self.next(2001) as f32 - 1000.0) * 1e-3,
+        }
+    }
+}
+
+/// Random GEMM operand pair: degenerate shapes (empty, `1×N`, `N×1`),
+/// blocked-tile-aligned shapes, and arbitrary in-between sizes.
+fn gemm_operands(seed: u64) -> (Matrix, Matrix) {
+    let mut rng = SeedRng(seed | 1);
+    let (m, k, n) = match rng.next(5) {
+        0 => (rng.next(3), rng.next(13), rng.next(13)), // may be empty
+        1 => (1, 1 + rng.next(24), 1 + rng.next(24)),   // 1×N
+        2 => (1 + rng.next(24), 1 + rng.next(24), 1),   // N×1
+        3 => (
+            8 * (1 + rng.next(4)),
+            8 * (1 + rng.next(4)),
+            8 * (1 + rng.next(4)),
+        ), // aligned
+        _ => (1 + rng.next(40), 1 + rng.next(40), 1 + rng.next(40)),
+    };
+    let a = Matrix::from_fn(m, k, |_, _| rng.value());
+    let b = Matrix::from_fn(k, n, |_, _| rng.value());
+    (a, b)
+}
+
+/// Random operands for the transpose products: `a (m×k)`, `t_b (m×n)` for
+/// `aᵀ·b`, and `bt_b (j×k)` for `a·bᵀ` — shapes include empty and 1-wide.
+fn transpose_operands(seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = SeedRng(seed | 1);
+    let (m, k, n, j) = match rng.next(4) {
+        0 => (rng.next(3), rng.next(8), rng.next(8), rng.next(8)),
+        1 => (1, 1 + rng.next(16), 1 + rng.next(16), 1),
+        _ => (
+            1 + rng.next(24),
+            1 + rng.next(24),
+            1 + rng.next(24),
+            1 + rng.next(24),
+        ),
+    };
+    let a = Matrix::from_fn(m, k, |_, _| rng.value());
+    let t_b = Matrix::from_fn(m, n, |_, _| rng.value());
+    let bt_b = Matrix::from_fn(j, k, |_, _| rng.value());
+    (a, t_b, bt_b)
+}
+
+/// Random fused-gate operands `x (m×k)`, `w (k×d)`, `h (m×e)`, `u (e×d)`,
+/// `bias (1×d)`.
+fn gate_operands(seed: u64) -> (Matrix, Matrix, Matrix, Matrix, Matrix) {
+    let mut rng = SeedRng(seed | 1);
+    let m = 1 + rng.next(20);
+    let k = 1 + rng.next(20);
+    let e = 1 + rng.next(12);
+    let d = 1 + rng.next(20);
+    let x = Matrix::from_fn(m, k, |_, _| rng.value());
+    let w = Matrix::from_fn(k, d, |_, _| rng.value());
+    let h = Matrix::from_fn(m, e, |_, _| rng.value());
+    let u = Matrix::from_fn(e, d, |_, _| rng.value());
+    let bias = Matrix::from_fn(1, d, |_, _| rng.value());
+    (x, w, h, u, bias)
 }
 
 /// Strategy: a parameter store with 1–4 randomly-shaped, randomly-valued

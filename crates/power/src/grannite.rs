@@ -1,4 +1,4 @@
-//! Grannite-style learning baseline (Zhang, Ren & Khailany [18]).
+//! Grannite-style learning baseline (Zhang, Ren & Khailany \[18\]).
 //!
 //! Per the paper's re-implementation (Section V-A2): Grannite receives the
 //! toggle rates of registers and primary inputs *from RTL simulation* as

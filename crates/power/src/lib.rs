@@ -6,9 +6,9 @@
 //! analysis tool:
 //!
 //! 1. **GT** — logic simulation of the testbench workload ([`deepseq_sim`]);
-//! 2. **Probabilistic** — the non-simulative baseline of Ghosh et al. [27]
+//! 2. **Probabilistic** — the non-simulative baseline of Ghosh et al. \[27\]
 //!    ([`probabilistic`]);
-//! 3. **Grannite** — the GNN baseline of Zhang et al. [18], re-implemented
+//! 3. **Grannite** — the GNN baseline of Zhang et al. \[18\], re-implemented
 //!    per the paper's description ([`grannite`]);
 //! 4. **DeepSeq** — the fine-tuned model of [`deepseq_core`].
 //!

@@ -62,9 +62,9 @@ pub struct DesignPowerResult {
     pub design: String,
     /// Ground-truth power (mW) from logic simulation.
     pub gt_mw: f64,
-    /// The non-simulative baseline [27].
+    /// The non-simulative baseline \[27\].
     pub probabilistic: MethodPower,
-    /// Fine-tuned Grannite [18] (if a model was supplied).
+    /// Fine-tuned Grannite \[18\] (if a model was supplied).
     pub grannite: Option<MethodPower>,
     /// Fine-tuned DeepSeq (if a model was supplied).
     pub deepseq: Option<MethodPower>,

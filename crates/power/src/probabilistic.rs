@@ -1,10 +1,10 @@
 //! Non-simulative probabilistic switching estimation — the baseline method
-//! of Ghosh et al. [27] used in Tables V/VI.
+//! of Ghosh et al. \[27\] used in Tables V/VI.
 //!
 //! Signal probabilities and transition densities are propagated through the
 //! combinational logic under a *spatial independence* assumption (every gate
 //! input treated as independent), with flip-flop outputs iterated to a fixed
-//! point. Exactly as the paper notes, this class of methods "produce[s]
+//! point. Exactly as the paper notes, this class of methods "produce\[s\]
 //! inaccurate results on structures such as reconvergence fanouts and cyclic
 //! FFs" — the inaccuracy is inherited faithfully, not patched.
 

@@ -1,4 +1,4 @@
-//! Analytical reliability baseline (Jahanirad-style [32], SPRA family).
+//! Analytical reliability baseline (Jahanirad-style \[32\], SPRA family).
 //!
 //! Per-node error probabilities are propagated through the logic under a
 //! *spatial independence* assumption. Each gate output can be wrong either

@@ -8,7 +8,7 @@
 //!    ([`deepseq_sim::inject_faults`]): fault-free and faulty simulation of
 //!    the same patterns (paper: 1 000 patterns × 100 cycles, 0.05 % error
 //!    rate);
-//! 2. **Analytical** — an SPRA-style propagation baseline [32]
+//! 2. **Analytical** — an SPRA-style propagation baseline \[32\]
 //!    ([`analytical`]);
 //! 3. **DeepSeq** — the pre-trained model fine-tuned with per-node
 //!    `0→1`/`1→0` error probabilities ([`finetune`]).

@@ -15,7 +15,7 @@
 
 use deepseq_core::{Aggregator, CircuitGraph, DeepSeq, DeepSeqConfig, LevelBatch, Predictions};
 use deepseq_netlist::aig::NUM_NODE_TYPES;
-use deepseq_nn::{Matrix, Params};
+use deepseq_nn::{Act, Kernel, Matrix, Params};
 
 use crate::ServeError;
 
@@ -204,8 +204,20 @@ impl InferenceModel {
             }
         }
 
-        let tr = run_head(&self.tr_head, &ws.state, &mut ws.head_a, &mut ws.head_b);
-        let lg = run_head(&self.lg_head, &ws.state, &mut ws.head_a, &mut ws.head_b);
+        let tr = run_head(
+            ws.kernel,
+            &self.tr_head,
+            &ws.state,
+            &mut ws.head_a,
+            &mut ws.head_b,
+        );
+        let lg = run_head(
+            ws.kernel,
+            &self.lg_head,
+            &ws.state,
+            &mut ws.head_a,
+            &mut ws.head_b,
+        );
         let embedding = mean_pool(&ws.state);
         InferenceOutput {
             predictions: Predictions { tr, lg },
@@ -255,11 +267,17 @@ impl InferenceModel {
 
         // Aggregate into the left `agg_out` columns of the GRU input buffer;
         // the right NUM_NODE_TYPES columns take the node features.
+        let kernel = ws.kernel;
         ws.input.reset(k, agg_out + NUM_NODE_TYPES);
         match &dir.agg {
             AggWeights::ConvSum(lin) => {
-                ws.edge_msgs.matmul_into(&lin.w, &mut ws.weighted);
-                add_row_in_place(&mut ws.weighted, &lin.b);
+                kernel.linear_act(
+                    &ws.edge_msgs,
+                    &lin.w,
+                    Some(&lin.b),
+                    Act::Identity,
+                    &mut ws.weighted,
+                );
                 segment_sum_into(&ws.weighted, batch, k, d, &mut ws.m_lg);
                 for i in 0..k {
                     ws.input.row_mut(i)[..d].copy_from_slice(ws.m_lg.row(i));
@@ -274,11 +292,17 @@ impl InferenceModel {
             AggWeights::Dual { att, gate } => {
                 // Eq. 5: logic message m_LG.
                 attention_message(att, batch, k, ws);
-                // Eq. 6: sigmoid transition gate of m_LG against h_v^{t-1}.
-                ws.node_prev.matmul_into(&gate.w1, &mut ws.gate_a);
-                ws.m_lg.matmul_into(&gate.w2, &mut ws.gate_b);
-                ws.gate_a.add_assign(&ws.gate_b);
-                sigmoid_in_place(&mut ws.gate_a);
+                // Eq. 6: sigmoid transition gate of m_LG against h_v^{t-1},
+                // as one fused kernel call.
+                kernel.matmul_bias_act(
+                    &ws.node_prev,
+                    &gate.w1,
+                    Some((&ws.m_lg, &gate.w2)),
+                    None,
+                    Act::Sigmoid,
+                    &mut ws.gate_a,
+                    &mut ws.gate_b,
+                );
                 // Eq. 7: input = [m_TR | m_LG | features].
                 for i in 0..k {
                     let g = ws.gate_a.get(i, 0);
@@ -295,26 +319,37 @@ impl InferenceModel {
             ws.input.row_mut(i)[agg_out..].copy_from_slice(graph.features.row(v as usize));
         }
 
-        // GRU combine (Eq. 8): z/r gates, candidate state, interpolation.
+        // GRU combine (Eq. 8): each gate is one fused kernel call
+        // `act(input·W + h·U + b)`, scratch threaded from the workspace.
         let gru = &dir.gru;
-        ws.input.matmul_into(&gru.wz, &mut ws.z);
-        ws.node_prev.matmul_into(&gru.uz, &mut ws.tmp);
-        ws.z.add_assign(&ws.tmp);
-        add_row_in_place(&mut ws.z, &gru.bz);
-        sigmoid_in_place(&mut ws.z);
-
-        ws.input.matmul_into(&gru.wr, &mut ws.r);
-        ws.node_prev.matmul_into(&gru.ur, &mut ws.tmp);
-        ws.r.add_assign(&ws.tmp);
-        add_row_in_place(&mut ws.r, &gru.br);
-        sigmoid_in_place(&mut ws.r);
-
-        ws.input.matmul_into(&gru.wn, &mut ws.n);
+        kernel.matmul_bias_act(
+            &ws.input,
+            &gru.wz,
+            Some((&ws.node_prev, &gru.uz)),
+            Some(&gru.bz),
+            Act::Sigmoid,
+            &mut ws.z,
+            &mut ws.tmp,
+        );
+        kernel.matmul_bias_act(
+            &ws.input,
+            &gru.wr,
+            Some((&ws.node_prev, &gru.ur)),
+            Some(&gru.br),
+            Act::Sigmoid,
+            &mut ws.r,
+            &mut ws.tmp,
+        );
         mul_into(&ws.r, &ws.node_prev, &mut ws.tmp);
-        ws.tmp.matmul_into(&gru.un, &mut ws.tmp2);
-        ws.n.add_assign(&ws.tmp2);
-        add_row_in_place(&mut ws.n, &gru.bn);
-        tanh_in_place(&mut ws.n);
+        kernel.matmul_bias_act(
+            &ws.input,
+            &gru.wn,
+            Some((&ws.tmp, &gru.un)),
+            Some(&gru.bn),
+            Act::Tanh,
+            &mut ws.n,
+            &mut ws.tmp2,
+        );
 
         // h' = (1 - z) ⊙ n + z ⊙ h, with the tape's exact expression tree.
         for ((n, &z), &h) in
@@ -332,13 +367,19 @@ impl InferenceModel {
     }
 }
 
-/// Shared Eq. 5 path: additive scores → segment softmax → weighted segment
-/// sum into `ws.m_lg`.
+/// Shared Eq. 5 path: additive scores (one fused kernel call) → segment
+/// softmax → weighted segment sum into `ws.m_lg`.
 fn attention_message(att: &AttentionWeights, batch: &LevelBatch, k: usize, ws: &mut Workspace) {
     let d = att.w1.rows();
-    ws.edge_prev.matmul_into(&att.w1, &mut ws.scores);
-    ws.edge_msgs.matmul_into(&att.w2, &mut ws.scores_b);
-    ws.scores.add_assign(&ws.scores_b);
+    ws.kernel.matmul_bias_act(
+        &ws.edge_prev,
+        &att.w1,
+        Some((&ws.edge_msgs, &att.w2)),
+        None,
+        Act::Identity,
+        &mut ws.scores,
+        &mut ws.scores_b,
+    );
     segment_softmax_into(&ws.scores, batch, &mut ws.alpha);
     ws.weighted.reset(batch.edges.len(), d);
     for i in 0..batch.edges.len() {
@@ -383,35 +424,6 @@ fn segment_sum_into(src: &Matrix, batch: &LevelBatch, k: usize, d: usize, out: &
     }
 }
 
-/// Broadcast-adds a `1×c` bias row to every row.
-fn add_row_in_place(a: &mut Matrix, row: &Matrix) {
-    let c = a.cols();
-    assert_eq!(row.shape(), (1, c), "add_row_in_place needs 1x{c}");
-    for r in 0..a.rows() {
-        for (o, &b) in a.row_mut(r).iter_mut().zip(row.row(0)) {
-            *o += b;
-        }
-    }
-}
-
-fn sigmoid_in_place(a: &mut Matrix) {
-    for v in a.data_mut() {
-        *v = 1.0 / (1.0 + (-*v).exp());
-    }
-}
-
-fn tanh_in_place(a: &mut Matrix) {
-    for v in a.data_mut() {
-        *v = v.tanh();
-    }
-}
-
-fn relu_in_place(a: &mut Matrix) {
-    for v in a.data_mut() {
-        *v = v.max(0.0);
-    }
-}
-
 /// Element-wise product into `out`.
 fn mul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.shape(), b.shape(), "mul_into shape mismatch");
@@ -422,8 +434,15 @@ fn mul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 }
 
 /// Runs a regressor head (Linear + ReLU stack, final sigmoid) over the full
-/// state matrix, alternating between two scratch buffers.
-fn run_head(layers: &[LinearWeights], state: &Matrix, a: &mut Matrix, b: &mut Matrix) -> Matrix {
+/// state matrix, alternating between two scratch buffers. Each layer is one
+/// fused kernel call.
+fn run_head(
+    kernel: Kernel,
+    layers: &[LinearWeights],
+    state: &Matrix,
+    a: &mut Matrix,
+    b: &mut Matrix,
+) -> Matrix {
     let mut src_is_a = false;
     for (i, layer) in layers.iter().enumerate() {
         let (src, dst): (&Matrix, &mut Matrix) = if i == 0 {
@@ -433,15 +452,16 @@ fn run_head(layers: &[LinearWeights], state: &Matrix, a: &mut Matrix, b: &mut Ma
         } else {
             (&*b, &mut *a)
         };
-        src.matmul_into(&layer.w, dst);
-        add_row_in_place(dst, &layer.b);
-        if i + 1 < layers.len() {
-            relu_in_place(dst);
-        }
+        let act = if i + 1 < layers.len() {
+            Act::Relu
+        } else {
+            Act::Identity
+        };
+        kernel.linear_act(src, &layer.w, Some(&layer.b), act, dst);
         src_is_a = !src_is_a;
     }
     let out = if src_is_a { &mut *a } else { &mut *b };
-    sigmoid_in_place(out);
+    Act::Sigmoid.apply(out.data_mut());
     out.clone()
 }
 
@@ -459,14 +479,22 @@ fn mean_pool(hidden: &Matrix) -> Matrix {
     pooled
 }
 
-/// Preallocated scratch buffers for [`InferenceModel::run`].
+/// Preallocated scratch buffers for [`InferenceModel::run`], plus the GEMM
+/// [`Kernel`] all products of the forward pass dispatch through.
 ///
 /// All buffers are reshaped with [`Matrix::reset`], which reuses their
 /// allocations: after the first request of a given size a worker thread
-/// serves follow-ups with near-zero allocator traffic. Keep one workspace
-/// per thread (the engine does); they are cheap when idle.
-#[derive(Debug, Clone, Default)]
+/// serves follow-ups with near-zero allocator traffic. The fused kernel ops
+/// (`act(x·W + h·U + b)`) take their scratch from here as well. Keep one
+/// workspace per thread (the engine does); they are cheap when idle.
+///
+/// The kernel defaults to [`Kernel::for_serve`] — `blocked`, unless
+/// `DEEPSEQ_KERNEL` overrides it; every kernel is bitwise-equal on finite
+/// inputs, so this is a pure performance choice. Use
+/// [`Workspace::with_kernel`] to pin one explicitly (benchmarks do).
+#[derive(Debug, Clone)]
 pub struct Workspace {
+    kernel: Kernel,
     state: Matrix,
     node_prev: Matrix,
     edge_prev: Matrix,
@@ -489,9 +517,47 @@ pub struct Workspace {
 }
 
 impl Workspace {
-    /// An empty workspace; buffers grow on first use and are then reused.
+    /// An empty workspace on the serving-default kernel; buffers grow on
+    /// first use and are then reused.
     pub fn new() -> Self {
-        Workspace::default()
+        Workspace::with_kernel(Kernel::for_serve())
+    }
+
+    /// An empty workspace pinned to a specific GEMM kernel.
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        Workspace {
+            kernel,
+            state: Matrix::default(),
+            node_prev: Matrix::default(),
+            edge_prev: Matrix::default(),
+            edge_msgs: Matrix::default(),
+            scores: Matrix::default(),
+            scores_b: Matrix::default(),
+            alpha: Matrix::default(),
+            weighted: Matrix::default(),
+            m_lg: Matrix::default(),
+            gate_a: Matrix::default(),
+            gate_b: Matrix::default(),
+            input: Matrix::default(),
+            z: Matrix::default(),
+            r: Matrix::default(),
+            n: Matrix::default(),
+            tmp: Matrix::default(),
+            tmp2: Matrix::default(),
+            head_a: Matrix::default(),
+            head_b: Matrix::default(),
+        }
+    }
+
+    /// The kernel this workspace dispatches matrix products through.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
     }
 }
 

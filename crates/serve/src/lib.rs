@@ -9,8 +9,14 @@
 //! * [`InferenceModel`] — a **tape-free forward pass**: the levelized
 //!   propagation of `deepseq-core` replayed on plain matrix ops with
 //!   preallocated [`Workspace`] scratch buffers. No autograd tape is grown,
-//!   and predictions are bitwise-equal to [`DeepSeq::predict`]
-//!   (`deepseq_core::DeepSeq::predict`) on the same checkpoint;
+//!   and predictions are bitwise-equal to
+//!   [`DeepSeq::predict`](deepseq_core::DeepSeq::predict) on the same
+//!   checkpoint;
+//! * **blocked GEMM kernels** — every product of the forward pass
+//!   dispatches through the [`Kernel`](deepseq_nn::Kernel) carried by the
+//!   [`Workspace`] (serving default: `blocked`; override with the
+//!   `DEEPSEQ_KERNEL` environment variable). All kernels are
+//!   bitwise-equal on finite inputs, so the choice is pure performance;
 //! * **binary checkpoints** — loads the `DSQM`/`DSQP` little-endian format
 //!   added to `deepseq-nn`/`deepseq-core` alongside the text format
 //!   ([`InferenceModel::from_binary_checkpoint`]);

@@ -12,7 +12,7 @@
 //! |---|---|---|
 //! | [`netlist`] | `deepseq-netlist` | sequential AIGs, generic netlists, `.bench` I/O, lowering |
 //! | [`sim`] | `deepseq-sim` | 64-lane bit-parallel simulation, workloads, fault injection |
-//! | [`nn`] | `deepseq-nn` | matrices, autograd tape, layers, ADAM |
+//! | [`nn`] | `deepseq-nn` | matrices, blocked GEMM kernels, autograd tape, layers, ADAM |
 //! | [`core`] | `deepseq-core` | **the DeepSeq model**, propagation schemes, training |
 //! | [`data`] | `deepseq-data` | benchmark families, the six Table IV designs |
 //! | [`power`] | `deepseq-power` | power pipeline: probabilistic + Grannite baselines, SAIF |

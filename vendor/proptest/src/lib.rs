@@ -71,7 +71,7 @@ pub mod test_runner {
     }
 
     /// Drives one property: `config.cases` deterministic cases through
-    /// `strategy`, panicking on the first failure. Called by [`proptest!`];
+    /// `strategy`, panicking on the first failure. Called by the `proptest!` macro;
     /// not part of the real crate's public API.
     pub fn run<S, F>(config: &Config, test_name: &str, strategy: S, mut test: F)
     where
@@ -199,7 +199,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// A fixed or ranged element count for [`vec`].
+    /// A fixed or ranged element count for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
