@@ -8,10 +8,14 @@
 //! `serve_kernel_blocked_256x256x64` against `serve_kernel_naive_256x256x64`
 //! there.
 //!
+//! All products are pinned to a 1-thread pool: these benches isolate
+//! kernel arithmetic, so their trajectory must not depend on the
+//! measurement host's core count (`perf_threads` owns the scaling story).
+//!
 //! Run: `cargo bench -p deepseq-bench --bench perf_kernels`
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use deepseq_nn::{Act, Kernel, Matrix};
+use deepseq_nn::{Act, Kernel, Matrix, Pool};
 
 /// `(m, k, n)` product shapes from the serve path: the acceptance shape, a
 /// level-batch × GRU-gate shape (`input_dim = 2d + 4` node types at
@@ -25,6 +29,7 @@ fn filled(rows: usize, cols: usize, seed: f32) -> Matrix {
 }
 
 fn bench_gemm(c: &mut Criterion) {
+    let serial = Pool::new(1);
     for &(m, k, n) in &SHAPES {
         let a = filled(m, k, 0.6);
         let b = filled(k, n, -0.4);
@@ -32,7 +37,7 @@ fn bench_gemm(c: &mut Criterion) {
             let mut out = Matrix::default();
             c.bench_function(
                 &format!("serve_kernel_{}_{m}x{k}x{n}", kernel.name()),
-                |bch| bch.iter(|| kernel.matmul_into(&a, &b, &mut out)),
+                |bch| bch.iter(|| kernel.matmul_into_on(&serial, &a, &b, &mut out)),
             );
         }
     }
@@ -47,12 +52,14 @@ fn bench_fused_gate(c: &mut Criterion) {
     let h = filled(batch, d, 0.8);
     let u = filled(d, d, 0.2);
     let bias = filled(1, d, 0.05);
+    let serial = Pool::new(1);
     for kernel in Kernel::ALL {
         let mut out = Matrix::default();
         let mut tmp = Matrix::default();
         c.bench_function(&format!("serve_fused_gate_{}_d{d}", kernel.name()), |bch| {
             bch.iter(|| {
-                kernel.matmul_bias_act(
+                kernel.matmul_bias_act_on(
+                    &serial,
                     &x,
                     &w,
                     Some((&h, &u)),

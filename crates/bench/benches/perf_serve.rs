@@ -5,7 +5,15 @@
 //! measurably faster than tape; cache hit faster still) and feed the
 //! `BENCH_serve.json` perf-trajectory artifact collected in CI.
 //!
+//! The tape-free and engine benches are pinned to 1-thread pools so the
+//! committed trajectory isolates the serial path and stays comparable
+//! across measurement hosts (`perf_threads` owns the scaling story); the
+//! tape benches inherit the global pool, so run this with
+//! `DEEPSEQ_THREADS=1` (CI does) when refreshing `BENCH_serve.json`.
+//!
 //! Run: `cargo bench -p deepseq-bench --bench perf_serve`
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepseq_core::encoding::initial_states;
@@ -13,7 +21,7 @@ use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
 use deepseq_data::designs::ptc;
 use deepseq_data::random::{random_circuit, CircuitSpec};
 use deepseq_netlist::{lower_to_aig, SeqAig};
-use deepseq_nn::{Kernel, Matrix};
+use deepseq_nn::{Kernel, Matrix, Pool};
 use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest, Workspace};
 use deepseq_sim::Workload;
 use rand::rngs::StdRng;
@@ -69,9 +77,9 @@ fn bench_tape_forward(c: &mut Criterion) {
 
 fn bench_tapefree_forward(c: &mut Criterion) {
     for f in fixtures() {
-        // The serving default kernel — this id is the long-running
-        // tape-free trajectory entry in BENCH_serve.json.
-        let mut ws = Workspace::new();
+        // The serving default kernel on a pinned 1-thread pool — this id is
+        // the long-running tape-free trajectory entry in BENCH_serve.json.
+        let mut ws = Workspace::with_pool(Kernel::for_serve(), Arc::new(Pool::new(1)));
         c.bench_function(&format!("serve_tapefree_forward_{}", f.tag), |b| {
             b.iter(|| f.frozen.run(&f.graph, &f.h0, &mut ws))
         });
@@ -84,7 +92,7 @@ fn bench_tapefree_forward(c: &mut Criterion) {
 fn bench_tapefree_per_kernel(c: &mut Criterion) {
     for f in fixtures() {
         for kernel in Kernel::ALL {
-            let mut ws = Workspace::with_kernel(kernel);
+            let mut ws = Workspace::with_pool(kernel, Arc::new(Pool::new(1)));
             c.bench_function(
                 &format!("serve_tapefree_{}_{}", kernel.name(), f.tag),
                 |b| b.iter(|| f.frozen.run(&f.graph, &f.h0, &mut ws)),
@@ -95,12 +103,13 @@ fn bench_tapefree_per_kernel(c: &mut Criterion) {
 
 fn bench_cache_hit(c: &mut Criterion) {
     for f in fixtures() {
-        let engine = Engine::new(
+        let engine = Engine::with_pool(
             f.frozen.clone(),
             EngineOptions {
                 workers: 1,
                 cache_capacity: 8,
             },
+            Arc::new(Pool::new(1)),
         );
         let make = |id| ServeRequest {
             id,

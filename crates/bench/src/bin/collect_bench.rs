@@ -17,7 +17,9 @@
 //! them verbatim under their benchmark ids, sorted for stable diffs. A
 //! `derived` section adds the ratios the acceptance criteria and the README
 //! table read: tape → tape-free speedup per design, naive → blocked/packed
-//! kernel speedup per GEMM shape and for the fused GRU gate.
+//! kernel speedup per GEMM shape and for the fused GRU gate, and the
+//! 1-thread → N-thread speedups of the `perf_threads` entries
+//! (`serve_mt_<what>_t<N>_<rest>` → `mt_speedup_<what>_t<N>_<rest>`).
 //!
 //! `--readme` replaces everything between the `<!-- bench-table:begin -->`
 //! and `<!-- bench-table:end -->` markers with a table generated from the
@@ -178,9 +180,27 @@ fn derive_speedups(means: &[(String, f64)]) -> Vec<(String, f64)> {
                 }
             }
         }
+        // 1-thread → N-thread, per perf_threads entry.
+        if let Some((what, threads, rest)) = split_mt_id(name) {
+            if threads != 1 {
+                if let Some(t1) = mean_of(&format!("serve_mt_{what}_t1_{rest}")) {
+                    out.push((format!("mt_speedup_{what}_t{threads}_{rest}"), t1 / mean));
+                }
+            }
+        }
     }
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
+}
+
+/// Splits a `serve_mt_<what>_t<N>_<rest>` bench id into its parts; `None`
+/// for ids of any other family.
+fn split_mt_id(name: &str) -> Option<(&str, usize, &str)> {
+    let body = name.strip_prefix("serve_mt_")?;
+    let (what, tail) = body.split_once("_t")?;
+    let (digits, rest) = tail.split_once('_')?;
+    let threads: usize = digits.parse().ok()?;
+    Some((what, threads, rest))
 }
 
 fn regenerate_readme(snapshot: &PathBuf, readme: &PathBuf) -> ExitCode {

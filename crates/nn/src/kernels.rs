@@ -12,10 +12,14 @@
 //! * [`Kernel::Blocked`] — the same accumulation order, restructured into
 //!   cache-sized `k`-panels and register-tiled output columns so the
 //!   autovectorizer emits wide mul-add loops and each output element stays
-//!   in a register across a whole panel. Default for serving.
+//!   in a register across a whole panel.
 //! * [`Kernel::Packed`] — additionally packs the right-hand operand into
 //!   contiguous column panels and amortizes them over a 4-row micro-kernel;
 //!   wins once operands outgrow L1 (wide hidden dims, big level batches).
+//! * [`Kernel::Auto`] — not a fourth arithmetic variant but a shape-aware
+//!   policy resolving to one of the above per product (see
+//!   [`Kernel::resolve`]). Default for serving, so callers stop hardcoding
+//!   variants.
 //!
 //! Every variant accumulates each output element over `k` **in ascending
 //! order**, without fused multiply-add, so for finite inputs all kernels
@@ -28,10 +32,24 @@
 //! floating-point sequence as the unfused ops it replaces (product, zip-add,
 //! broadcast bias, activation), so fusing is also numerics-neutral.
 //!
+//! # Threading
+//!
+//! Large products are row-partitioned across the worker [`Pool`]: each
+//! output row is still accumulated in ascending-`k` order by exactly one
+//! worker, so multi-threaded results are **bitwise equal to single-threaded
+//! at any thread count** — the chunk boundary only decides *who* computes a
+//! row, never *how*. The plain entry points ([`Kernel::matmul`],
+//! [`Kernel::matmul_into`], …) use the process-wide [`Pool::global`]
+//! (sized by `DEEPSEQ_THREADS`); the `*_on` twins
+//! ([`Kernel::matmul_into_on`], …) take an explicit pool for engines,
+//! benchmarks and tests that manage their own. Products below
+//! [`PAR_MIN_FLOPS`] multiply-adds stay on the calling thread.
+//!
 //! # Selection
 //!
 //! The `DEEPSEQ_KERNEL` environment variable (`naive` | `blocked` |
-//! `packed`, read once per process) overrides both defaults:
+//! `packed` | `auto`, read once per process; unrecognized values warn once
+//! to stderr and keep the default) overrides both defaults:
 //!
 //! ```text
 //! DEEPSEQ_KERNEL=packed target/release/deepseq-serve predict design.aag
@@ -49,18 +67,22 @@
 //! let reference = Kernel::Naive.matmul(&a, &b);
 //! assert_eq!(Kernel::Blocked.matmul(&a, &b), reference);
 //! assert_eq!(Kernel::Packed.matmul(&a, &b), reference);
+//! assert_eq!(Kernel::Auto.matmul(&a, &b), reference);
 //!
 //! // `Matrix::matmul` dispatches through the process-wide default.
 //! assert_eq!(a.matmul(&b), reference);
 //! ```
 
 use std::cell::RefCell;
+use std::ops::Range;
 use std::sync::OnceLock;
 
 use crate::matrix::Matrix;
+use crate::pool::{chunk_ranges_or_whole, Pool};
 
 /// Environment variable naming the kernel to use process-wide
-/// (`naive` | `blocked` | `packed`). Read once, on first dispatch.
+/// (`naive` | `blocked` | `packed` | `auto`). Read once, on first dispatch;
+/// an unrecognized value warns once to stderr and keeps the default.
 pub const KERNEL_ENV: &str = "DEEPSEQ_KERNEL";
 
 /// Output-column register tile width of the blocked/packed kernels.
@@ -73,11 +95,32 @@ const KC: usize = 128;
 /// Row tile height of the packed micro-kernel.
 const MR: usize = 4;
 
+/// Minimum multiply-adds (`m·k·n`) before a product fans out across the
+/// pool — below this, partitioning overhead outweighs the work.
+pub const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Minimum output rows per parallel chunk.
+const PAR_MIN_ROWS: usize = 8;
+
 thread_local! {
     /// Reused panel-packing scratch of [`Kernel::Packed`]; grows to the
     /// largest right-hand operand seen on this thread and is then reused,
-    /// mirroring the serve path's `Workspace` buffer discipline.
+    /// mirroring the serve path's `Workspace` buffer discipline. Parallel
+    /// packed products pack once on the calling thread and share the panels
+    /// read-only with the workers.
     static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the thread-local pack buffer *moved out* of its `RefCell`
+/// for the duration. The buffer must not stay borrowed across a pool
+/// fan-out: while parked in [`Pool::run`] this thread may help-execute
+/// another task that itself runs a packed product, and a live borrow would
+/// panic (`BorrowMutError`). Taking the `Vec` out keeps the re-entrant
+/// product on its own (freshly grown) buffer; ours is restored afterwards.
+fn with_pack_scratch(f: impl FnOnce(&mut Vec<f32>)) {
+    let mut pack = PACK_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    f(&mut pack);
+    PACK_SCRATCH.with(|s| *s.borrow_mut() = pack);
 }
 
 /// Element-wise activation applied by the fused kernels.
@@ -146,31 +189,49 @@ pub enum Kernel {
     Blocked,
     /// Blocked plus contiguous B-panel packing and a 4×8 micro-kernel.
     Packed,
+    /// Shape-aware policy: resolves to one of the variants above per
+    /// product (see [`Kernel::resolve`]). Bitwise-neutral like every other
+    /// choice.
+    Auto,
 }
 
 impl Kernel {
-    /// All kernels, for iteration in tests and benchmarks.
+    /// The concrete arithmetic variants, for iteration in tests and
+    /// benchmarks. [`Kernel::Auto`] is excluded: it always resolves to one
+    /// of these and adds no fourth arithmetic.
     pub const ALL: [Kernel; 3] = [Kernel::Naive, Kernel::Blocked, Kernel::Packed];
 
-    /// Parses a kernel name (`naive` | `blocked` | `packed`,
-    /// case-insensitive).
+    /// Parses a kernel name (`naive` | `blocked` | `packed` | `auto`,
+    /// case-insensitive). These are exactly the values accepted in
+    /// `DEEPSEQ_KERNEL`.
     pub fn parse(name: &str) -> Option<Kernel> {
         match name.trim().to_ascii_lowercase().as_str() {
             "naive" => Some(Kernel::Naive),
             "blocked" => Some(Kernel::Blocked),
             "packed" => Some(Kernel::Packed),
+            "auto" => Some(Kernel::Auto),
             _ => None,
         }
     }
 
     /// The kernel named by `DEEPSEQ_KERNEL`, if set to a recognized name.
-    /// The variable is read once; later changes have no effect.
+    /// The variable is read once; later changes have no effect. Setting it
+    /// to anything [`Kernel::parse`] rejects warns once to stderr and
+    /// behaves like an unset variable.
     pub fn from_env() -> Option<Kernel> {
         static FROM_ENV: OnceLock<Option<Kernel>> = OnceLock::new();
-        *FROM_ENV.get_or_init(|| {
-            std::env::var(KERNEL_ENV)
-                .ok()
-                .and_then(|v| Kernel::parse(&v))
+        *FROM_ENV.get_or_init(|| match std::env::var(KERNEL_ENV) {
+            Ok(value) => {
+                let parsed = Kernel::parse(&value);
+                if parsed.is_none() {
+                    eprintln!(
+                        "warning: {KERNEL_ENV}={value:?} is not a recognized kernel \
+                         (accepted: naive | blocked | packed | auto); using the default"
+                    );
+                }
+                parsed
+            }
+            Err(_) => None,
         })
     }
 
@@ -183,18 +244,50 @@ impl Kernel {
     }
 
     /// The serving default: `DEEPSEQ_KERNEL` if set, otherwise
-    /// [`Kernel::Blocked`]. The tape-free inference path
-    /// (`deepseq-serve`) starts from this.
+    /// [`Kernel::Auto`] — the tape-free inference path (`deepseq-serve`)
+    /// picks blocked/packed/naive per product shape.
     pub fn for_serve() -> Kernel {
-        Kernel::from_env().unwrap_or(Kernel::Blocked)
+        Kernel::from_env().unwrap_or(Kernel::Auto)
     }
 
-    /// The lower-case name (`"naive"` | `"blocked"` | `"packed"`).
+    /// The lower-case name (`"naive"` | `"blocked"` | `"packed"` |
+    /// `"auto"`).
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Naive => "naive",
             Kernel::Blocked => "blocked",
             Kernel::Packed => "packed",
+            Kernel::Auto => "auto",
+        }
+    }
+
+    /// The concrete variant used for an `m×k · k×n` product.
+    ///
+    /// [`Kernel::Auto`] picks by shape: tiny products (under ~1 K
+    /// multiply-adds, where call overhead and tile setup dominate) stay on
+    /// the reference loops, products whose right-hand operand outgrows L1
+    /// (`k·n` beyond ~32 K elements) pay for B-panel packing, and
+    /// everything in between — including narrow and single-row outputs —
+    /// takes the cache-blocked kernel. Concrete kernels resolve to
+    /// themselves. Every choice is bitwise-neutral, so this is purely a
+    /// performance policy (measured on the serve design suite: `auto`
+    /// tracks the best pinned kernel within noise).
+    pub fn resolve(self, m: usize, k: usize, n: usize) -> Kernel {
+        if self != Kernel::Auto {
+            return self;
+        }
+        let flops = m.saturating_mul(k).saturating_mul(n);
+        if flops < 1_024 {
+            // So tiny that call overhead and tile setup dominate: the
+            // reference loops (with their zero-skip) win.
+            Kernel::Naive
+        } else if k.saturating_mul(n) >= 32_768 {
+            Kernel::Packed
+        } else {
+            // Even for narrow outputs (n < NR) the blocked kernel's
+            // register tail beats the reference loop's per-element branch
+            // on dense operands.
+            Kernel::Blocked
         }
     }
 
@@ -203,8 +296,16 @@ impl Kernel {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn matmul(self, a: &Matrix, b: &Matrix) -> Matrix {
+        self.matmul_on(Pool::global(), a, b)
+    }
+
+    /// [`Kernel::matmul`] on an explicit worker pool.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul_on(self, pool: &Pool, a: &Matrix, b: &Matrix) -> Matrix {
         let mut out = Matrix::default();
-        self.matmul_into(a, b, &mut out);
+        self.matmul_into_on(pool, a, b, &mut out);
         out
     }
 
@@ -214,6 +315,16 @@ impl Kernel {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn matmul_into(self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        self.matmul_into_on(Pool::global(), a, b, out);
+    }
+
+    /// [`Kernel::matmul_into`] on an explicit worker pool: rows of `out`
+    /// are partitioned across the pool when the product is large enough
+    /// (results are bitwise-identical at any thread count).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul_into_on(self, pool: &Pool, a: &Matrix, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             a.cols(),
             b.rows(),
@@ -225,6 +336,7 @@ impl Kernel {
         );
         out.reset(a.rows(), b.cols());
         self.gemm_acc(
+            pool,
             a.data(),
             b.data(),
             out.data_mut(),
@@ -239,25 +351,62 @@ impl Kernel {
     /// # Panics
     /// Panics if row counts differ.
     pub fn t_matmul(self, a: &Matrix, b: &Matrix) -> Matrix {
+        self.t_matmul_on(Pool::global(), a, b)
+    }
+
+    /// [`Kernel::t_matmul`] on an explicit worker pool. Output rows
+    /// (columns of `a`) are partitioned across the pool for large products;
+    /// per output element the contraction stays in ascending row order, so
+    /// results are bitwise-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if row counts differ.
+    pub fn t_matmul_on(self, pool: &Pool, a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.rows(), b.rows(), "t_matmul row mismatch");
-        let mut out = Matrix::zeros(a.cols(), b.cols());
-        match self {
-            Kernel::Naive => t_gemm_naive(
+        let (m, ka, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(ka, n);
+        if ka == 0 || n == 0 {
+            return out;
+        }
+        let ranges = par_ranges(pool, ka, m, n);
+        match self.resolve(ka, m, n) {
+            Kernel::Naive => run_trow_tasks(
+                pool,
+                ranges,
                 a.data(),
                 b.data(),
                 out.data_mut(),
-                a.rows(),
-                a.cols(),
-                b.cols(),
+                m,
+                ka,
+                n,
+                t_gemm_naive_rows,
             ),
-            Kernel::Blocked | Kernel::Packed => t_gemm_blocked(
+            Kernel::Blocked => run_trow_tasks(
+                pool,
+                ranges,
                 a.data(),
                 b.data(),
                 out.data_mut(),
-                a.rows(),
-                a.cols(),
-                b.cols(),
+                m,
+                ka,
+                n,
+                t_gemm_blocked_rows,
             ),
+            Kernel::Packed => with_pack_scratch(|pack| {
+                pack_b(b.data(), m, n, pack);
+                run_trow_tasks(
+                    pool,
+                    ranges,
+                    a.data(),
+                    pack,
+                    out.data_mut(),
+                    m,
+                    ka,
+                    n,
+                    t_gemm_packed_rows,
+                );
+            }),
+            Kernel::Auto => unreachable!("resolve returns a concrete kernel"),
         }
         out
     }
@@ -267,25 +416,61 @@ impl Kernel {
     /// # Panics
     /// Panics if column counts differ.
     pub fn matmul_t(self, a: &Matrix, b: &Matrix) -> Matrix {
+        self.matmul_t_on(Pool::global(), a, b)
+    }
+
+    /// [`Kernel::matmul_t`] on an explicit worker pool. Rows of `a` are
+    /// partitioned across the pool for large products; every output element
+    /// is one ascending-`k` dot product regardless of partitioning, so
+    /// results are bitwise-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if column counts differ.
+    pub fn matmul_t_on(self, pool: &Pool, a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.cols(), b.cols(), "matmul_t col mismatch");
-        let mut out = Matrix::zeros(a.rows(), b.rows());
-        match self {
-            Kernel::Naive => gemm_bt_naive(
+        let (m, k, nb) = (a.rows(), a.cols(), b.rows());
+        let mut out = Matrix::zeros(m, nb);
+        if m == 0 || nb == 0 {
+            return out;
+        }
+        let ranges = par_ranges(pool, m, k, nb);
+        match self.resolve(m, k, nb) {
+            Kernel::Naive => run_row_tasks(
+                pool,
+                ranges,
                 a.data(),
                 b.data(),
                 out.data_mut(),
-                a.rows(),
-                a.cols(),
-                b.rows(),
+                k,
+                nb,
+                gemm_bt_naive_rows,
             ),
-            Kernel::Blocked | Kernel::Packed => gemm_bt_blocked(
+            Kernel::Blocked => run_row_tasks(
+                pool,
+                ranges,
                 a.data(),
                 b.data(),
                 out.data_mut(),
-                a.rows(),
-                a.cols(),
-                b.rows(),
+                k,
+                nb,
+                gemm_bt_blocked_rows,
             ),
+            Kernel::Packed => with_pack_scratch(|pack| {
+                // Packing bᵀ into k-major panels turns `a × bᵀ` into the
+                // plain packed GEMM micro-kernel.
+                pack_bt(b.data(), k, nb, pack);
+                run_row_tasks(
+                    pool,
+                    ranges,
+                    a.data(),
+                    pack,
+                    out.data_mut(),
+                    k,
+                    nb,
+                    gemm_packed_rows,
+                );
+            }),
+            Kernel::Auto => unreachable!("resolve returns a concrete kernel"),
         }
         out
     }
@@ -315,9 +500,29 @@ impl Kernel {
         out: &mut Matrix,
         tmp: &mut Matrix,
     ) {
-        self.matmul_into(x, w, out);
+        self.matmul_bias_act_on(Pool::global(), x, w, second, bias, act, out, tmp);
+    }
+
+    /// [`Kernel::matmul_bias_act`] on an explicit worker pool (the products
+    /// row-partition; the element-wise tail stays on the caller).
+    ///
+    /// # Panics
+    /// Panics on any operand dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_bias_act_on(
+        self,
+        pool: &Pool,
+        x: &Matrix,
+        w: &Matrix,
+        second: Option<(&Matrix, &Matrix)>,
+        bias: Option<&Matrix>,
+        act: Act,
+        out: &mut Matrix,
+        tmp: &mut Matrix,
+    ) {
+        self.matmul_into_on(pool, x, w, out);
         if let Some((h, u)) = second {
-            self.matmul_into(h, u, tmp);
+            self.matmul_into_on(pool, h, u, tmp);
             out.add_assign(tmp);
         }
         if let Some(b) = bias {
@@ -340,23 +545,139 @@ impl Kernel {
         act: Act,
         out: &mut Matrix,
     ) {
-        self.matmul_into(x, w, out);
+        self.linear_act_on(Pool::global(), x, w, bias, act, out);
+    }
+
+    /// [`Kernel::linear_act`] on an explicit worker pool.
+    ///
+    /// # Panics
+    /// Panics on operand dimension mismatch.
+    pub fn linear_act_on(
+        self,
+        pool: &Pool,
+        x: &Matrix,
+        w: &Matrix,
+        bias: Option<&Matrix>,
+        act: Act,
+        out: &mut Matrix,
+    ) {
+        self.matmul_into_on(pool, x, w, out);
         if let Some(b) = bias {
             out.add_row_assign(b);
         }
         act.apply(out.data_mut());
     }
 
-    /// `out += a × b` on raw row-major slices.
-    fn gemm_acc(self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-        match self {
-            Kernel::Naive => gemm_naive(a, b, out, m, k, n),
-            Kernel::Blocked => gemm_blocked(a, b, out, m, k, n),
-            Kernel::Packed => PACK_SCRATCH.with(|scratch| {
-                gemm_packed(a, b, out, m, k, n, &mut scratch.borrow_mut());
+    /// `out += a × b` on raw row-major slices, row-partitioned across the
+    /// pool when large enough.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_acc(
+        self,
+        pool: &Pool,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if m == 0 || n == 0 {
+            return;
+        }
+        let ranges = par_ranges(pool, m, k, n);
+        match self.resolve(m, k, n) {
+            Kernel::Naive => run_row_tasks(pool, ranges, a, b, out, k, n, gemm_naive),
+            Kernel::Blocked => run_row_tasks(pool, ranges, a, b, out, k, n, gemm_blocked),
+            Kernel::Packed => with_pack_scratch(|pack| {
+                pack_b(b, k, n, pack);
+                run_row_tasks(pool, ranges, a, pack, out, k, n, gemm_packed_rows);
             }),
+            Kernel::Auto => unreachable!("resolve returns a concrete kernel"),
         }
     }
+}
+
+/// Contiguous output-row ranges for one product: one `0..rows` range when
+/// the product is too small to pay for fan-out (or the pool has no
+/// workers), otherwise up to `pool.threads()` chunks of at least
+/// [`PAR_MIN_ROWS`] rows.
+fn par_ranges(pool: &Pool, rows: usize, k: usize, n: usize) -> Vec<Range<usize>> {
+    let flops = rows.saturating_mul(k).saturating_mul(n);
+    let max_chunks = if flops >= PAR_MIN_FLOPS {
+        pool.threads()
+    } else {
+        1
+    };
+    chunk_ranges_or_whole(rows, max_chunks, PAR_MIN_ROWS)
+}
+
+/// Row-kernel signature shared by the partitionable GEMM variants:
+/// `(a_rows, b_or_panels, out_rows, rows, k, n)` where `a_rows`/`out_rows`
+/// hold exactly `rows` rows.
+type RowKernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
+/// Runs a row kernel over `ranges`, splitting `a` and `out` by rows and
+/// sharing `b` read-only. Single range → straight call on the caller.
+#[allow(clippy::too_many_arguments)]
+fn run_row_tasks(
+    pool: &Pool,
+    ranges: Vec<Range<usize>>,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    f: RowKernel,
+) {
+    if ranges.len() == 1 {
+        let r = ranges.into_iter().next().expect("one range");
+        f(&a[r.start * k..r.end * k], b, out, r.len(), k, n);
+        return;
+    }
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for r in ranges {
+        let rows = r.len();
+        let (chunk, tail) = rest.split_at_mut(rows * n);
+        rest = tail;
+        let a_rows = &a[r.start * k..r.end * k];
+        tasks.push(Box::new(move || f(a_rows, b, chunk, rows, k, n)));
+    }
+    pool.run(tasks);
+}
+
+/// Transpose-product row-kernel signature:
+/// `(a, b_or_panels, out_rows, m, ka, n, i0, i1)` — computes output rows
+/// `i0..i1` (columns of `a`) into `out_rows`.
+type TRowKernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize, usize, usize);
+
+/// Runs a transpose row kernel over `ranges` of output rows (columns of
+/// `a`); `a` and `b` are shared read-only, `out` split by rows.
+#[allow(clippy::too_many_arguments)]
+fn run_trow_tasks(
+    pool: &Pool,
+    ranges: Vec<Range<usize>>,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    f: TRowKernel,
+) {
+    if ranges.len() == 1 {
+        let r = ranges.into_iter().next().expect("one range");
+        f(a, b, out, m, ka, n, r.start, r.end);
+        return;
+    }
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for r in ranges {
+        let (chunk, tail) = rest.split_at_mut(r.len() * n);
+        rest = tail;
+        tasks.push(Box::new(move || f(a, b, chunk, m, ka, n, r.start, r.end)));
+    }
+    pool.run(tasks);
 }
 
 /// Reference `i-k-j` loop; skips zero left-hand entries. This is the
@@ -456,33 +777,49 @@ fn gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
     }
 }
 
-/// Packing GEMM: `b` is copied once into `NR`-wide column panels laid out
-/// `k`-major (contiguous per `k` step), then an `MR×NR` register micro-kernel
-/// sweeps `MR` rows of `a` at a time, amortizing every packed panel load.
-/// Panel tails are zero-padded; padded lanes are computed and discarded.
-fn gemm_packed(
-    a: &[f32],
-    b: &[f32],
-    out: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    pack: &mut Vec<f32>,
-) {
-    if m == 0 || n == 0 {
-        return;
+/// Packs row-major `b` (`rows × cols`) into `NR`-wide column panels laid
+/// out contraction-major (contiguous per contraction step). Panel tails are
+/// zero-padded; padded lanes are computed and discarded by the consumers.
+fn pack_b(b: &[f32], rows: usize, cols: usize, pack: &mut Vec<f32>) {
+    let panels = cols.div_ceil(NR);
+    pack.clear();
+    pack.resize(panels * rows * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(cols - j0);
+        let dst = &mut pack[jp * rows * NR..(jp + 1) * rows * NR];
+        for p in 0..rows {
+            dst[p * NR..p * NR + w].copy_from_slice(&b[p * cols + j0..p * cols + j0 + w]);
+        }
     }
-    let panels = n.div_ceil(NR);
+}
+
+/// Packs `bᵀ` of a row-major `b` (`nb × k`) into the same panel layout as
+/// [`pack_b`] produces for a `k × nb` matrix, so `a × bᵀ` can run the plain
+/// packed micro-kernel ([`gemm_packed_rows`]).
+fn pack_bt(b: &[f32], k: usize, nb: usize, pack: &mut Vec<f32>) {
+    let panels = nb.div_ceil(NR);
     pack.clear();
     pack.resize(panels * k * NR, 0.0);
     for jp in 0..panels {
         let j0 = jp * NR;
-        let w = NR.min(n - j0);
+        let w = NR.min(nb - j0);
         let dst = &mut pack[jp * k * NR..(jp + 1) * k * NR];
-        for p in 0..k {
-            dst[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        for t in 0..w {
+            let brow = &b[(j0 + t) * k..(j0 + t + 1) * k];
+            for (p, &bv) in brow.iter().enumerate() {
+                dst[p * NR + t] = bv;
+            }
         }
     }
+}
+
+/// Packed GEMM compute phase over pre-packed panels (see [`pack_b`]): an
+/// `MR×NR` register micro-kernel sweeps `MR` rows of `a` at a time,
+/// amortizing every packed panel load. Expects `a`/`out` to hold exactly
+/// `m` rows (the caller may pass a row chunk).
+fn gemm_packed_rows(a: &[f32], pack: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let panels = n.div_ceil(NR);
     let m_main = m - m % MR;
     for jp in 0..panels {
         let j0 = jp * NR;
@@ -536,17 +873,29 @@ fn gemm_packed(
     }
 }
 
-/// Reference `aᵀ × b`: accumulates row `r` of `a` against row `r` of `b`,
-/// `r` ascending per output element.
-fn t_gemm_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, ka: usize, n: usize) {
+/// Reference `aᵀ × b` over output rows `i0..i1`: accumulates row `r` of `a`
+/// against row `r` of `b`, `r` ascending per output element — identical
+/// order at any partitioning.
+#[allow(clippy::too_many_arguments)]
+fn t_gemm_naive_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+) {
     for r in 0..m {
         let arow = &a[r * ka..(r + 1) * ka];
         let brow = &b[r * n..(r + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
+        for i in i0..i1 {
+            let av = arow[i];
             if av == 0.0 {
                 continue;
             }
-            let orow = &mut out[i * n..(i + 1) * n];
+            let orow = &mut out[(i - i0) * n..(i - i0 + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
@@ -554,15 +903,26 @@ fn t_gemm_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, ka: usize, n: u
     }
 }
 
-/// Blocked `aᵀ × b`: `r` is split into `KC` panels (ascending, preserving
-/// accumulation order); each output row is walked in `NR` register tiles.
-fn t_gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, ka: usize, n: usize) {
+/// Blocked `aᵀ × b` over output rows `i0..i1`: `r` is split into `KC`
+/// panels (ascending, preserving accumulation order); each output row is
+/// walked in `NR` register tiles.
+#[allow(clippy::too_many_arguments)]
+fn t_gemm_blocked_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+) {
     let n_main = n - n % NR;
     let mut rr = 0;
     while rr < m {
         let rc = KC.min(m - rr);
-        for i in 0..ka {
-            let orow = &mut out[i * n..(i + 1) * n];
+        for i in i0..i1 {
+            let orow = &mut out[(i - i0) * n..(i - i0 + 1) * n];
             let mut j = 0;
             while j < n_main {
                 let mut acc = [0.0f32; NR];
@@ -589,9 +949,71 @@ fn t_gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, ka: usize, n:
     }
 }
 
-/// Reference `a × bᵀ`: one dot product per output element, `k` ascending.
-fn gemm_bt_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, nb: usize) {
-    for i in 0..m {
+/// Packed `aᵀ × b` over output rows `i0..i1`: `b` is packed once into
+/// contraction-major `NR` panels ([`pack_b`]); an `MR×NR` micro-kernel
+/// reads `a[r·ka + i..i+MR]` contiguously per contraction step. Per output
+/// element the contraction runs `r` ascending — bitwise equal to naive.
+#[allow(clippy::too_many_arguments)]
+fn t_gemm_packed_rows(
+    a: &[f32],
+    pack: &[f32],
+    out: &mut [f32],
+    m: usize,
+    ka: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+) {
+    let panels = n.div_ceil(NR);
+    let rows = i1 - i0;
+    let i_main = i0 + (rows - rows % MR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &pack[jp * m * NR..(jp + 1) * m * NR];
+        let mut i = i0;
+        while i < i_main {
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let o = (i - i0 + r) * n + j0;
+                accr[..w].copy_from_slice(&out[o..o + w]);
+            }
+            let [mut c0, mut c1, mut c2, mut c3] = acc;
+            for (p, brow) in panel.chunks_exact(NR).enumerate() {
+                let acol: &[f32; MR] = a[p * ka + i..].first_chunk().expect("i + MR <= ka");
+                for t in 0..NR {
+                    c0[t] += acol[0] * brow[t];
+                    c1[t] += acol[1] * brow[t];
+                    c2[t] += acol[2] * brow[t];
+                    c3[t] += acol[3] * brow[t];
+                }
+            }
+            for (r, accr) in [c0, c1, c2, c3].iter().enumerate() {
+                let o = (i - i0 + r) * n + j0;
+                out[o..o + w].copy_from_slice(&accr[..w]);
+            }
+            i += MR;
+        }
+        while i < i1 {
+            let mut acc = [0.0f32; NR];
+            let o = (i - i0) * n + j0;
+            acc[..w].copy_from_slice(&out[o..o + w]);
+            for (p, brow) in panel.chunks_exact(NR).enumerate() {
+                let av = a[p * ka + i];
+                for t in 0..NR {
+                    acc[t] += av * brow[t];
+                }
+            }
+            out[o..o + w].copy_from_slice(&acc[..w]);
+            i += 1;
+        }
+    }
+}
+
+/// Reference `a × bᵀ` over a row chunk of `a`: one dot product per output
+/// element, `k` ascending.
+fn gemm_bt_naive_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, nb: usize) {
+    for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         for j in 0..nb {
             let brow = &b[j * k..(j + 1) * k];
@@ -604,11 +1026,11 @@ fn gemm_bt_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, nb: 
     }
 }
 
-/// Blocked `a × bᵀ`: four simultaneous dot products per `a` row, reusing
-/// each loaded `a` element across a 4-row `b` tile.
-fn gemm_bt_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, nb: usize) {
+/// Blocked `a × bᵀ` over a row chunk of `a`: four simultaneous dot products
+/// per `a` row, reusing each loaded `a` element across a 4-row `b` tile.
+fn gemm_bt_blocked_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, nb: usize) {
     let nb_main = nb - nb % MR;
-    for i in 0..m {
+    for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         let mut j = 0;
         while j < nb_main {
@@ -660,12 +1082,45 @@ mod tests {
             let a = filled(m, k, 0.7);
             let b = filled(k, n, -0.4);
             let reference = Kernel::Naive.matmul(&a, &b);
-            for kernel in Kernel::ALL {
+            for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
                 let got = kernel.matmul(&a, &b);
                 assert_eq!(
                     got.data(),
                     reference.data(),
                     "{} {m}x{k}x{n}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // Big enough to clear PAR_MIN_FLOPS so the pools genuinely fan out.
+        let a = filled(96, 40, 0.7);
+        let b = filled(40, 48, -0.4);
+        let t_b = filled(96, 33, 0.2);
+        let bt_b = filled(56, 40, -0.8);
+        let serial = Pool::new(1);
+        for threads in [2, 4, 7] {
+            let pool = Pool::new(threads);
+            for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
+                assert_eq!(
+                    kernel.matmul_on(&pool, &a, &b),
+                    kernel.matmul_on(&serial, &a, &b),
+                    "matmul {} t{threads}",
+                    kernel.name()
+                );
+                assert_eq!(
+                    kernel.t_matmul_on(&pool, &a, &t_b),
+                    kernel.t_matmul_on(&serial, &a, &t_b),
+                    "t_matmul {} t{threads}",
+                    kernel.name()
+                );
+                assert_eq!(
+                    kernel.matmul_t_on(&pool, &a, &bt_b),
+                    kernel.matmul_t_on(&serial, &a, &bt_b),
+                    "matmul_t {} t{threads}",
                     kernel.name()
                 );
             }
@@ -680,7 +1135,7 @@ mod tests {
         let bt_a = filled(9, 14, 0.5);
         let bt_b = filled(7, 14, 0.2);
         let bt_reference = Kernel::Naive.matmul_t(&bt_a, &bt_b);
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
             assert_eq!(kernel.t_matmul(&a, &b), reference, "{}", kernel.name());
             assert_eq!(
                 kernel.matmul_t(&bt_a, &bt_b),
@@ -693,13 +1148,21 @@ mod tests {
 
     #[test]
     fn empty_shapes_are_handled() {
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
             let a = Matrix::zeros(0, 4);
             let b = Matrix::zeros(4, 3);
             assert_eq!(kernel.matmul(&a, &b).shape(), (0, 3));
             let a = Matrix::zeros(3, 0);
             let b = Matrix::zeros(0, 2);
             assert_eq!(kernel.matmul(&a, &b), Matrix::zeros(3, 2));
+            assert_eq!(
+                kernel.t_matmul(&Matrix::zeros(0, 4), &Matrix::zeros(0, 2)),
+                Matrix::zeros(4, 2)
+            );
+            assert_eq!(
+                kernel.matmul_t(&Matrix::zeros(2, 0), &Matrix::zeros(3, 0)),
+                Matrix::zeros(2, 3)
+            );
         }
     }
 
@@ -710,7 +1173,7 @@ mod tests {
         let h = filled(10, 3, 0.9);
         let u = filled(3, 4, 0.6);
         let bias = filled(1, 4, 0.1);
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
             let mut out = Matrix::default();
             let mut tmp = Matrix::default();
             kernel.matmul_bias_act(
@@ -732,11 +1195,54 @@ mod tests {
 
     #[test]
     fn parse_and_names_roundtrip() {
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
             assert_eq!(Kernel::parse(kernel.name()), Some(kernel));
             assert_eq!(Kernel::parse(&kernel.name().to_uppercase()), Some(kernel));
         }
         assert_eq!(Kernel::parse("simd9000"), None);
+    }
+
+    #[test]
+    fn concurrent_packed_products_survive_help_stealing() {
+        // While a packed product is parked in `Pool::run`, the same thread
+        // may help-execute another task that also runs a packed product.
+        // The pack scratch must not stay borrowed across the fan-out
+        // (regression: `BorrowMutError` at the second borrow).
+        use crate::pool::Pool;
+        use std::sync::Arc;
+        let serial = Pool::new(1);
+        let a = filled(64, 128, 0.4);
+        let b = filled(128, 256, -0.2);
+        let reference = Kernel::Packed.matmul_on(&serial, &a, &b);
+        let pool = Arc::new(Pool::new(2));
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let (a, b, reference) = (&a, &b, &reference);
+                Box::new(move || {
+                    assert_eq!(&Kernel::Packed.matmul_on(&pool, a, b), reference);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+    }
+
+    #[test]
+    fn auto_resolves_by_shape() {
+        // Tiny products stay on the reference loops.
+        assert_eq!(Kernel::Auto.resolve(4, 4, 4), Kernel::Naive);
+        assert_eq!(Kernel::Auto.resolve(2, 16, 16), Kernel::Naive);
+        // Mid-size products go blocked (even with narrow or single-row
+        // outputs); L1-busting B operands go packed.
+        assert_eq!(Kernel::Auto.resolve(1, 512, 2), Kernel::Blocked);
+        assert_eq!(Kernel::Auto.resolve(1000, 100, 1), Kernel::Blocked);
+        assert_eq!(Kernel::Auto.resolve(256, 68, 32), Kernel::Blocked);
+        assert_eq!(Kernel::Auto.resolve(256, 512, 128), Kernel::Packed);
+        // Concrete kernels resolve to themselves regardless of shape.
+        for kernel in Kernel::ALL {
+            assert_eq!(kernel.resolve(1, 1, 1), kernel);
+            assert_eq!(kernel.resolve(512, 512, 512), kernel);
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`kernels`] — cache-blocked GEMM variants behind the [`Kernel`]
 //!   dispatch enum (selectable via `DEEPSEQ_KERNEL`), including the fused
 //!   gate op `act(x·W + h·U + b)` used by both training and serving;
+//! * [`pool`] — the persistent worker [`Pool`] (sized by `DEEPSEQ_THREADS`)
+//!   that large products and the serve path fan out across, with results
+//!   bitwise-identical at any thread count;
 //! * [`Tape`] — a define-by-run reverse-mode autograd tape with the segment
 //!   ops (gather / segment-softmax / segment-sum) that make levelized
 //!   "topological batching" over circuit graphs efficient;
@@ -49,6 +52,7 @@ pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod tape;
 
 pub use kernels::{Act, Kernel};
@@ -56,4 +60,5 @@ pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use params::{BinReader, GradStore, ParamId, Params, ParamsError};
+pub use pool::Pool;
 pub use tape::{Tape, VarId};

@@ -1,0 +1,611 @@
+//! Persistent worker pool behind the multi-threaded execution layer.
+//!
+//! DeepSeq's levelized propagation is embarrassingly parallel *within* a
+//! level, and every GEMM kernel in [`kernels`](crate::kernels) is
+//! row-partitionable without changing a single accumulation order. This
+//! module provides the one shared substrate both exploit: a [`Pool`] of
+//! persistent `std::thread` workers fed over an `mpsc` channel (no external
+//! dependencies — the build is offline), with a scoped [`Pool::run`] that
+//! lets callers fan borrowed work out across the workers and a
+//! fire-and-forget [`Pool::spawn`] for `'static` jobs (the serve engine's
+//! request path).
+//!
+//! # Determinism
+//!
+//! The pool never reorders or splits arithmetic on its own: callers hand it
+//! *disjoint* tasks (row ranges of a product, node ranges of a level) whose
+//! per-element computation is identical to the single-threaded code. Results
+//! are therefore **bitwise identical at any thread count** — property-tested
+//! in `crates/nn/tests/properties.rs` and `crates/serve/tests/properties.rs`
+//! across pools of 1, 2, 4 and 7 threads.
+//!
+//! # Sizing
+//!
+//! The process-wide pool ([`Pool::global`]) is sized by the
+//! `DEEPSEQ_THREADS` environment variable (read once): a positive integer
+//! sets the total parallelism, `1` recovers exactly the single-threaded
+//! behavior (no workers are spawned, every task runs inline on the caller),
+//! and an unset variable defaults to [`std::thread::available_parallelism`].
+//! Unrecognized values warn once to stderr and fall back to the default.
+//! Explicitly sized pools ([`Pool::new`]) serve tests and benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use deepseq_nn::pool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let mut out = vec![0u64; 4];
+//! // Fan disjoint borrows out across the pool; `run` blocks until done.
+//! let tasks: Vec<Box<dyn FnOnce() + Send>> = out
+//!     .chunks_mut(1)
+//!     .enumerate()
+//!     .map(|(i, slot)| {
+//!         Box::new(move || slot[0] = i as u64 * 10) as Box<dyn FnOnce() + Send>
+//!     })
+//!     .collect();
+//! pool.run(tasks);
+//! assert_eq!(out, [0, 10, 20, 30]);
+//! ```
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::{self, JoinHandle};
+
+/// Environment variable sizing the process-wide pool ([`Pool::global`]):
+/// a positive integer thread count (`1` disables threading entirely),
+/// default [`std::thread::available_parallelism`]. Read once, on first use;
+/// unrecognized values warn once to stderr and use the default.
+pub const THREADS_ENV: &str = "DEEPSEQ_THREADS";
+
+/// Upper bound on configured thread counts — far above any real machine,
+/// it only guards against absurd `DEEPSEQ_THREADS` values.
+const MAX_THREADS: usize = 1024;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts outstanding tasks of one scoped [`Pool::run`] call; the caller
+/// blocks on it (helping drain the queue, see [`Pool::wait_on`]) so
+/// borrowed task state cannot outlive the call.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("latch lock") == 0
+    }
+}
+
+/// Counts down the latch even if the task panics (the worker survives; the
+/// panic is re-raised on the calling thread by [`Pool::run`]).
+struct CountDownGuard<'a> {
+    latch: &'a Latch,
+    panicked: &'a AtomicBool,
+    completed: bool,
+}
+
+impl Drop for CountDownGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.panicked.store(true, Ordering::Release);
+        }
+        self.latch.count_down();
+    }
+}
+
+/// A persistent pool of `threads - 1` worker threads plus the calling
+/// thread (see the [module docs](self)).
+///
+/// Cheap to share (`Arc`); the process-wide instance is [`Pool::global`].
+/// Dropping a pool closes its job channel and joins every worker.
+pub struct Pool {
+    threads: usize,
+    sender: Option<mpsc::Sender<Job>>,
+    receiver: Option<Arc<Mutex<mpsc::Receiver<Job>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` total parallelism: `threads - 1` persistent
+    /// workers plus the thread calling [`Pool::run`]. `threads` is clamped
+    /// to at least 1; a 1-thread pool spawns nothing and runs every task
+    /// inline, byte-for-byte the pre-threading behavior.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.clamp(1, MAX_THREADS);
+        if threads == 1 {
+            return Pool {
+                threads,
+                sender: None,
+                receiver: None,
+                workers: Vec::new(),
+            };
+        }
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (1..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("deepseq-pool-{i}"))
+                    .spawn(move || {
+                        loop {
+                            // Hold the receiver lock only for the dequeue so
+                            // workers drain the queue concurrently.
+                            let job = match receiver.lock() {
+                                Ok(rx) => rx.recv(),
+                                Err(_) => break,
+                            };
+                            match job {
+                                // A panicking job must not kill the worker:
+                                // scoped tasks re-raise on the caller via
+                                // their latch guard, spawned jobs just drop
+                                // their reply channel.
+                                Ok(job) => {
+                                    let _ = catch_unwind(AssertUnwindSafe(job));
+                                }
+                                Err(_) => break, // pool dropped
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            threads,
+            sender: Some(sender),
+            receiver: Some(receiver),
+            workers,
+        }
+    }
+
+    /// The process-wide shared pool, sized by `DEEPSEQ_THREADS` (default:
+    /// available parallelism). Created on first use and never torn down.
+    pub fn global() -> &'static Arc<Pool> {
+        static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Pool::new(configured_threads())))
+    }
+
+    /// Total parallelism (workers + the calling thread), at least 1.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion, fanning them out across the workers;
+    /// the caller executes tasks too. Blocks until all tasks finished, so
+    /// tasks may borrow from the caller's stack.
+    ///
+    /// Tasks must write to disjoint state; the pool adds no synchronization
+    /// between them beyond completion. On a 1-thread pool or with a single
+    /// task, every task runs inline on the caller **in order** — this is
+    /// what makes `DEEPSEQ_THREADS=1` exactly the single-threaded behavior.
+    ///
+    /// `run` may be called from inside a pool task (a request job fanning
+    /// its levels out, a level chunk fanning a GEMM out): while waiting for
+    /// its own tasks, the caller **helps drain the shared queue**, so
+    /// nested fan-out always makes progress even with every worker
+    /// occupied, and idle workers pick nested tasks up for real
+    /// parallelism.
+    ///
+    /// # Panics
+    /// If a task panics, the panic is re-raised here after all other tasks
+    /// of this call completed (workers survive).
+    pub fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let inline = self.threads == 1 || tasks.len() == 1 || self.sender.is_none();
+        if inline {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let sender = self.sender.as_ref().expect("checked above");
+        let latch = Arc::new(Latch::new(tasks.len() - 1));
+        let panicked = Arc::new(AtomicBool::new(false));
+        let mut tasks = tasks.into_iter();
+        let first = tasks.next().expect("tasks nonempty");
+        for task in tasks {
+            // SAFETY: the latch guarantees every queued task has finished
+            // before `run` returns — the `WaitGuard` below waits even while
+            // unwinding — so the `'scope` borrows inside `task` are live for
+            // as long as any worker can touch them. Erasing the lifetime is
+            // what lets a *persistent* pool (whose channel type must be
+            // `'static`) execute borrowed work.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            let latch = Arc::clone(&latch);
+            let panicked = Arc::clone(&panicked);
+            sender
+                .send(Box::new(move || {
+                    let mut guard = CountDownGuard {
+                        latch: &latch,
+                        panicked: &panicked,
+                        completed: false,
+                    };
+                    task();
+                    guard.completed = true;
+                }))
+                .expect("pool workers outlive the sender");
+        }
+        {
+            // Block until the queued tasks drain, even if `first` panics.
+            struct WaitGuard<'a> {
+                latch: &'a Latch,
+                pool: &'a Pool,
+            }
+            impl Drop for WaitGuard<'_> {
+                fn drop(&mut self) {
+                    self.pool.wait_on(self.latch);
+                }
+            }
+            let _wait = WaitGuard {
+                latch: &latch,
+                pool: self,
+            };
+            first();
+        }
+        if panicked.load(Ordering::Acquire) {
+            panic!("a deepseq pool task panicked");
+        }
+    }
+
+    /// Blocks until `latch` reaches zero, executing queued jobs while
+    /// waiting. The helping is what makes nested `run` calls deadlock-free:
+    /// a task blocked on its sub-tasks drains the very queue those
+    /// sub-tasks sit in, so some thread always makes progress no matter how
+    /// many workers are themselves blocked in nested waits.
+    fn wait_on(&self, latch: &Latch) {
+        loop {
+            if latch.is_done() {
+                return;
+            }
+            if self.try_run_one() {
+                continue;
+            }
+            // Queue looked empty (or an idle worker holds the receiver and
+            // will take the next job itself): sleep briefly on the latch.
+            // The timeout re-polls the queue, since new jobs don't signal
+            // this condvar.
+            let guard = latch.remaining.lock().expect("latch lock");
+            if *guard == 0 {
+                return;
+            }
+            let _ = latch
+                .done
+                .wait_timeout(guard, std::time::Duration::from_micros(500))
+                .expect("latch wait");
+        }
+    }
+
+    /// Executes one queued job on the calling thread, if one is ready.
+    /// Returns false when the queue is empty or the receiver is busy (an
+    /// idle worker blocked in `recv` holds it — and will take the next job
+    /// itself).
+    fn try_run_one(&self) -> bool {
+        let Some(receiver) = &self.receiver else {
+            return false;
+        };
+        let job = match receiver.try_lock() {
+            Ok(rx) => match rx.try_recv() {
+                Ok(job) => job,
+                Err(_) => return false,
+            },
+            Err(_) => return false,
+        };
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        true
+    }
+
+    /// Enqueues a `'static` job for a worker (fire and forget). On a
+    /// 1-thread pool the job runs inline before `spawn` returns. A panic in
+    /// the job is swallowed (the worker survives); jobs that must report
+    /// completion should do so through a channel they own.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        match &self.sender {
+            Some(sender) => sender
+                .send(Box::new(job))
+                .expect("pool workers outlive the sender"),
+            None => job(),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        drop(self.sender.take());
+        let me = thread::current().id();
+        for handle in self.workers.drain(..) {
+            if handle.thread().id() == me {
+                // The last `Arc<Pool>` can be released from inside a worker
+                // (a spawned job outliving its engine): joining ourselves
+                // would deadlock. Detach instead — this worker's loop exits
+                // on the closed channel right after the job returns.
+                continue;
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Splits `0..total` into at most `max_chunks` contiguous ranges of at
+/// least `min_per_chunk` items each (the last chunk may be smaller only
+/// when `total` itself is). Returns one `0..total` range when `total` is
+/// too small to split — callers need no special casing for the serial
+/// path. Empty when `total == 0`.
+///
+/// Chunk boundaries never change results: every parallel consumer in this
+/// workspace computes each output element identically regardless of which
+/// chunk it lands in.
+pub fn chunk_ranges(total: usize, max_chunks: usize, min_per_chunk: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let max_by_size = total / min_per_chunk.max(1);
+    let chunks = max_chunks.max(1).min(max_by_size).max(1);
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// [`chunk_ranges`], gated for the common fan-out-or-not decision: splits
+/// only when more than one chunk is allowed *and* `total` is at least two
+/// minimum chunks; otherwise returns the single whole range (empty when
+/// `total == 0`). Keeping this in one place keeps the GEMM and
+/// level-chunking fan-out policies in sync.
+pub fn chunk_ranges_or_whole(
+    total: usize,
+    max_chunks: usize,
+    min_per_chunk: usize,
+) -> Vec<Range<usize>> {
+    if max_chunks > 1 && total >= 2 * min_per_chunk.max(1) {
+        chunk_ranges(total, max_chunks, min_per_chunk)
+    } else if total == 0 {
+        Vec::new()
+    } else {
+        // One whole range over the input (not `0..total` index values).
+        #[allow(clippy::single_range_in_vec_init)]
+        {
+            vec![0..total]
+        }
+    }
+}
+
+/// The thread count named by `DEEPSEQ_THREADS`, or available parallelism.
+/// Warns once to stderr (via the `OnceLock` in [`Pool::global`]) when the
+/// variable is set to something that is not a positive integer.
+fn configured_threads() -> usize {
+    let default = || thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var(THREADS_ENV) {
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => {
+                eprintln!(
+                    "warning: {THREADS_ENV}={value:?} is not a positive thread count; \
+                     using available parallelism"
+                );
+                default()
+            }
+        },
+        Err(_) => default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn boxed<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let counter = AtomicUsize::new(0);
+            let tasks = (0..23)
+                .map(|_| {
+                    boxed(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            pool.run(tasks);
+            assert_eq!(counter.load(Ordering::Relaxed), 23, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tasks_may_borrow_disjoint_caller_state() {
+        let pool = Pool::new(4);
+        let mut data = vec![0usize; 100];
+        let tasks = data
+            .chunks_mut(7)
+            .enumerate()
+            .map(|(i, chunk)| boxed(move || chunk.iter_mut().for_each(|v| *v = i)))
+            .collect();
+        pool.run(tasks);
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, j / 7);
+        }
+    }
+
+    #[test]
+    fn nested_runs_complete() {
+        let pool = Arc::new(Pool::new(3));
+        let outer: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                boxed(move || {
+                    let counter = AtomicUsize::new(0);
+                    let inner = (0..5)
+                        .map(|_| {
+                            boxed(|| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            })
+                        })
+                        .collect();
+                    pool.run(inner);
+                    assert_eq!(counter.load(Ordering::Relaxed), 5);
+                })
+            })
+            .collect();
+        pool.run(outer);
+    }
+
+    #[test]
+    fn nested_runs_from_saturating_spawned_jobs_make_progress() {
+        // More blocking jobs than workers, each fanning out a nested run:
+        // without help-while-waiting this deadlocks (every worker blocked
+        // on sub-tasks that sit behind other jobs in the queue).
+        let pool = Arc::new(Pool::new(2)); // one worker
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            let inner_pool = Arc::clone(&pool);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                let pool = inner_pool;
+                let counter = AtomicUsize::new(0);
+                let inner = (0..8)
+                    .map(|_| {
+                        boxed(|| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                pool.run(inner);
+                tx.send(counter.load(Ordering::Relaxed)).expect("rx lives");
+            });
+        }
+        drop(tx);
+        for _ in 0..4 {
+            let n = rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("nested fan-out completed");
+            assert_eq!(n, 8);
+        }
+    }
+
+    #[test]
+    fn spawned_jobs_complete() {
+        let pool = Pool::new(3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).expect("receiver lives"));
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![boxed(|| {}), boxed(|| panic!("boom"))]);
+        }));
+        assert!(outcome.is_err());
+        // The worker survived the panic and still executes tasks.
+        let done = AtomicBool::new(false);
+        pool.run(vec![
+            boxed(|| {}),
+            boxed(|| done.store(true, Ordering::Relaxed)),
+        ]);
+        assert!(done.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn pool_dropped_from_inside_a_worker_does_not_hang() {
+        // A spawned job can hold the last `Arc<Pool>` (an engine request
+        // outliving its engine): releasing it runs `Pool::drop` on the
+        // worker itself, which must not try to join its own thread.
+        let pool = Arc::new(Pool::new(2));
+        let (tx, rx) = mpsc::channel();
+        let held = Arc::clone(&pool);
+        pool.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(held); // last Arc → Pool::drop on this worker thread
+            tx.send(()).expect("receiver lives");
+        });
+        drop(pool);
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker survived dropping its own pool");
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for total in [0usize, 1, 7, 64, 100, 1023] {
+            for max_chunks in [1usize, 2, 4, 7] {
+                for min_per in [1usize, 8, 32] {
+                    let ranges = chunk_ranges(total, max_chunks, min_per);
+                    assert!(ranges.len() <= max_chunks.max(1));
+                    let mut next = 0;
+                    for r in &ranges {
+                        assert_eq!(r.start, next, "contiguous");
+                        assert!(!r.is_empty());
+                        next = r.end;
+                    }
+                    assert_eq!(next, total, "covers 0..{total}");
+                    if total >= min_per {
+                        assert!(ranges.iter().all(|r| r.len() >= min_per || total < min_per));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_pool_spawns_nothing_and_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        // Order is guaranteed inline: later tasks see earlier writes.
+        let log = Mutex::new(Vec::new());
+        pool.run(
+            (0..4)
+                .map(|i| {
+                    let log = &log;
+                    boxed(move || log.lock().expect("log").push(i))
+                })
+                .collect(),
+        );
+        assert_eq!(*log.lock().expect("log"), vec![0, 1, 2, 3]);
+    }
+}

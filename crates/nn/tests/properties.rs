@@ -4,7 +4,7 @@
 //! is held to the naive kernel's bit patterns across randomized shapes
 //! (including the degenerate `1×N` / `N×1` / empty cases).
 
-use deepseq_nn::{Act, Kernel, Matrix, Params, ParamsError, Tape};
+use deepseq_nn::{Act, Kernel, Matrix, Params, ParamsError, Pool, Tape};
 use proptest::prelude::*;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -236,7 +236,7 @@ proptest! {
         // degenerate cases (empty, 1×N, N×1) and blocked-aligned sizes.
         let (a, b) = gemm_operands(seed);
         let reference = Kernel::Naive.matmul(&a, &b);
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
             let got = kernel.matmul(&a, &b);
             prop_assert_eq!(got.shape(), reference.shape());
             for (i, (x, y)) in got.data().iter().zip(reference.data()).enumerate() {
@@ -256,7 +256,7 @@ proptest! {
         let (a, t_b, bt_b) = transpose_operands(seed);
         let t_ref = Kernel::Naive.t_matmul(&a, &t_b);
         let bt_ref = Kernel::Naive.matmul_t(&a, &bt_b);
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
             let got = kernel.t_matmul(&a, &t_b);
             prop_assert_eq!(got.shape(), t_ref.shape());
             for (x, y) in got.data().iter().zip(t_ref.data()) {
@@ -266,6 +266,40 @@ proptest! {
             prop_assert_eq!(got.shape(), bt_ref.shape());
             for (x, y) in got.data().iter().zip(bt_ref.data()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits(), "matmul_t {}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_bitwise_identical_across_thread_counts(seed in any::<u64>()) {
+        // The tentpole determinism contract: row-partitioned parallel GEMM
+        // must reproduce the single-threaded bit patterns at every thread
+        // count, for every kernel and every product family, across shapes
+        // including the degenerate (empty, 1×N, N×1) and parallel-scale
+        // cases of the shape generators.
+        let (a, b) = gemm_operands(seed);
+        let (ta, t_b, bt_b) = transpose_operands(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let serial = Pool::new(1);
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
+            let m_ref = kernel.matmul_on(&serial, &a, &b);
+            let t_ref = kernel.t_matmul_on(&serial, &ta, &t_b);
+            let bt_ref = kernel.matmul_t_on(&serial, &ta, &bt_b);
+            for threads in [2usize, 4, 7] {
+                let pool = Pool::new(threads);
+                for (tag, got, want) in [
+                    ("matmul", kernel.matmul_on(&pool, &a, &b), &m_ref),
+                    ("t_matmul", kernel.t_matmul_on(&pool, &ta, &t_b), &t_ref),
+                    ("matmul_t", kernel.matmul_t_on(&pool, &ta, &bt_b), &bt_ref),
+                ] {
+                    prop_assert_eq!(got.shape(), want.shape());
+                    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+                        prop_assert_eq!(
+                            x.to_bits(), y.to_bits(),
+                            "{} {} t{} elem {}: {} vs {}",
+                            tag, kernel.name(), threads, i, x, y
+                        );
+                    }
+                }
             }
         }
     }
@@ -352,10 +386,11 @@ impl SeedRng {
 }
 
 /// Random GEMM operand pair: degenerate shapes (empty, `1×N`, `N×1`),
-/// blocked-tile-aligned shapes, and arbitrary in-between sizes.
+/// blocked-tile-aligned shapes, arbitrary in-between sizes, and shapes
+/// large enough to clear the parallel fan-out threshold.
 fn gemm_operands(seed: u64) -> (Matrix, Matrix) {
     let mut rng = SeedRng(seed | 1);
-    let (m, k, n) = match rng.next(5) {
+    let (m, k, n) = match rng.next(6) {
         0 => (rng.next(3), rng.next(13), rng.next(13)), // may be empty
         1 => (1, 1 + rng.next(24), 1 + rng.next(24)),   // 1×N
         2 => (1 + rng.next(24), 1 + rng.next(24), 1),   // N×1
@@ -364,6 +399,7 @@ fn gemm_operands(seed: u64) -> (Matrix, Matrix) {
             8 * (1 + rng.next(4)),
             8 * (1 + rng.next(4)),
         ), // aligned
+        4 => (64 + rng.next(120), 24 + rng.next(40), 24 + rng.next(40)), // parallel-scale (≥ PAR_MIN_FLOPS)
         _ => (1 + rng.next(40), 1 + rng.next(40), 1 + rng.next(40)),
     };
     let a = Matrix::from_fn(m, k, |_, _| rng.value());
@@ -375,9 +411,17 @@ fn gemm_operands(seed: u64) -> (Matrix, Matrix) {
 /// `aᵀ·b`, and `bt_b (j×k)` for `a·bᵀ` — shapes include empty and 1-wide.
 fn transpose_operands(seed: u64) -> (Matrix, Matrix, Matrix) {
     let mut rng = SeedRng(seed | 1);
-    let (m, k, n, j) = match rng.next(4) {
+    let (m, k, n, j) = match rng.next(5) {
         0 => (rng.next(3), rng.next(8), rng.next(8), rng.next(8)),
         1 => (1, 1 + rng.next(16), 1 + rng.next(16), 1),
+        2 => (
+            // Parallel-scale: output rows ≥ 2·PAR_MIN_ROWS, flops over the
+            // fan-out threshold for both transpose products.
+            32 + rng.next(64),
+            48 + rng.next(64),
+            48 + rng.next(64),
+            48 + rng.next(64),
+        ),
         _ => (
             1 + rng.next(24),
             1 + rng.next(24),

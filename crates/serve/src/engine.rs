@@ -1,19 +1,25 @@
-//! Multi-threaded request engine.
+//! Request engine on the shared worker pool.
 //!
-//! An [`Engine`] owns a frozen [`InferenceModel`], a worker pool fed by an
-//! `mpsc` channel, and a shared [`EmbeddingCache`]. Independent circuit
-//! requests are batched by the callers ([`Engine::serve_batch`]) and fan
-//! out across workers; each worker keeps its own [`Workspace`] so steady
-//! traffic runs without per-request allocation. Responses travel back over
-//! per-request channels, so completion order never scrambles a batch.
+//! An [`Engine`] owns a frozen [`InferenceModel`], a shared
+//! [`EmbeddingCache`], and a handle to a worker [`Pool`] — by default the
+//! process-wide [`Pool::global`], so *one* pool serves every engine,
+//! request batch **and** the level-parallel forward passes inside each
+//! request, instead of each subsystem spawning its own threads.
+//! [`Engine::serve_batch`] fans independent requests out across the pool
+//! (responses return in request order); a lone request in turn fans its
+//! level batches out, so the pool stays busy whether traffic is many small
+//! circuits or one big one. Workspaces are checked out of a shared pile,
+//! one per concurrently processing task, so steady traffic runs without
+//! per-request allocation.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::thread::{self, JoinHandle};
 
 use deepseq_core::encoding::initial_states;
 use deepseq_core::CircuitGraph;
 use deepseq_netlist::SeqAig;
+use deepseq_nn::Pool;
 use deepseq_sim::Workload;
 
 use crate::cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
@@ -61,7 +67,10 @@ pub struct ServeResponse {
 /// Sizing knobs of an [`Engine`].
 #[derive(Debug, Clone, Copy)]
 pub struct EngineOptions {
-    /// Worker threads. Clamped to at least 1.
+    /// Maximum requests processed concurrently by [`Engine::serve_batch`]
+    /// (additionally capped by the pool's thread count). Clamped to at
+    /// least 1. Lower values leave more pool threads to the level
+    /// parallelism *inside* each request.
     pub workers: usize,
     /// Embedding-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
@@ -69,7 +78,10 @@ pub struct EngineOptions {
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        let workers = thread::available_parallelism()
+        // Sized from the hardware directly — instantiating the global pool
+        // here would be a surprising side effect for engines built on an
+        // explicit pool.
+        let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2)
             .min(8);
@@ -78,11 +90,6 @@ impl Default for EngineOptions {
             cache_capacity: 256,
         }
     }
-}
-
-struct Job {
-    request: ServeRequest,
-    reply: mpsc::Sender<ServeResponse>,
 }
 
 /// The serving engine (see the [module docs](self)).
@@ -108,7 +115,7 @@ struct Job {
 ///                                workload: Workload::uniform(0, 0.5), init_seed: 0 };
 /// // Warm the cache, then identical requests hit it (warming must finish
 /// // first — two identical requests *in one batch* may race to distinct
-/// // workers and both miss).
+/// // pool tasks and both miss).
 /// let cold = engine.serve_batch(vec![make(0)]);
 /// assert!(!cold[0].result.as_ref().unwrap().cache_hit);
 /// let warm = engine.serve_batch(vec![make(1), make(2)]);
@@ -117,75 +124,104 @@ struct Job {
 /// # Ok::<(), deepseq_netlist::NetlistError>(())
 /// ```
 pub struct Engine {
-    sender: Option<mpsc::Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    model: Arc<InferenceModel>,
     cache: Arc<Mutex<EmbeddingCache>>,
+    pool: Arc<Pool>,
+    workspaces: Arc<Mutex<Vec<Workspace>>>,
     served: Arc<AtomicU64>,
+    max_concurrent: usize,
 }
 
 impl Engine {
-    /// Spawns the worker pool around a frozen model.
+    /// An engine around a frozen model, on the process-wide
+    /// [`Pool::global`].
     pub fn new(model: InferenceModel, options: EngineOptions) -> Engine {
-        let model = Arc::new(model);
-        let cache = Arc::new(Mutex::new(EmbeddingCache::new(options.cache_capacity)));
-        let served = Arc::new(AtomicU64::new(0));
-        let (sender, receiver) = mpsc::channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..options.workers.max(1))
-            .map(|_| {
-                let model = Arc::clone(&model);
-                let cache = Arc::clone(&cache);
-                let served = Arc::clone(&served);
-                let receiver = Arc::clone(&receiver);
-                thread::spawn(move || {
-                    let mut ws = Workspace::new();
-                    loop {
-                        // Hold the receiver lock only for the dequeue so
-                        // workers drain the queue concurrently.
-                        let job = match receiver.lock() {
-                            Ok(rx) => rx.recv(),
-                            Err(_) => break,
-                        };
-                        match job {
-                            Ok(job) => {
-                                let response = process(&model, &cache, job.request, &mut ws);
-                                served.fetch_add(1, Ordering::Relaxed);
-                                // A dropped reply receiver just means the
-                                // caller lost interest.
-                                let _ = job.reply.send(response);
-                            }
-                            Err(_) => break, // engine dropped
-                        }
-                    }
-                })
-            })
-            .collect();
+        Engine::with_pool(model, options, Arc::clone(Pool::global()))
+    }
+
+    /// An engine on an explicit worker pool (benchmarks and tests size
+    /// their own; everything else should share the global pool).
+    pub fn with_pool(model: InferenceModel, options: EngineOptions, pool: Arc<Pool>) -> Engine {
         Engine {
-            sender: Some(sender),
-            workers,
-            cache,
-            served,
+            model: Arc::new(model),
+            cache: Arc::new(Mutex::new(EmbeddingCache::new(options.cache_capacity))),
+            pool,
+            workspaces: Arc::new(Mutex::new(Vec::new())),
+            served: Arc::new(AtomicU64::new(0)),
+            max_concurrent: options.workers.max(1),
         }
     }
 
-    /// Enqueues one request; the response arrives on the returned channel.
+    /// Enqueues one request onto the shared pool; the response arrives on
+    /// the returned channel. On a 1-thread pool the request is processed
+    /// inline before this returns.
     pub fn submit(&self, request: ServeRequest) -> mpsc::Receiver<ServeResponse> {
         let (reply, receiver) = mpsc::channel();
-        self.sender
-            .as_ref()
-            .expect("engine sender lives until drop")
-            .send(Job { request, reply })
-            .expect("workers live until drop");
+        let model = Arc::clone(&self.model);
+        let cache = Arc::clone(&self.cache);
+        let workspaces = Arc::clone(&self.workspaces);
+        let served = Arc::clone(&self.served);
+        let pool = Arc::clone(&self.pool);
+        self.pool.spawn(move || {
+            let mut ws = checkout(&workspaces, &pool);
+            let response = process(&model, &cache, request, &mut ws);
+            served.fetch_add(1, Ordering::Relaxed);
+            // A dropped reply receiver just means the caller lost interest.
+            let _ = reply.send(response);
+            workspaces.lock().expect("workspace pile").push(ws);
+        });
         receiver
     }
 
     /// Serves a batch of independent requests across the worker pool and
-    /// returns the responses in request order.
+    /// returns the responses in request order. At most `workers` tasks run
+    /// concurrently, each checking out one workspace and pulling requests
+    /// off a shared queue — uneven batches (one huge circuit among many
+    /// small ones) stay load-balanced instead of being pinned to a
+    /// contiguous split.
     pub fn serve_batch(&self, requests: Vec<ServeRequest>) -> Vec<ServeResponse> {
-        let receivers: Vec<_> = requests.into_iter().map(|r| self.submit(r)).collect();
-        receivers
+        let total = requests.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let task_count = self.max_concurrent.min(self.pool.threads()).min(total);
+        let queue: Mutex<VecDeque<(usize, ServeRequest)>> =
+            Mutex::new(requests.into_iter().enumerate().collect());
+        let (reply, responses) = mpsc::channel::<(usize, ServeResponse)>();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..task_count)
+            .map(|_| {
+                let queue = &queue;
+                let reply = reply.clone();
+                let model = &self.model;
+                let cache = &self.cache;
+                let served = &self.served;
+                let workspaces = &self.workspaces;
+                let pool = &self.pool;
+                Box::new(move || {
+                    let mut ws = checkout(workspaces, pool);
+                    loop {
+                        let next = queue.lock().expect("request queue").pop_front();
+                        let Some((index, request)) = next else { break };
+                        let response = process(model, cache, request, &mut ws);
+                        served.fetch_add(1, Ordering::Relaxed);
+                        reply
+                            .send((index, response))
+                            .expect("receiver outlives run");
+                    }
+                    workspaces.lock().expect("workspace pile").push(ws);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.pool.run(tasks);
+        drop(reply);
+        let mut slots: Vec<Option<ServeResponse>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        for (index, response) in responses {
+            slots[index] = Some(response);
+        }
+        slots
             .into_iter()
-            .map(|rx| rx.recv().expect("worker replies before engine drop"))
+            .map(|slot| slot.expect("every request answered"))
             .collect()
     }
 
@@ -198,16 +234,21 @@ impl Engine {
     pub fn requests_served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
     }
+
+    /// The worker pool this engine schedules on.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
 }
 
-impl Drop for Engine {
-    fn drop(&mut self) {
-        // Closing the channel ends every worker's recv loop.
-        drop(self.sender.take());
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
+/// Takes a workspace from the shared pile, or builds a fresh one on the
+/// engine's pool.
+fn checkout(workspaces: &Mutex<Vec<Workspace>>, pool: &Arc<Pool>) -> Workspace {
+    workspaces
+        .lock()
+        .expect("workspace pile")
+        .pop()
+        .unwrap_or_else(|| Workspace::with_pool(deepseq_nn::Kernel::for_serve(), Arc::clone(pool)))
 }
 
 fn process(
@@ -280,19 +321,24 @@ mod tests {
         aig
     }
 
-    fn engine(workers: usize) -> Engine {
+    fn engine_on(workers: usize, pool: Arc<Pool>) -> Engine {
         let model = DeepSeq::new(DeepSeqConfig {
             hidden_dim: 8,
             iterations: 2,
             ..DeepSeqConfig::default()
         });
-        Engine::new(
+        Engine::with_pool(
             InferenceModel::from_model(&model).unwrap(),
             EngineOptions {
                 workers,
                 cache_capacity: 8,
             },
+            pool,
         )
+    }
+
+    fn engine(workers: usize) -> Engine {
+        engine_on(workers, Arc::new(Pool::new(workers)))
     }
 
     #[test]
@@ -354,7 +400,7 @@ mod tests {
             },
         ]);
         assert!(matches!(responses[0].result, Err(ServeError::Netlist(_))));
-        // The worker survived and served the next request.
+        // The engine survived and served the next request.
         assert!(responses[1].result.is_ok());
     }
 
@@ -373,5 +419,40 @@ mod tests {
             responses[0].result,
             Err(ServeError::WorkloadTooShort { pis: 1, stimuli: 0 })
         ));
+    }
+
+    #[test]
+    fn submit_delivers_on_the_returned_channel() {
+        for threads in [1, 3] {
+            let engine = engine_on(2, Arc::new(Pool::new(threads)));
+            let rx = engine.submit(ServeRequest {
+                id: 7,
+                aig: toggle("t"),
+                workload: Workload::uniform(0, 0.5),
+                init_seed: 0,
+            });
+            let response = rx.recv().expect("response arrives");
+            assert_eq!(response.id, 7);
+            assert!(response.result.is_ok());
+            assert_eq!(engine.requests_served(), 1);
+        }
+    }
+
+    #[test]
+    fn engines_share_a_pool_without_interference() {
+        let pool = Arc::new(Pool::new(3));
+        let a = engine_on(2, Arc::clone(&pool));
+        let b = engine_on(2, Arc::clone(&pool));
+        let make = |id| ServeRequest {
+            id,
+            aig: toggle("t"),
+            workload: Workload::uniform(0, 0.5),
+            init_seed: 0,
+        };
+        let ra = a.serve_batch((0..4).map(make).collect());
+        let rb = b.serve_batch((0..4).map(make).collect());
+        assert!(ra.iter().chain(&rb).all(|r| r.result.is_ok()));
+        assert_eq!(a.requests_served(), 4);
+        assert_eq!(b.requests_served(), 4);
     }
 }

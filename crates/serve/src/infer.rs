@@ -12,12 +12,33 @@
 //! loops, same accumulation order — so the predictions are **bitwise equal**
 //! to [`DeepSeq::predict`] on the same checkpoint (asserted by the crate's
 //! equivalence tests); only the time and memory differ.
+//!
+//! # Level parallelism
+//!
+//! The nodes of one level are independent: each node's new state depends
+//! only on the *previous* states of its neighbours. Large levels are
+//! therefore chunked across the worker [`Pool`] — each chunk runs the full
+//! gather → aggregate → GRU pipeline on its own [`Workspace`]-owned scratch
+//! (one set per pool thread), and the chunk outputs are scattered back into
+//! the state matrix afterwards. Edges stay grouped by owning node
+//! (`LevelBatch` sorts them by segment), so per-node arithmetic — including
+//! the segment softmax — is identical at any chunking, and outputs are
+//! **bitwise equal across thread counts** (property-tested in this crate's
+//! `tests/properties.rs` over pools of 1, 2, 4 and 7 threads).
+
+use std::ops::Range;
+use std::sync::Arc;
 
 use deepseq_core::{Aggregator, CircuitGraph, DeepSeq, DeepSeqConfig, LevelBatch, Predictions};
 use deepseq_netlist::aig::NUM_NODE_TYPES;
-use deepseq_nn::{Act, Kernel, Matrix, Params};
+use deepseq_nn::pool::chunk_ranges_or_whole;
+use deepseq_nn::{Act, Kernel, Matrix, Params, Pool};
 
 use crate::ServeError;
+
+/// Minimum nodes per level chunk — below this, the per-chunk GEMMs are too
+/// small to pay for fan-out.
+const MIN_NODES_PER_CHUNK: usize = 16;
 
 /// `y = x·W + b` weights of one dense layer.
 #[derive(Debug, Clone)]
@@ -206,6 +227,7 @@ impl InferenceModel {
 
         let tr = run_head(
             ws.kernel,
+            &ws.pool,
             &self.tr_head,
             &ws.state,
             &mut ws.head_a,
@@ -213,6 +235,7 @@ impl InferenceModel {
         );
         let lg = run_head(
             ws.kernel,
+            &ws.pool,
             &self.lg_head,
             &ws.state,
             &mut ws.head_a,
@@ -231,7 +254,10 @@ impl InferenceModel {
         self.run(graph, init_h, &mut Workspace::new()).predictions
     }
 
-    /// One level batch: gather → aggregate → GRU combine → scatter.
+    /// One level batch: gather → aggregate → GRU combine → scatter. Large
+    /// levels are chunked across the pool (see the [module docs](self) for
+    /// the determinism argument); each chunk computes into its own
+    /// [`BatchScratch`], then the caller scatters all chunk outputs.
     fn run_batch(
         &self,
         dir: &DirectionWeights,
@@ -244,134 +270,213 @@ impl InferenceModel {
         }
         let d = self.config.hidden_dim;
         let k = batch.nodes.len();
-        let m = batch.edges.len();
-        let agg_out = dir.agg.output_dim(d);
+        let chunks = chunk_ranges_or_whole(k, ws.pool.threads(), MIN_NODES_PER_CHUNK);
+        ws.ensure_scratch(chunks.len());
 
-        // Gather h_v^{t-1} per node, and per edge both the owner's previous
-        // state and the neighbour message state.
-        ws.node_prev.reset(k, d);
-        for (i, &v) in batch.nodes.iter().enumerate() {
-            ws.node_prev
-                .row_mut(i)
-                .copy_from_slice(ws.state.row(v as usize));
-        }
-        ws.edge_prev.reset(m, d);
-        ws.edge_msgs.reset(m, d);
-        for (i, &(u, seg)) in batch.edges.iter().enumerate() {
-            let owner = batch.nodes[seg as usize] as usize;
-            ws.edge_prev.row_mut(i).copy_from_slice(ws.state.row(owner));
-            ws.edge_msgs
-                .row_mut(i)
-                .copy_from_slice(ws.state.row(u as usize));
-        }
-
-        // Aggregate into the left `agg_out` columns of the GRU input buffer;
-        // the right NUM_NODE_TYPES columns take the node features.
         let kernel = ws.kernel;
-        ws.input.reset(k, agg_out + NUM_NODE_TYPES);
-        match &dir.agg {
-            AggWeights::ConvSum(lin) => {
-                kernel.linear_act(
-                    &ws.edge_msgs,
-                    &lin.w,
-                    Some(&lin.b),
-                    Act::Identity,
-                    &mut ws.weighted,
-                );
-                segment_sum_into(&ws.weighted, batch, k, d, &mut ws.m_lg);
-                for i in 0..k {
-                    ws.input.row_mut(i)[..d].copy_from_slice(ws.m_lg.row(i));
-                }
-            }
-            AggWeights::Attention(att) => {
-                attention_message(att, batch, k, ws);
-                for i in 0..k {
-                    ws.input.row_mut(i)[..d].copy_from_slice(ws.m_lg.row(i));
-                }
-            }
-            AggWeights::Dual { att, gate } => {
-                // Eq. 5: logic message m_LG.
-                attention_message(att, batch, k, ws);
-                // Eq. 6: sigmoid transition gate of m_LG against h_v^{t-1},
-                // as one fused kernel call.
-                kernel.matmul_bias_act(
-                    &ws.node_prev,
-                    &gate.w1,
-                    Some((&ws.m_lg, &gate.w2)),
-                    None,
-                    Act::Sigmoid,
-                    &mut ws.gate_a,
-                    &mut ws.gate_b,
-                );
-                // Eq. 7: input = [m_TR | m_LG | features].
-                for i in 0..k {
-                    let g = ws.gate_a.get(i, 0);
-                    let lg_row = ws.m_lg.row(i);
-                    let row = ws.input.row_mut(i);
-                    for (c, &v) in lg_row.iter().enumerate() {
-                        row[c] = v * g;
-                        row[d + c] = v;
-                    }
-                }
-            }
-        }
-        for (i, &v) in batch.nodes.iter().enumerate() {
-            ws.input.row_mut(i)[agg_out..].copy_from_slice(graph.features.row(v as usize));
+        let pool = &ws.pool;
+        let state = &ws.state;
+        if chunks.len() == 1 {
+            run_batch_range(
+                kernel,
+                pool,
+                dir,
+                graph,
+                batch,
+                d,
+                0..k,
+                state,
+                &mut ws.scratch[0],
+            );
+        } else {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .iter()
+                .zip(ws.scratch.iter_mut())
+                .map(|(range, scratch)| {
+                    let range = range.clone();
+                    Box::new(move || {
+                        run_batch_range(kernel, pool, dir, graph, batch, d, range, state, scratch);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(tasks);
         }
 
-        // GRU combine (Eq. 8): each gate is one fused kernel call
-        // `act(input·W + h·U + b)`, scratch threaded from the workspace.
-        let gru = &dir.gru;
-        kernel.matmul_bias_act(
-            &ws.input,
-            &gru.wz,
-            Some((&ws.node_prev, &gru.uz)),
-            Some(&gru.bz),
-            Act::Sigmoid,
-            &mut ws.z,
-            &mut ws.tmp,
-        );
-        kernel.matmul_bias_act(
-            &ws.input,
-            &gru.wr,
-            Some((&ws.node_prev, &gru.ur)),
-            Some(&gru.br),
-            Act::Sigmoid,
-            &mut ws.r,
-            &mut ws.tmp,
-        );
-        mul_into(&ws.r, &ws.node_prev, &mut ws.tmp);
-        kernel.matmul_bias_act(
-            &ws.input,
-            &gru.wn,
-            Some((&ws.tmp, &gru.un)),
-            Some(&gru.bn),
-            Act::Tanh,
-            &mut ws.n,
-            &mut ws.tmp2,
-        );
-
-        // h' = (1 - z) ⊙ n + z ⊙ h, with the tape's exact expression tree.
-        for ((n, &z), &h) in
-            ws.n.data_mut()
-                .iter_mut()
-                .zip(ws.z.data())
-                .zip(ws.node_prev.data())
-        {
-            *n = (-z + 1.0) * *n + z * h;
-        }
-
-        for (i, &v) in batch.nodes.iter().enumerate() {
-            ws.state.row_mut(v as usize).copy_from_slice(ws.n.row(i));
+        // Scatter: chunk outputs land in disjoint state rows (node ids are
+        // unique within a level), in node order.
+        for (range, scratch) in chunks.iter().zip(&ws.scratch) {
+            for (i, &v) in batch.nodes[range.clone()].iter().enumerate() {
+                ws.state
+                    .row_mut(v as usize)
+                    .copy_from_slice(scratch.n.row(i));
+            }
         }
     }
 }
 
+/// The gather → aggregate → GRU pipeline for the nodes `range` of one level
+/// batch, writing the new states into `ws.n` (row `i` = node
+/// `batch.nodes[range.start + i]`). Reads the shared previous-state matrix;
+/// never writes it — the caller scatters afterwards.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_range(
+    kernel: Kernel,
+    pool: &Pool,
+    dir: &DirectionWeights,
+    graph: &CircuitGraph,
+    batch: &LevelBatch,
+    d: usize,
+    range: Range<usize>,
+    state: &Matrix,
+    ws: &mut BatchScratch,
+) {
+    let k = range.len();
+    // Edges are sorted by segment, so this chunk's edges are contiguous.
+    let e0 = batch
+        .edges
+        .partition_point(|&(_, seg)| (seg as usize) < range.start);
+    let e1 = batch
+        .edges
+        .partition_point(|&(_, seg)| (seg as usize) < range.end);
+    let edges = &batch.edges[e0..e1];
+    let seg_base = range.start;
+    let m = edges.len();
+    let agg_out = dir.agg.output_dim(d);
+
+    // Gather h_v^{t-1} per node, and per edge both the owner's previous
+    // state and the neighbour message state.
+    ws.node_prev.reset(k, d);
+    for (i, &v) in batch.nodes[range.clone()].iter().enumerate() {
+        ws.node_prev
+            .row_mut(i)
+            .copy_from_slice(state.row(v as usize));
+    }
+    ws.edge_prev.reset(m, d);
+    ws.edge_msgs.reset(m, d);
+    for (i, &(u, seg)) in edges.iter().enumerate() {
+        let owner = batch.nodes[seg as usize] as usize;
+        ws.edge_prev.row_mut(i).copy_from_slice(state.row(owner));
+        ws.edge_msgs
+            .row_mut(i)
+            .copy_from_slice(state.row(u as usize));
+    }
+
+    // Aggregate into the left `agg_out` columns of the GRU input buffer;
+    // the right NUM_NODE_TYPES columns take the node features.
+    ws.input.reset(k, agg_out + NUM_NODE_TYPES);
+    match &dir.agg {
+        AggWeights::ConvSum(lin) => {
+            kernel.linear_act_on(
+                pool,
+                &ws.edge_msgs,
+                &lin.w,
+                Some(&lin.b),
+                Act::Identity,
+                &mut ws.weighted,
+            );
+            segment_sum_into(&ws.weighted, edges, seg_base, k, d, &mut ws.m_lg);
+            for i in 0..k {
+                ws.input.row_mut(i)[..d].copy_from_slice(ws.m_lg.row(i));
+            }
+        }
+        AggWeights::Attention(att) => {
+            attention_message(kernel, pool, att, edges, seg_base, k, ws);
+            for i in 0..k {
+                ws.input.row_mut(i)[..d].copy_from_slice(ws.m_lg.row(i));
+            }
+        }
+        AggWeights::Dual { att, gate } => {
+            // Eq. 5: logic message m_LG.
+            attention_message(kernel, pool, att, edges, seg_base, k, ws);
+            // Eq. 6: sigmoid transition gate of m_LG against h_v^{t-1},
+            // as one fused kernel call.
+            kernel.matmul_bias_act_on(
+                pool,
+                &ws.node_prev,
+                &gate.w1,
+                Some((&ws.m_lg, &gate.w2)),
+                None,
+                Act::Sigmoid,
+                &mut ws.gate_a,
+                &mut ws.gate_b,
+            );
+            // Eq. 7: input = [m_TR | m_LG | features].
+            for i in 0..k {
+                let g = ws.gate_a.get(i, 0);
+                let lg_row = ws.m_lg.row(i);
+                let row = ws.input.row_mut(i);
+                for (c, &v) in lg_row.iter().enumerate() {
+                    row[c] = v * g;
+                    row[d + c] = v;
+                }
+            }
+        }
+    }
+    for (i, &v) in batch.nodes[range].iter().enumerate() {
+        ws.input.row_mut(i)[agg_out..].copy_from_slice(graph.features.row(v as usize));
+    }
+
+    // GRU combine (Eq. 8): each gate is one fused kernel call
+    // `act(input·W + h·U + b)`, scratch threaded from the workspace.
+    let gru = &dir.gru;
+    kernel.matmul_bias_act_on(
+        pool,
+        &ws.input,
+        &gru.wz,
+        Some((&ws.node_prev, &gru.uz)),
+        Some(&gru.bz),
+        Act::Sigmoid,
+        &mut ws.z,
+        &mut ws.tmp,
+    );
+    kernel.matmul_bias_act_on(
+        pool,
+        &ws.input,
+        &gru.wr,
+        Some((&ws.node_prev, &gru.ur)),
+        Some(&gru.br),
+        Act::Sigmoid,
+        &mut ws.r,
+        &mut ws.tmp,
+    );
+    mul_into(&ws.r, &ws.node_prev, &mut ws.tmp);
+    kernel.matmul_bias_act_on(
+        pool,
+        &ws.input,
+        &gru.wn,
+        Some((&ws.tmp, &gru.un)),
+        Some(&gru.bn),
+        Act::Tanh,
+        &mut ws.n,
+        &mut ws.tmp2,
+    );
+
+    // h' = (1 - z) ⊙ n + z ⊙ h, with the tape's exact expression tree.
+    for ((n, &z), &h) in
+        ws.n.data_mut()
+            .iter_mut()
+            .zip(ws.z.data())
+            .zip(ws.node_prev.data())
+    {
+        *n = (-z + 1.0) * *n + z * h;
+    }
+}
+
 /// Shared Eq. 5 path: additive scores (one fused kernel call) → segment
-/// softmax → weighted segment sum into `ws.m_lg`.
-fn attention_message(att: &AttentionWeights, batch: &LevelBatch, k: usize, ws: &mut Workspace) {
+/// softmax → weighted segment sum into `ws.m_lg`. `edges` is the chunk's
+/// contiguous edge slice and `seg_base` its first node's segment index.
+fn attention_message(
+    kernel: Kernel,
+    pool: &Pool,
+    att: &AttentionWeights,
+    edges: &[(u32, u32)],
+    seg_base: usize,
+    k: usize,
+    ws: &mut BatchScratch,
+) {
     let d = att.w1.rows();
-    ws.kernel.matmul_bias_act(
+    kernel.matmul_bias_act_on(
+        pool,
         &ws.edge_prev,
         &att.w1,
         Some((&ws.edge_msgs, &att.w2)),
@@ -380,45 +485,61 @@ fn attention_message(att: &AttentionWeights, batch: &LevelBatch, k: usize, ws: &
         &mut ws.scores,
         &mut ws.scores_b,
     );
-    segment_softmax_into(&ws.scores, batch, &mut ws.alpha);
-    ws.weighted.reset(batch.edges.len(), d);
-    for i in 0..batch.edges.len() {
+    segment_softmax_into(&ws.scores, edges, seg_base, k, &mut ws.alpha);
+    ws.weighted.reset(edges.len(), d);
+    for i in 0..edges.len() {
         let a = ws.alpha.get(i, 0);
         for (o, &v) in ws.weighted.row_mut(i).iter_mut().zip(ws.edge_msgs.row(i)) {
             *o = v * a;
         }
     }
-    segment_sum_into(&ws.weighted, batch, k, d, &mut ws.m_lg);
+    segment_sum_into(&ws.weighted, edges, seg_base, k, d, &mut ws.m_lg);
 }
 
 /// Segment softmax over an `m×1` score column, numerically identical to
-/// [`Tape::segment_softmax`](deepseq_nn::Tape::segment_softmax).
-fn segment_softmax_into(scores: &Matrix, batch: &LevelBatch, alpha: &mut Matrix) {
-    let m = batch.edges.len();
-    let num_segments = batch.nodes.len();
+/// [`Tape::segment_softmax`](deepseq_nn::Tape::segment_softmax). Segments
+/// are rebased by `seg_base` (chunked levels pass their node offset).
+fn segment_softmax_into(
+    scores: &Matrix,
+    edges: &[(u32, u32)],
+    seg_base: usize,
+    num_segments: usize,
+    alpha: &mut Matrix,
+) {
+    let m = edges.len();
     let mut seg_max = vec![f32::NEG_INFINITY; num_segments];
-    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
-        let seg = seg as usize;
+    for (i, &(_, seg)) in edges.iter().enumerate() {
+        let seg = seg as usize - seg_base;
         seg_max[seg] = seg_max[seg].max(scores.get(i, 0));
     }
     let mut seg_total = vec![0.0f32; num_segments];
     alpha.reset(m, 1);
-    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
-        let e = (scores.get(i, 0) - seg_max[seg as usize]).exp();
+    for (i, &(_, seg)) in edges.iter().enumerate() {
+        let seg = seg as usize - seg_base;
+        let e = (scores.get(i, 0) - seg_max[seg]).exp();
         alpha.set(i, 0, e);
-        seg_total[seg as usize] += e;
+        seg_total[seg] += e;
     }
-    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
-        alpha.set(i, 0, alpha.get(i, 0) / seg_total[seg as usize]);
+    for (i, &(_, seg)) in edges.iter().enumerate() {
+        let seg = seg as usize - seg_base;
+        alpha.set(i, 0, alpha.get(i, 0) / seg_total[seg]);
     }
 }
 
 /// Sums edge rows into their owning node rows, in edge order (matching the
-/// tape's accumulation order).
-fn segment_sum_into(src: &Matrix, batch: &LevelBatch, k: usize, d: usize, out: &mut Matrix) {
+/// tape's accumulation order). Segments are rebased by `seg_base`.
+fn segment_sum_into(
+    src: &Matrix,
+    edges: &[(u32, u32)],
+    seg_base: usize,
+    k: usize,
+    d: usize,
+    out: &mut Matrix,
+) {
     out.reset(k, d);
-    for (i, &(_, seg)) in batch.edges.iter().enumerate() {
-        for (o, &v) in out.row_mut(seg as usize).iter_mut().zip(src.row(i)) {
+    for (i, &(_, seg)) in edges.iter().enumerate() {
+        let row = out.row_mut(seg as usize - seg_base);
+        for (o, &v) in row.iter_mut().zip(src.row(i)) {
             *o += v;
         }
     }
@@ -435,9 +556,10 @@ fn mul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// Runs a regressor head (Linear + ReLU stack, final sigmoid) over the full
 /// state matrix, alternating between two scratch buffers. Each layer is one
-/// fused kernel call.
+/// fused kernel call; the products row-partition across the pool.
 fn run_head(
     kernel: Kernel,
+    pool: &Pool,
     layers: &[LinearWeights],
     state: &Matrix,
     a: &mut Matrix,
@@ -457,7 +579,7 @@ fn run_head(
         } else {
             Act::Identity
         };
-        kernel.linear_act(src, &layer.w, Some(&layer.b), act, dst);
+        kernel.linear_act_on(pool, src, &layer.w, Some(&layer.b), act, dst);
         src_is_a = !src_is_a;
     }
     let out = if src_is_a { &mut *a } else { &mut *b };
@@ -479,23 +601,11 @@ fn mean_pool(hidden: &Matrix) -> Matrix {
     pooled
 }
 
-/// Preallocated scratch buffers for [`InferenceModel::run`], plus the GEMM
-/// [`Kernel`] all products of the forward pass dispatch through.
-///
-/// All buffers are reshaped with [`Matrix::reset`], which reuses their
-/// allocations: after the first request of a given size a worker thread
-/// serves follow-ups with near-zero allocator traffic. The fused kernel ops
-/// (`act(x·W + h·U + b)`) take their scratch from here as well. Keep one
-/// workspace per thread (the engine does); they are cheap when idle.
-///
-/// The kernel defaults to [`Kernel::for_serve`] — `blocked`, unless
-/// `DEEPSEQ_KERNEL` overrides it; every kernel is bitwise-equal on finite
-/// inputs, so this is a pure performance choice. Use
-/// [`Workspace::with_kernel`] to pin one explicitly (benchmarks do).
-#[derive(Debug, Clone)]
-pub struct Workspace {
-    kernel: Kernel,
-    state: Matrix,
+/// Per-chunk scratch of one level-batch pipeline run: every buffer is
+/// reshaped with [`Matrix::reset`] (allocation-reusing), so after the first
+/// request of a given size a chunk runs with near-zero allocator traffic.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
     node_prev: Matrix,
     edge_prev: Matrix,
     edge_msgs: Matrix,
@@ -512,46 +622,74 @@ pub struct Workspace {
     n: Matrix,
     tmp: Matrix,
     tmp2: Matrix,
+}
+
+/// Preallocated scratch for [`InferenceModel::run`], plus the GEMM
+/// [`Kernel`] and worker [`Pool`] all products of the forward pass dispatch
+/// through.
+///
+/// The workspace owns one `BatchScratch` set per pool thread so large
+/// levels can fan out without allocation; all buffers are reshaped with
+/// [`Matrix::reset`], which reuses their allocations. Keep one workspace
+/// per request-processing thread (the engine does); they are cheap when
+/// idle.
+///
+/// The kernel defaults to [`Kernel::for_serve`] — `auto` (shape-resolved
+/// blocked/packed/naive), unless `DEEPSEQ_KERNEL` overrides it; every
+/// kernel is bitwise-equal on finite inputs, so this is a pure performance
+/// choice. The pool defaults to [`Pool::global`] (sized by
+/// `DEEPSEQ_THREADS`); outputs are bitwise-identical at any thread count.
+/// Use [`Workspace::with_kernel`] / [`Workspace::with_pool`] to pin either
+/// explicitly (benchmarks and the thread-determinism property tests do).
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    kernel: Kernel,
+    pool: Arc<Pool>,
+    state: Matrix,
     head_a: Matrix,
     head_b: Matrix,
+    scratch: Vec<BatchScratch>,
 }
 
 impl Workspace {
-    /// An empty workspace on the serving-default kernel; buffers grow on
-    /// first use and are then reused.
+    /// An empty workspace on the serving-default kernel and the global
+    /// pool; buffers grow on first use and are then reused.
     pub fn new() -> Self {
         Workspace::with_kernel(Kernel::for_serve())
     }
 
-    /// An empty workspace pinned to a specific GEMM kernel.
+    /// An empty workspace pinned to a specific GEMM kernel (global pool).
     pub fn with_kernel(kernel: Kernel) -> Self {
+        Workspace::with_pool(kernel, Arc::clone(Pool::global()))
+    }
+
+    /// An empty workspace pinned to a specific kernel and worker pool.
+    pub fn with_pool(kernel: Kernel, pool: Arc<Pool>) -> Self {
         Workspace {
             kernel,
+            pool,
             state: Matrix::default(),
-            node_prev: Matrix::default(),
-            edge_prev: Matrix::default(),
-            edge_msgs: Matrix::default(),
-            scores: Matrix::default(),
-            scores_b: Matrix::default(),
-            alpha: Matrix::default(),
-            weighted: Matrix::default(),
-            m_lg: Matrix::default(),
-            gate_a: Matrix::default(),
-            gate_b: Matrix::default(),
-            input: Matrix::default(),
-            z: Matrix::default(),
-            r: Matrix::default(),
-            n: Matrix::default(),
-            tmp: Matrix::default(),
-            tmp2: Matrix::default(),
             head_a: Matrix::default(),
             head_b: Matrix::default(),
+            scratch: vec![BatchScratch::default()],
         }
     }
 
     /// The kernel this workspace dispatches matrix products through.
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// The worker pool level chunks and large products fan out across.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Grows the per-chunk scratch list to at least `chunks` entries.
+    fn ensure_scratch(&mut self, chunks: usize) {
+        if self.scratch.len() < chunks {
+            self.scratch.resize(chunks, BatchScratch::default());
+        }
     }
 }
 

@@ -14,9 +14,14 @@
 //!   checkpoint;
 //! * **blocked GEMM kernels** — every product of the forward pass
 //!   dispatches through the [`Kernel`](deepseq_nn::Kernel) carried by the
-//!   [`Workspace`] (serving default: `blocked`; override with the
-//!   `DEEPSEQ_KERNEL` environment variable). All kernels are
-//!   bitwise-equal on finite inputs, so the choice is pure performance;
+//!   [`Workspace`] (serving default: `auto`, resolving blocked/packed/naive
+//!   per product shape; override with the `DEEPSEQ_KERNEL` environment
+//!   variable). All kernels are bitwise-equal on finite inputs, so the
+//!   choice is pure performance;
+//! * **level parallelism** — big levels and large products fan out across
+//!   the shared worker [`Pool`](deepseq_nn::Pool) (sized by
+//!   `DEEPSEQ_THREADS`), with outputs bitwise-identical at any thread
+//!   count;
 //! * **binary checkpoints** — loads the `DSQM`/`DSQP` little-endian format
 //!   added to `deepseq-nn`/`deepseq-core` alongside the text format
 //!   ([`InferenceModel::from_binary_checkpoint`]);
@@ -25,8 +30,9 @@
 //!   ([`deepseq_netlist::structural_hash`], invariant under node
 //!   renumbering) plus the name-bound workload and the init seed, so
 //!   repeated circuit+workload queries are O(1);
-//! * [`Engine`] — an **`mpsc`-fed worker pool** batching independent
-//!   requests across threads, one workspace per worker;
+//! * [`Engine`] — batches independent requests across the **same shared
+//!   pool** the level parallelism runs on (one pool for the whole process,
+//!   not one thread set per engine), one workspace per concurrent task;
 //! * the `deepseq-serve` **CLI** — AIGER / `.bench` circuits in, JSON
 //!   predictions out, plus a text↔binary checkpoint converter.
 //!

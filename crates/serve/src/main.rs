@@ -35,7 +35,9 @@ predict options:
     --iters <T>          propagation iterations for the fresh model (default 4)
     --p1 <P>             uniform workload logic-1 probability (default 0.5)
     --seed <S>           initial-state seed (default 0)
-    --workers <N>        worker threads (default: available parallelism)
+    --workers <N>        max requests processed concurrently (default: the
+                         pool size; the pool itself is sized by the
+                         DEEPSEQ_THREADS environment variable)
     --cache <N>          embedding-cache capacity (default 256)
     --repeat <N>         serve the file batch N times (default 1; >1 shows
                          the cache-hit path)

@@ -1,15 +1,19 @@
 //! Property tests of the serving subsystem: the content address must be
 //! blind to node renumbering (that is what makes it *content* addressing),
-//! and the threaded engine must return exactly what a direct forward pass
-//! returns.
+//! the threaded engine must return exactly what a direct forward pass
+//! returns, and the level-parallel forward pass must be bitwise identical
+//! at every thread count.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use deepseq_core::encoding::initial_states;
 use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
 use deepseq_netlist::{AigNode, NodeId, SeqAig};
-use deepseq_serve::{CacheKey, Engine, EngineOptions, InferenceModel, ServeRequest};
-use deepseq_sim::{PiStimulus, Workload};
+use deepseq_nn::{Kernel, Pool};
+use deepseq_serve::{CacheKey, Engine, EngineOptions, InferenceModel, ServeRequest, Workspace};
+use deepseq_sim::PiStimulus;
+use deepseq_sim::Workload;
 use proptest::prelude::*;
 
 /// Strategy: a small random sequential AIG (same recipe as the netlist
@@ -39,6 +43,53 @@ fn arb_seq_aig() -> impl Strategy<Value = SeqAig> {
             } else {
                 let a = NodeId(next(len) as u32);
                 let b = NodeId(next(len) as u32);
+                aig.add_and(a, b);
+            }
+        }
+        let len = aig.len();
+        for &ff in &ffs {
+            let d = NodeId(next(len) as u32);
+            aig.connect_ff(ff, d).expect("ff connect");
+        }
+        aig.set_output(NodeId((len - 1) as u32), "out");
+        aig
+    })
+}
+
+/// Strategy: a *wide* random sequential AIG — the first gate wave draws
+/// fanins from the sources only, so one level holds dozens of nodes and the
+/// level-parallel path genuinely chunks it (MIN_NODES_PER_CHUNK is 16).
+fn arb_wide_aig() -> impl Strategy<Value = SeqAig> {
+    (3usize..6, 1usize..4, 60usize..140, any::<u64>()).prop_map(|(n_pi, n_ff, n_gate, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let mut aig = SeqAig::new("wide");
+        for i in 0..n_pi {
+            aig.add_pi(format!("pi{i}"));
+        }
+        let mut ffs = Vec::new();
+        for i in 0..n_ff {
+            ffs.push(aig.add_ff(format!("ff{i}"), next(2) == 1));
+        }
+        let sources = aig.len();
+        for g in 0..n_gate {
+            // First two thirds: fanins from the sources only (one wide
+            // level); the rest from anywhere, for depth.
+            let bound = if g < n_gate * 2 / 3 {
+                sources
+            } else {
+                aig.len()
+            };
+            if next(4) == 0 {
+                aig.add_not(NodeId(next(bound) as u32));
+            } else {
+                let a = NodeId(next(bound) as u32);
+                let b = NodeId(next(bound) as u32);
                 aig.add_and(a, b);
             }
         }
@@ -124,6 +175,41 @@ proptest! {
             CacheKey::for_request(&renumbered, &workload2, seed),
             "renumbering broke the content address"
         );
+    }
+
+    #[test]
+    fn inference_bitwise_identical_across_thread_counts(aig in arb_wide_aig(), seed in any::<u64>()) {
+        // The chunk boundary only decides *which* scratch a node's update
+        // runs in, never the arithmetic: predictions and embedding must be
+        // bitwise equal across pools of 1, 2, 4 and 7 threads, for every
+        // kernel (including the serve-default auto policy).
+        let config = DeepSeqConfig { hidden_dim: 16, iterations: 2, ..DeepSeqConfig::default() };
+        let model = DeepSeq::new(config);
+        let frozen = InferenceModel::from_model(&model).unwrap();
+        let graph = CircuitGraph::build(&aig);
+        let h0 = initial_states(&aig, &Workload::uniform(aig.num_pis(), 0.5), 16, seed);
+        for kernel in [Kernel::Auto, Kernel::Blocked] {
+            let mut ws = Workspace::with_pool(kernel, Arc::new(Pool::new(1)));
+            let reference = frozen.run(&graph, &h0, &mut ws);
+            for threads in [2usize, 4, 7] {
+                let mut ws = Workspace::with_pool(kernel, Arc::new(Pool::new(threads)));
+                let got = frozen.run(&graph, &h0, &mut ws);
+                for (tag, got_m, want_m) in [
+                    ("tr", &got.predictions.tr, &reference.predictions.tr),
+                    ("lg", &got.predictions.lg, &reference.predictions.lg),
+                    ("embedding", &got.embedding, &reference.embedding),
+                ] {
+                    prop_assert_eq!(got_m.shape(), want_m.shape());
+                    for (i, (x, y)) in got_m.data().iter().zip(want_m.data()).enumerate() {
+                        prop_assert_eq!(
+                            x.to_bits(), y.to_bits(),
+                            "{} {} t{} elem {}: {} vs {}",
+                            tag, kernel.name(), threads, i, x, y
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! 1. Build a model and write a **binary checkpoint** (the `DSQM` format).
 //! 2. Reload it as a frozen [`InferenceModel`] — no tape, no optimizer.
 //! 3. Serve a batch of circuits (synthetic design-suite blocks + random
-//!    training-scale circuits) through the worker-pool [`Engine`].
+//!    training-scale circuits) through the shared-pool [`Engine`] — the
+//!    same `DEEPSEQ_THREADS`-sized pool runs request- and level-level
+//!    parallelism, with bitwise-identical outputs at any thread count.
 //! 4. Re-serve the same batch: every request is a content-addressed cache
 //!    hit, including a *renumbered* copy of a circuit — the canonical
 //!    structural hash sees through node reordering.
