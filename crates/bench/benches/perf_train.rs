@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the data-parallel training layer: one full
+//! training epoch (grouped optimizer steps, gradients fanned across the
+//! pool) and one evaluation sweep, measured on worker pools of 1, 2, 4 and
+//! 8 threads. Training is bitwise identical at every pool size (see
+//! `crates/core/tests/training_determinism.rs`), so — like `perf_threads`
+//! — these are pure speedup measurements: the `t1` entries are the
+//! baselines the `train_speedup_*` derived ratios in `BENCH_serve.json`
+//! divide by (see `collect_bench`).
+//!
+//! Bench ids follow `serve_train_<what>_t<N>_<rest>` so `collect_bench`
+//! folds them into the committed `BENCH_serve.json` next to the serving
+//! trajectory. On a single-core host the >1-thread numbers measure
+//! scheduling overhead, not speedup; the committed trajectory records
+//! whatever the measurement host provides.
+//!
+//! Run with `DEEPSEQ_THREADS=1` (as CI does): the explicit pools here only
+//! drive the *sample-level* fan-out, while the GEMMs inside each forward
+//! pass dispatch on the global pool — pinning that to 1 keeps the `t1`
+//! entry genuinely serial and the `t{N}` entries a pure measurement of the
+//! data-parallel training layer on any host.
+//!
+//! Run: `DEEPSEQ_THREADS=1 cargo bench -p deepseq-bench --bench perf_train`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepseq_core::{evaluate_on, train_on, DeepSeq, DeepSeqConfig, TrainOptions, TrainSample};
+use deepseq_data::random::{random_circuit, CircuitSpec};
+use deepseq_nn::Pool;
+use deepseq_sim::{SimOptions, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pool sizes the trajectory tracks (1 = the single-threaded baseline).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Samples per epoch; also the optimizer-step group size, so one epoch is
+/// one fully-parallel gradient fan-out per step.
+const SAMPLES: usize = 8;
+
+fn fixture() -> (DeepSeqConfig, Vec<TrainSample>) {
+    let config = DeepSeqConfig {
+        hidden_dim: 32,
+        iterations: 4,
+        ..DeepSeqConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let samples = (0..SAMPLES)
+        .map(|i| {
+            let aig = random_circuit(&format!("rand200_{i}"), &CircuitSpec::default(), &mut rng);
+            let workload = Workload::random(aig.num_pis(), &mut rng);
+            TrainSample::generate(
+                &aig,
+                &workload,
+                config.hidden_dim,
+                &SimOptions {
+                    cycles: 64,
+                    warmup: 4,
+                    seed: i as u64,
+                },
+                i as u64,
+            )
+        })
+        .collect();
+    (config, samples)
+}
+
+/// One data-parallel training epoch (8 samples, one grouped ADAM step of 8)
+/// per pool size: `serve_train_epoch_t{N}_rand200x8_d32`.
+fn bench_train_epoch(c: &mut Criterion) {
+    let (config, samples) = fixture();
+    let opts = TrainOptions {
+        epochs: 1,
+        samples_per_step: SAMPLES,
+        ..TrainOptions::default()
+    };
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        c.bench_function(
+            &format!("serve_train_epoch_t{threads}_rand200x8_d32"),
+            |b| {
+                b.iter_batched(
+                    || DeepSeq::new(config),
+                    |mut model| train_on(&pool, &mut model, &samples, &opts),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+}
+
+/// The evaluation sweep (per-sample inference fan-out) per pool size:
+/// `serve_train_eval_t{N}_rand200x8_d32`.
+fn bench_evaluate(c: &mut Criterion) {
+    let (config, samples) = fixture();
+    let model = DeepSeq::new(config);
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        c.bench_function(&format!("serve_train_eval_t{threads}_rand200x8_d32"), |b| {
+            b.iter(|| evaluate_on(&pool, &model, &samples))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_epoch, bench_evaluate
+}
+criterion_main!(benches);

@@ -18,8 +18,9 @@
 //! `derived` section adds the ratios the acceptance criteria and the README
 //! table read: tape → tape-free speedup per design, naive → blocked/packed
 //! kernel speedup per GEMM shape and for the fused GRU gate, and the
-//! 1-thread → N-thread speedups of the `perf_threads` entries
-//! (`serve_mt_<what>_t<N>_<rest>` → `mt_speedup_<what>_t<N>_<rest>`).
+//! 1-thread → N-thread speedups of the `perf_threads` and `perf_train`
+//! entries (`serve_mt_<what>_t<N>_<rest>` → `mt_speedup_<what>_t<N>_<rest>`,
+//! `serve_train_<what>_t<N>_<rest>` → `train_speedup_<what>_t<N>_<rest>`).
 //!
 //! `--readme` replaces everything between the `<!-- bench-table:begin -->`
 //! and `<!-- bench-table:end -->` markers with a table generated from the
@@ -180,11 +181,16 @@ fn derive_speedups(means: &[(String, f64)]) -> Vec<(String, f64)> {
                 }
             }
         }
-        // 1-thread → N-thread, per perf_threads entry.
-        if let Some((what, threads, rest)) = split_mt_id(name) {
-            if threads != 1 {
-                if let Some(t1) = mean_of(&format!("serve_mt_{what}_t1_{rest}")) {
-                    out.push((format!("mt_speedup_{what}_t{threads}_{rest}"), t1 / mean));
+        // 1-thread → N-thread, per perf_threads / perf_train entry.
+        for (prefix, ratio_prefix) in [
+            ("serve_mt_", "mt_speedup_"),
+            ("serve_train_", "train_speedup_"),
+        ] {
+            if let Some((what, threads, rest)) = split_threaded_id(name, prefix) {
+                if threads != 1 {
+                    if let Some(t1) = mean_of(&format!("{prefix}{what}_t1_{rest}")) {
+                        out.push((format!("{ratio_prefix}{what}_t{threads}_{rest}"), t1 / mean));
+                    }
                 }
             }
         }
@@ -193,10 +199,10 @@ fn derive_speedups(means: &[(String, f64)]) -> Vec<(String, f64)> {
     out
 }
 
-/// Splits a `serve_mt_<what>_t<N>_<rest>` bench id into its parts; `None`
+/// Splits a `<prefix><what>_t<N>_<rest>` bench id into its parts; `None`
 /// for ids of any other family.
-fn split_mt_id(name: &str) -> Option<(&str, usize, &str)> {
-    let body = name.strip_prefix("serve_mt_")?;
+fn split_threaded_id<'a>(name: &'a str, prefix: &str) -> Option<(&'a str, usize, &'a str)> {
+    let body = name.strip_prefix(prefix)?;
     let (what, tail) = body.split_once("_t")?;
     let (digits, rest) = tail.split_once('_')?;
     let threads: usize = digits.parse().ok()?;

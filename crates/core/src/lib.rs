@@ -70,6 +70,6 @@ pub use config::{Aggregator, DeepSeqConfig, PropagationScheme};
 pub use graph::{merge_graphs, CircuitGraph, LevelBatch};
 pub use model::{DeepSeq, ForwardVars, Predictions};
 pub use train::{
-    evaluate, merge_samples, train, train_batched, train_test_split, EpochStats, EvalMetrics,
-    TrainOptions, TrainSample,
+    evaluate, evaluate_on, merge_samples, train, train_batched, train_batched_on, train_on,
+    train_test_split, EpochStats, EvalMetrics, TrainOptions, TrainSample,
 };

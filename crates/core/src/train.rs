@@ -5,9 +5,27 @@
 //! Samples are circuits with one simulated workload each; the same loop
 //! performs pre-training and downstream fine-tuning (only the targets
 //! change).
+//!
+//! # Data parallelism
+//!
+//! [`train`] schedules its work on the shared worker pool
+//! ([`Pool::global`], sized by `DEEPSEQ_THREADS`): within each optimizer
+//! step, the per-sample forward/backward tape passes are independent (the
+//! parameters are frozen until the step), so they fan out across the pool
+//! at sample granularity — each worker task owns a private reusable
+//! [`Tape`] and produces one [`GradStore`] per sample. The per-sample
+//! losses and gradients are then reduced **in ascending sample order**,
+//! which makes every ADAM step, loss value and [`EpochStats`] row bitwise
+//! identical at any thread count (the per-sample passes themselves are
+//! bitwise thread-count-independent by the kernel-layer contract). With
+//! [`TrainOptions::samples_per_step`]` = 1` (the default) the loop is
+//! byte-for-byte the classic serial per-sample ADAM recipe; larger groups
+//! average the group's gradients into one step and are what actually
+//! parallelizes. [`evaluate`] fans its per-sample inference passes out the
+//! same way and reduces the error sums in sample order.
 
 use deepseq_netlist::SeqAig;
-use deepseq_nn::{Adam, Matrix};
+use deepseq_nn::{Adam, GradStore, Matrix, Pool, Tape};
 use deepseq_sim::{simulate, SimOptions, Workload};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -82,6 +100,14 @@ pub struct TrainOptions {
     pub tr_weight: f32,
     /// Weight of the `LG` loss term.
     pub lg_weight: f32,
+    /// Samples per optimizer step (clamped to at least 1). `1` — the
+    /// default — reproduces the paper's per-sample ADAM steps exactly.
+    /// Larger groups accumulate the *mean* gradient of the group's samples
+    /// into a single step; because the samples within a group are
+    /// independent, they are what the trainer fans out across the worker
+    /// pool. Results are bitwise identical at any thread count for any
+    /// value.
+    pub samples_per_step: usize,
 }
 
 impl Default for TrainOptions {
@@ -93,6 +119,7 @@ impl Default for TrainOptions {
             seed: 0,
             tr_weight: 1.0,
             lg_weight: 1.0,
+            samples_per_step: 1,
         }
     }
 }
@@ -115,30 +142,96 @@ pub struct EvalMetrics {
     pub pe_lg: f64,
 }
 
-/// Trains (or fine-tunes) `model` on `samples`, returning per-epoch stats.
+/// One sample's contribution to an optimizer step: its multi-task loss and
+/// the gradients of that loss.
+struct SampleGrad {
+    loss: f64,
+    grads: GradStore,
+}
+
+/// Records one sample's forward + loss on `tape` (which it resets first)
+/// and runs the backward pass.
+fn sample_pass(
+    model: &DeepSeq,
+    sample: &TrainSample,
+    opts: &TrainOptions,
+    tape: &mut Tape,
+) -> SampleGrad {
+    tape.reset();
+    let vars = model.forward(tape, &sample.graph, &sample.init_h);
+    let l_tr = tape.l1_loss(vars.tr, &sample.tr_target);
+    let l_lg = tape.l1_loss(vars.lg, &sample.lg_target);
+    let l_tr = tape.affine(l_tr, opts.tr_weight, 0.0);
+    let l_lg = tape.affine(l_lg, opts.lg_weight, 0.0);
+    let loss = tape.add_scalars(vec![l_tr, l_lg]);
+    SampleGrad {
+        loss: tape.value(loss).get(0, 0) as f64,
+        grads: tape.backward(loss),
+    }
+}
+
+/// Trains (or fine-tunes) `model` on `samples` using the process-wide
+/// worker pool ([`Pool::global`]), returning per-epoch stats. See
+/// [`train_on`] for the scheduling and determinism contract.
 ///
 /// # Example
 /// See [`the crate-level documentation`](crate).
 pub fn train(model: &mut DeepSeq, samples: &[TrainSample], opts: &TrainOptions) -> Vec<EpochStats> {
+    train_on(Pool::global(), model, samples, opts)
+}
+
+/// [`train`] on an explicit worker pool.
+///
+/// Each epoch shuffles the sample order (seeded — thread-count
+/// independent), splits it into groups of
+/// [`TrainOptions::samples_per_step`] samples and, per group: fans the
+/// per-sample forward/backward tape passes across `pool` at sample
+/// granularity (contiguous chunks, one reusable private [`Tape`] per
+/// task, one [`GradStore`] per sample), then reduces the losses and
+/// gradients **in ascending group order** and applies one ADAM step on the
+/// mean gradient. The fixed-order reduction is what keeps every step —
+/// and therefore every [`EpochStats`] row and the final parameter bytes —
+/// bitwise identical at any pool size, including 1 (where the group runs
+/// inline, in order, exactly like the serial loop).
+pub fn train_on(
+    pool: &Pool,
+    model: &mut DeepSeq,
+    samples: &[TrainSample],
+    opts: &TrainOptions,
+) -> Vec<EpochStats> {
     let mut optimizer = Adam::new(opts.lr).with_clip_norm(opts.clip_norm);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut history = Vec::with_capacity(opts.epochs);
+    let group_size = opts.samples_per_step.max(1);
     for epoch in 0..opts.epochs {
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
-        for &i in &order {
-            let sample = &samples[i];
-            let mut tape = deepseq_nn::Tape::new();
-            let vars = model.forward(&mut tape, &sample.graph, &sample.init_h);
-            let l_tr = tape.l1_loss(vars.tr, &sample.tr_target);
-            let l_lg = tape.l1_loss(vars.lg, &sample.lg_target);
-            let l_tr = tape.affine(l_tr, opts.tr_weight, 0.0);
-            let l_lg = tape.affine(l_lg, opts.lg_weight, 0.0);
-            let loss = tape.add_scalars(vec![l_tr, l_lg]);
-            total_loss += tape.value(loss).get(0, 0) as f64;
-            let grads = tape.backward(loss);
-            optimizer.step(model.params_mut(), &grads);
+        for group in order.chunks(group_size) {
+            // Fan the group's samples across the pool; each task owns one
+            // reusable tape (reset between samples) and the passes come
+            // back in group order whatever the pool size.
+            let model_ref: &DeepSeq = model;
+            let passes = pool.ordered_map(group.len(), 1, Tape::new, |tape, j| {
+                sample_pass(model_ref, &samples[group[j]], opts, tape)
+            });
+            // Ordered reduction: losses and gradients are summed in group
+            // order regardless of which worker produced them. The first
+            // sample's store is taken by value, so the common
+            // `samples_per_step = 1` path stays as copy-free as the old
+            // serial loop.
+            let mut passes = passes.into_iter();
+            let first = passes.next().expect("chunks() yields nonempty groups");
+            total_loss += first.loss;
+            let mut step_grads = first.grads;
+            for pass in passes {
+                total_loss += pass.loss;
+                step_grads.merge(&pass.grads);
+            }
+            if group.len() > 1 {
+                step_grads.scale(1.0 / group.len() as f32);
+            }
+            optimizer.step(model.params_mut(), &step_grads);
         }
         history.push(EpochStats {
             epoch,
@@ -148,22 +241,59 @@ pub fn train(model: &mut DeepSeq, samples: &[TrainSample], opts: &TrainOptions) 
     history
 }
 
-/// Computes the average prediction error (Eq. 9) of `model` on `samples`.
+/// Computes the average prediction error (Eq. 9) of `model` on `samples`
+/// using the process-wide worker pool. See [`evaluate_on`].
 pub fn evaluate(model: &DeepSeq, samples: &[TrainSample]) -> EvalMetrics {
+    evaluate_on(Pool::global(), model, samples)
+}
+
+/// [`evaluate`] on an explicit worker pool: the per-sample inference
+/// passes fan out across `pool` at sample granularity, each producing a
+/// private `(error sum, count)` partial; the partials are reduced in
+/// ascending sample order, so the metrics are bitwise identical at any
+/// thread count.
+pub fn evaluate_on(pool: &Pool, model: &DeepSeq, samples: &[TrainSample]) -> EvalMetrics {
+    /// One sample's error sums and element counts, both tasks.
+    #[derive(Clone, Copy)]
+    struct Partial {
+        tr_err: f64,
+        tr_count: usize,
+        lg_err: f64,
+        lg_count: usize,
+    }
+    let partials = pool.ordered_map(
+        samples.len(),
+        1,
+        || (),
+        |(), i| {
+            let sample = &samples[i];
+            let preds = model.predict(&sample.graph, &sample.init_h);
+            let mut p = Partial {
+                tr_err: 0.0,
+                tr_count: 0,
+                lg_err: 0.0,
+                lg_count: 0,
+            };
+            for (pred, t) in preds.tr.data().iter().zip(sample.tr_target.data()) {
+                p.tr_err += (pred - t).abs() as f64;
+                p.tr_count += 1;
+            }
+            for (pred, t) in preds.lg.data().iter().zip(sample.lg_target.data()) {
+                p.lg_err += (pred - t).abs() as f64;
+                p.lg_count += 1;
+            }
+            p
+        },
+    );
     let mut tr_err = 0.0f64;
     let mut tr_count = 0usize;
     let mut lg_err = 0.0f64;
     let mut lg_count = 0usize;
-    for sample in samples {
-        let preds = model.predict(&sample.graph, &sample.init_h);
-        for (p, t) in preds.tr.data().iter().zip(sample.tr_target.data()) {
-            tr_err += (p - t).abs() as f64;
-            tr_count += 1;
-        }
-        for (p, t) in preds.lg.data().iter().zip(sample.lg_target.data()) {
-            lg_err += (p - t).abs() as f64;
-            lg_count += 1;
-        }
+    for p in &partials {
+        tr_err += p.tr_err;
+        tr_count += p.tr_count;
+        lg_err += p.lg_err;
+        lg_count += p.lg_count;
     }
     EvalMetrics {
         pe_tr: tr_err / tr_count.max(1) as f64,
@@ -211,7 +341,20 @@ pub fn merge_samples(samples: &[&TrainSample]) -> TrainSample {
 
 /// Like [`train`] but with topological batching: samples are merged into
 /// mini-batches of `batch_size` circuits once, then trained as usual.
+/// Topological batching composes with data parallelism — each *merged*
+/// sample is one unit of [`TrainOptions::samples_per_step`] scheduling.
 pub fn train_batched(
+    model: &mut DeepSeq,
+    samples: &[TrainSample],
+    opts: &TrainOptions,
+    batch_size: usize,
+) -> Vec<EpochStats> {
+    train_batched_on(Pool::global(), model, samples, opts, batch_size)
+}
+
+/// [`train_batched`] on an explicit worker pool (see [`train_on`]).
+pub fn train_batched_on(
+    pool: &Pool,
     model: &mut DeepSeq,
     samples: &[TrainSample],
     opts: &TrainOptions,
@@ -225,7 +368,7 @@ pub fn train_batched(
             merge_samples(&refs)
         })
         .collect();
-    train(model, &batches, opts)
+    train_on(pool, model, &batches, opts)
 }
 
 /// Splits samples into train/test by a deterministic shuffle (paper uses a
@@ -389,6 +532,36 @@ mod tests {
             2,
         );
         assert!(history.last().unwrap().loss < history.first().unwrap().loss);
+    }
+
+    #[test]
+    fn grouped_steps_train_and_match_across_pools() {
+        // samples_per_step > 1 takes the data-parallel path; a 1-thread and
+        // a 3-thread pool must produce identical history and loss descent.
+        let config = DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            seed: 0,
+            ..DeepSeqConfig::default()
+        };
+        let samples = tiny_samples(5, 8);
+        let opts = TrainOptions {
+            epochs: 12,
+            lr: 5e-3,
+            samples_per_step: 2, // groups of 2 with an odd tail group
+            ..TrainOptions::default()
+        };
+        let mut serial_model = DeepSeq::new(config);
+        let serial = train_on(&Pool::new(1), &mut serial_model, &samples, &opts);
+        let mut pooled_model = DeepSeq::new(config);
+        let pooled = train_on(&Pool::new(3), &mut pooled_model, &samples, &opts);
+        assert_eq!(serial, pooled, "EpochStats must match bitwise");
+        assert_eq!(
+            serial_model.params().save_binary(),
+            pooled_model.params().save_binary(),
+            "trained parameters must match bitwise"
+        );
+        assert!(serial.last().unwrap().loss < serial.first().unwrap().loss);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   dispatch enum (selectable via `DEEPSEQ_KERNEL`), including the fused
 //!   gate op `act(x·W + h·U + b)` used by both training and serving;
 //! * [`pool`] — the persistent worker [`Pool`] (sized by `DEEPSEQ_THREADS`)
-//!   that large products and the serve path fan out across, with results
-//!   bitwise-identical at any thread count;
+//!   that large products, the serve path and the data-parallel training
+//!   loop fan out across, with results bitwise-identical at any thread
+//!   count;
 //! * [`Tape`] — a define-by-run reverse-mode autograd tape with the segment
 //!   ops (gather / segment-softmax / segment-sum) that make levelized
 //!   "topological batching" over circuit graphs efficient;
@@ -21,7 +22,10 @@
 //!   (the scoring used by Eq. 5/6);
 //! * [`Adam`] — the optimizer used throughout the paper (lr `1e-4`);
 //! * [`Params`] / [`GradStore`] — named parameter store with text and
-//!   binary checkpoint formats (no serialization dependencies).
+//!   binary checkpoint formats (no serialization dependencies); the
+//!   gradient store is dense and id-ordered, so reductions over it are
+//!   deterministic — the primitive behind bitwise-reproducible
+//!   data-parallel training.
 //!
 //! # Example: one training step
 //!

@@ -494,9 +494,17 @@ impl fmt::Display for ParamsError {
 impl Error for ParamsError {}
 
 /// Gradients accumulated by a backward pass, keyed by [`ParamId`].
+///
+/// Stored densely (indexed by the id, which is a registration index), so
+/// every traversal — [`GradStore::iter`], [`GradStore::global_norm`],
+/// [`GradStore::merge`] — visits parameters in ascending-id order. That
+/// ordering is part of the training determinism contract: floating-point
+/// reductions over the store produce the same bits on every run and at any
+/// thread count, which a hash-map keyed store cannot guarantee (its
+/// iteration order varies per process).
 #[derive(Debug, Clone, Default)]
 pub struct GradStore {
-    grads: HashMap<ParamId, Matrix>,
+    grads: Vec<Option<Matrix>>,
 }
 
 impl GradStore {
@@ -507,34 +515,54 @@ impl GradStore {
 
     /// The gradient of a parameter, if it participated in the loss.
     pub fn get(&self, id: ParamId) -> Option<&Matrix> {
-        self.grads.get(&id)
+        self.grads.get(id.0).and_then(|slot| slot.as_ref())
     }
 
     /// Adds `grad` into the stored gradient of `id`.
     pub fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
-        match self.grads.get_mut(&id) {
-            Some(existing) => existing.add_assign(grad),
-            None => {
-                self.grads.insert(id, grad.clone());
-            }
+        if self.grads.len() <= id.0 {
+            self.grads.resize_with(id.0 + 1, || None);
         }
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.add_assign(grad),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+
+    /// Adds every gradient of `other` into this store (element-wise, in
+    /// ascending [`ParamId`] order). This is the data-parallel reduction
+    /// primitive: merging per-sample stores **in a fixed sample order**
+    /// makes the summed gradients bitwise independent of how samples were
+    /// scheduled across worker threads.
+    pub fn merge(&mut self, other: &GradStore) {
+        for (id, grad) in other.iter() {
+            self.accumulate(id, grad);
+        }
+    }
+
+    /// Iterates `(id, gradient)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|g| (ParamId(i), g)))
     }
 
     /// Number of parameters with gradients.
     pub fn len(&self) -> usize {
-        self.grads.len()
+        self.grads.iter().filter(|slot| slot.is_some()).count()
     }
 
     /// True if no gradients are stored.
     pub fn is_empty(&self) -> bool {
-        self.grads.is_empty()
+        self.grads.iter().all(|slot| slot.is_none())
     }
 
-    /// Global gradient L2 norm (for clipping / diagnostics).
+    /// Global gradient L2 norm (for clipping / diagnostics), summed in
+    /// ascending id order — deterministic across runs and thread counts.
     pub fn global_norm(&self) -> f32 {
-        self.grads
-            .values()
-            .map(|g| {
+        self.iter()
+            .map(|(_, g)| {
                 let n = g.norm();
                 n * n
             })
@@ -542,9 +570,9 @@ impl GradStore {
             .sqrt()
     }
 
-    /// Scales all gradients in place (gradient clipping).
+    /// Scales all gradients in place (gradient clipping, mini-batch means).
     pub fn scale(&mut self, s: f32) {
-        for g in self.grads.values_mut() {
+        for g in self.grads.iter_mut().flatten() {
             g.scale_assign(s);
         }
     }
@@ -756,6 +784,26 @@ mod tests {
         g.accumulate(id, &Matrix::full(1, 2, 2.0));
         assert_eq!(g.get(id).unwrap(), &Matrix::full(1, 2, 3.0));
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn grad_store_merge_adds_in_id_order() {
+        let mut a = GradStore::new();
+        a.accumulate(ParamId(0), &Matrix::full(1, 2, 1.0));
+        a.accumulate(ParamId(3), &Matrix::full(2, 1, -2.0));
+        let mut b = GradStore::new();
+        b.accumulate(ParamId(3), &Matrix::full(2, 1, 5.0));
+        b.accumulate(ParamId(1), &Matrix::full(1, 1, 4.0));
+        a.merge(&b);
+        assert_eq!(a.get(ParamId(0)).unwrap(), &Matrix::full(1, 2, 1.0));
+        assert_eq!(a.get(ParamId(1)).unwrap(), &Matrix::full(1, 1, 4.0));
+        assert!(a.get(ParamId(2)).is_none());
+        assert_eq!(a.get(ParamId(3)).unwrap(), &Matrix::full(2, 1, 3.0));
+        let ids: Vec<usize> = a.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 3], "iteration is ascending-id");
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(GradStore::new().is_empty());
     }
 
     #[test]

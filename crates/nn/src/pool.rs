@@ -335,6 +335,58 @@ impl Pool {
             None => job(),
         }
     }
+
+    /// Computes `f(scratch, i)` for every `i in 0..total` across the pool
+    /// and returns the results **in index order**, regardless of which
+    /// worker produced them or when it finished.
+    ///
+    /// Indices are split into contiguous chunks (at most one per pool
+    /// thread, at least `min_per_chunk` each, via [`chunk_ranges_or_whole`]);
+    /// each chunk becomes one task that first builds a private `scratch`
+    /// with `init` and then reuses it across its indices — this is how the
+    /// training loop hands every worker one reusable tape. Each result is
+    /// written into its own index slot, so completion order never affects
+    /// the returned vector; on a 1-thread pool everything runs inline in
+    /// ascending order. Chunk boundaries are therefore a pure
+    /// load-balancing choice whenever `f` is a pure function of `i` — the
+    /// ordered-reduction building block the deterministic data-parallel
+    /// trainer and evaluator are made of.
+    pub fn ordered_map<S, T, I, F>(
+        &self,
+        total: usize,
+        min_per_chunk: usize,
+        init: I,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        {
+            let init = &init;
+            let f = &f;
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            let mut slots_rest: &mut [Option<T>] = &mut slots;
+            for range in chunk_ranges_or_whole(total, self.threads(), min_per_chunk) {
+                let (chunk, rest) = slots_rest.split_at_mut(range.len());
+                slots_rest = rest;
+                tasks.push(Box::new(move || {
+                    let mut scratch = init();
+                    for (slot, i) in chunk.iter_mut().zip(range) {
+                        *slot = Some(f(&mut scratch, i));
+                    }
+                }));
+            }
+            self.run(tasks);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("chunks cover every index"))
+            .collect()
+    }
 }
 
 impl Drop for Pool {
@@ -568,6 +620,43 @@ mod tests {
         drop(pool);
         rx.recv_timeout(std::time::Duration::from_secs(10))
             .expect("worker survived dropping its own pool");
+    }
+
+    #[test]
+    fn ordered_map_returns_index_order_and_reuses_scratch() {
+        for threads in [1usize, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            // Results come back in index order whatever the pool size…
+            let squares = pool.ordered_map(23, 1, || (), |(), i| i * i);
+            assert_eq!(
+                squares,
+                (0..23).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            // …scratch is per-chunk: the number of `init` calls equals the
+            // number of chunks, never the number of indices.
+            let inits = AtomicUsize::new(0);
+            let got = pool.ordered_map(
+                40,
+                1,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |count, i| {
+                    *count += 1;
+                    (i, *count)
+                },
+            );
+            assert_eq!(got.len(), 40);
+            let chunks = inits.load(Ordering::Relaxed);
+            assert!(chunks <= threads, "threads={threads}: {chunks} chunks");
+            // Each chunk's counter climbs 1, 2, 3, … — proof the scratch
+            // persisted across that chunk's indices.
+            assert!(got.iter().any(|&(_, c)| c > 1) || threads >= 40);
+        }
+        // Empty input yields an empty vector.
+        assert!(Pool::new(4).ordered_map(0, 1, || (), |(), i| i).is_empty());
     }
 
     #[test]

@@ -102,6 +102,14 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Discards the recorded computation but keeps the node buffer's
+    /// allocation, so one tape can be reused across many samples (the
+    /// data-parallel training loop hands each worker a private tape and
+    /// resets it between samples instead of reallocating).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// The value of a variable.
     pub fn value(&self, v: VarId) -> &Matrix {
         &self.nodes[v.0].value
