@@ -1,0 +1,55 @@
+//! Process-wide registry of configuration warnings.
+//!
+//! The runtime knobs read from the environment (`DEEPSEQ_THREADS`,
+//! `DEEPSEQ_KERNEL`) warn once to stderr when set to something
+//! unrecognized and then fall back to a default. In a server deployment
+//! stderr scrolls away; the warning must also be *queryable* so the
+//! `/metrics` endpoint of `deepseq-serve` can expose a `config_warnings`
+//! counter and CI logs show misconfiguration as a scraped number instead
+//! of a lost log line. This module is that registry: [`report_warning`]
+//! prints the warning and records it; [`warning_count`] and [`warnings`]
+//! read it back from anywhere in the process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static MESSAGES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Prints `warning: {message}` to stderr and records the message in the
+/// process-wide registry. Callers are responsible for once-ness (every
+/// existing env knob already reads its variable through a `OnceLock`).
+pub fn report_warning(message: impl Into<String>) {
+    let message = message.into();
+    eprintln!("warning: {message}");
+    COUNT.fetch_add(1, Ordering::Relaxed);
+    MESSAGES
+        .lock()
+        .expect("config warning registry")
+        .push(message);
+}
+
+/// Number of configuration warnings reported since process start.
+pub fn warning_count() -> u64 {
+    COUNT.load(Ordering::Relaxed)
+}
+
+/// The recorded warning messages, in report order.
+pub fn warnings() -> Vec<String> {
+    MESSAGES.lock().expect("config warning registry").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reported_warnings_are_counted_and_readable() {
+        let before = warning_count();
+        report_warning("test warning (ignore me)".to_string());
+        assert!(warning_count() > before);
+        assert!(warnings()
+            .iter()
+            .any(|m| m.contains("test warning (ignore me)")));
+    }
+}

@@ -224,10 +224,10 @@ impl Kernel {
             Ok(value) => {
                 let parsed = Kernel::parse(&value);
                 if parsed.is_none() {
-                    eprintln!(
-                        "warning: {KERNEL_ENV}={value:?} is not a recognized kernel \
+                    crate::config::report_warning(format!(
+                        "{KERNEL_ENV}={value:?} is not a recognized kernel \
                          (accepted: naive | blocked | packed | auto); using the default"
-                    );
+                    ));
                 }
                 parsed
             }

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod kernels;
 pub mod layers;
 pub mod matrix;
@@ -59,6 +60,7 @@ pub mod params;
 pub mod pool;
 pub mod tape;
 
+pub use config::{report_warning, warning_count, warnings};
 pub use kernels::{Act, Kernel};
 pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;

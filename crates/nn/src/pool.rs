@@ -3,21 +3,45 @@
 //! DeepSeq's levelized propagation is embarrassingly parallel *within* a
 //! level, and every GEMM kernel in [`kernels`](crate::kernels) is
 //! row-partitionable without changing a single accumulation order. This
-//! module provides the one shared substrate both exploit: a [`Pool`] of
-//! persistent `std::thread` workers fed over an `mpsc` channel (no external
-//! dependencies — the build is offline), with a scoped [`Pool::run`] that
-//! lets callers fan borrowed work out across the workers and a
-//! fire-and-forget [`Pool::spawn`] for `'static` jobs (the serve engine's
-//! request path).
+//! module provides the one shared substrate both exploit — and, since the
+//! HTTP serving edge landed, the substrate connection handlers run on too:
+//! a [`Pool`] of persistent `std::thread` workers, each with its **own job
+//! queue**, stealing from its siblings when it runs dry (no external
+//! dependencies — the build is offline). A scoped [`Pool::run`] lets
+//! callers fan borrowed work out across the workers; a fire-and-forget
+//! [`Pool::spawn`] takes `'static` jobs (the serve engine's request path
+//! and the HTTP server's per-connection handlers).
+//!
+//! # Per-worker queues and stealing
+//!
+//! The first multi-threaded incarnation of this pool fed every worker from
+//! a single `mpsc` channel behind one mutex. Under a handful of CPU-bound
+//! fan-outs that was invisible; under a network front door pushing one job
+//! per connection plus nested GEMM fan-outs it becomes the contended hot
+//! spot. Jobs are now pushed round-robin onto per-worker queues; a worker
+//! pops from its own queue first and *steals* from the others when it is
+//! empty, so enqueues and dequeues in the common case touch different
+//! locks, and an idle worker always finds queued work no matter which
+//! queue it landed on.
+//!
+//! The two job classes steal differently. Scoped [`Pool::run`] tasks are
+//! pure compute and may be taken by anyone — including other blocked `run`
+//! callers, which keeps nested fan-out deadlock-free exactly as before.
+//! Fire-and-forget [`Pool::spawn`] jobs may block on external events (a
+//! connection handler in a socket read), so only the workers take them: a
+//! `run` caller waiting on its row chunks never picks up a job that could
+//! park it on someone else's socket.
 //!
 //! # Determinism
 //!
 //! The pool never reorders or splits arithmetic on its own: callers hand it
 //! *disjoint* tasks (row ranges of a product, node ranges of a level) whose
-//! per-element computation is identical to the single-threaded code. Results
-//! are therefore **bitwise identical at any thread count** — property-tested
-//! in `crates/nn/tests/properties.rs` and `crates/serve/tests/properties.rs`
-//! across pools of 1, 2, 4 and 7 threads.
+//! per-element computation is identical to the single-threaded code.
+//! Stealing only changes *which thread* runs a task, never what the task
+//! computes or where it writes. Results are therefore **bitwise identical
+//! at any thread count** — property-tested in `crates/nn/tests/properties.rs`
+//! and `crates/serve/tests/properties.rs` across pools of 1, 2, 4 and 7
+//! threads.
 //!
 //! # Sizing
 //!
@@ -26,8 +50,10 @@
 //! sets the total parallelism, `1` recovers exactly the single-threaded
 //! behavior (no workers are spawned, every task runs inline on the caller),
 //! and an unset variable defaults to [`std::thread::available_parallelism`].
-//! Unrecognized values warn once to stderr and fall back to the default.
-//! Explicitly sized pools ([`Pool::new`]) serve tests and benchmarks.
+//! Unrecognized values warn once to stderr and are recorded in the
+//! [`config`](crate::config) warning registry (surfaced by the serve
+//! `/metrics` endpoint), then fall back to the default. Explicitly sized
+//! pools ([`Pool::new`]) serve tests and benchmarks.
 //!
 //! # Example
 //!
@@ -48,11 +74,13 @@
 //! assert_eq!(out, [0, 10, 20, 30]);
 //! ```
 
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// Environment variable sizing the process-wide pool ([`Pool::global`]):
 /// a positive integer thread count (`1` disables threading entirely),
@@ -66,8 +94,132 @@ const MAX_THREADS: usize = 1024;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One class of per-worker queues with a round-robin push cursor.
+struct QueueClass {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    next: AtomicUsize,
+}
+
+impl QueueClass {
+    fn new(workers: usize) -> QueueClass {
+        QueueClass {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[i].lock().expect("pool queue").push_back(job);
+    }
+
+    /// Dequeues one job, checking `home`'s own queue first and stealing
+    /// from the siblings in ring order otherwise.
+    fn pop(&self, home: usize) -> Option<Job> {
+        let n = self.queues.len();
+        for k in 0..n {
+            let i = (home + k) % n;
+            let job = self.queues[i].lock().expect("pool queue").pop_front();
+            if job.is_some() {
+                return job;
+            }
+        }
+        None
+    }
+}
+
+/// Queue state shared by the workers and every `Arc<Pool>` holder.
+///
+/// Jobs come in two classes with distinct stealing rules:
+///
+/// * **scoped** tasks (from [`Pool::run`]) are pure compute chunks that
+///   never block on external events — *anyone* may steal them, including
+///   other blocked `run` callers, which is what keeps nested fan-out
+///   deadlock-free;
+/// * **spawned** jobs (from [`Pool::spawn`]) may block arbitrarily long
+///   (an HTTP connection handler sitting in a socket read) — only the
+///   *workers* take them, never a blocked `run` caller, so a GEMM waiting
+///   on its row chunks can never wedge itself behind a stranger's socket.
+struct Shared {
+    scoped: QueueClass,
+    spawned: QueueClass,
+    /// Jobs currently queued in either class (incremented after a push,
+    /// decremented after a successful pop). Lets idle workers verify
+    /// emptiness before parking without re-scanning every queue lock.
+    pending: AtomicUsize,
+    /// Cleared when the pool is dropped; workers drain and exit.
+    open: AtomicBool,
+    /// Parking lot for idle workers. Pushers notify under the lock *after*
+    /// bumping `pending`, and parkers re-check `pending` under the lock
+    /// before waiting, so wakeups cannot be lost; the wait still carries a
+    /// timeout as a belt-and-braces backstop.
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// Which queue classes a dequeue attempt may touch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Take {
+    /// Scoped tasks first (they gate a blocked caller), then spawned jobs.
+    Anything,
+    /// Scoped tasks only — the rule for helping `run` callers.
+    ScopedOnly,
+}
+
+impl Shared {
+    /// Enqueues a job and wakes one parked worker (any worker can steal
+    /// any job).
+    fn push(&self, job: Job, scoped: bool) {
+        if scoped {
+            self.scoped.push(job);
+        } else {
+            self.spawned.push(job);
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        let _guard = self.idle_lock.lock().expect("pool idle lock");
+        self.idle_cv.notify_one();
+    }
+
+    /// Dequeues one job according to `take`, preferring `home`'s queues.
+    fn pop(&self, home: usize, take: Take) -> Option<Job> {
+        let job = self.scoped.pop(home).or_else(|| match take {
+            Take::Anything => self.spawned.pop(home),
+            Take::ScopedOnly => None,
+        });
+        if job.is_some() {
+            self.pending.fetch_sub(1, Ordering::Release);
+        }
+        job
+    }
+}
+
+/// Body of one worker thread: pop-or-steal until the pool closes and the
+/// queues are drained.
+fn worker_loop(shared: Arc<Shared>, home: usize) {
+    loop {
+        if let Some(job) = shared.pop(home, Take::Anything) {
+            // A panicking job must not kill the worker: scoped tasks
+            // re-raise on the caller via their latch guard, spawned jobs
+            // just drop their reply channel.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            continue;
+        }
+        if !shared.open.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.idle_lock.lock().expect("pool idle lock");
+        if shared.pending.load(Ordering::Acquire) > 0 || !shared.open.load(Ordering::Acquire) {
+            continue; // something arrived between the scan and the lock
+        }
+        let _ = shared
+            .idle_cv
+            .wait_timeout(guard, Duration::from_millis(100))
+            .expect("pool idle wait");
+    }
+}
+
 /// Counts outstanding tasks of one scoped [`Pool::run`] call; the caller
-/// blocks on it (helping drain the queue, see [`Pool::wait_on`]) so
+/// blocks on it (helping drain the queues, see `Pool::wait_on`) so
 /// borrowed task state cannot outlive the call.
 struct Latch {
     remaining: Mutex<usize>,
@@ -116,11 +268,10 @@ impl Drop for CountDownGuard<'_> {
 /// thread (see the [module docs](self)).
 ///
 /// Cheap to share (`Arc`); the process-wide instance is [`Pool::global`].
-/// Dropping a pool closes its job channel and joins every worker.
+/// Dropping a pool closes the queues and joins every worker.
 pub struct Pool {
     threads: usize,
-    sender: Option<mpsc::Sender<Job>>,
-    receiver: Option<Arc<Mutex<mpsc::Receiver<Job>>>>,
+    shared: Option<Arc<Shared>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -142,45 +293,30 @@ impl Pool {
         if threads == 1 {
             return Pool {
                 threads,
-                sender: None,
-                receiver: None,
+                shared: None,
                 workers: Vec::new(),
             };
         }
-        let (sender, receiver) = mpsc::channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (1..threads)
+        let shared = Arc::new(Shared {
+            scoped: QueueClass::new(threads - 1),
+            spawned: QueueClass::new(threads - 1),
+            pending: AtomicUsize::new(0),
+            open: AtomicBool::new(true),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..threads - 1)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
                 thread::Builder::new()
-                    .name(format!("deepseq-pool-{i}"))
-                    .spawn(move || {
-                        loop {
-                            // Hold the receiver lock only for the dequeue so
-                            // workers drain the queue concurrently.
-                            let job = match receiver.lock() {
-                                Ok(rx) => rx.recv(),
-                                Err(_) => break,
-                            };
-                            match job {
-                                // A panicking job must not kill the worker:
-                                // scoped tasks re-raise on the caller via
-                                // their latch guard, spawned jobs just drop
-                                // their reply channel.
-                                Ok(job) => {
-                                    let _ = catch_unwind(AssertUnwindSafe(job));
-                                }
-                                Err(_) => break, // pool dropped
-                            }
-                        }
-                    })
+                    .name(format!("deepseq-pool-{}", i + 1))
+                    .spawn(move || worker_loop(shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
         Pool {
             threads,
-            sender: Some(sender),
-            receiver: Some(receiver),
+            shared: Some(shared),
             workers,
         }
     }
@@ -208,7 +344,8 @@ impl Pool {
     ///
     /// `run` may be called from inside a pool task (a request job fanning
     /// its levels out, a level chunk fanning a GEMM out): while waiting for
-    /// its own tasks, the caller **helps drain the shared queue**, so
+    /// its own tasks, the caller **steals queued scoped tasks and runs
+    /// them** (never [`Pool::spawn`] jobs, which may block on I/O), so
     /// nested fan-out always makes progress even with every worker
     /// occupied, and idle workers pick nested tasks up for real
     /// parallelism.
@@ -220,14 +357,14 @@ impl Pool {
         if tasks.is_empty() {
             return;
         }
-        let inline = self.threads == 1 || tasks.len() == 1 || self.sender.is_none();
+        let inline = self.threads == 1 || tasks.len() == 1 || self.shared.is_none();
         if inline {
             for task in tasks {
                 task();
             }
             return;
         }
-        let sender = self.sender.as_ref().expect("checked above");
+        let shared = self.shared.as_ref().expect("checked above");
         let latch = Arc::new(Latch::new(tasks.len() - 1));
         let panicked = Arc::new(AtomicBool::new(false));
         let mut tasks = tasks.into_iter();
@@ -237,13 +374,13 @@ impl Pool {
             // before `run` returns — the `WaitGuard` below waits even while
             // unwinding — so the `'scope` borrows inside `task` are live for
             // as long as any worker can touch them. Erasing the lifetime is
-            // what lets a *persistent* pool (whose channel type must be
-            // `'static`) execute borrowed work.
+            // what lets a *persistent* pool (whose queues hold `'static`
+            // jobs) execute borrowed work.
             let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
             let latch = Arc::clone(&latch);
             let panicked = Arc::clone(&panicked);
-            sender
-                .send(Box::new(move || {
+            shared.push(
+                Box::new(move || {
                     let mut guard = CountDownGuard {
                         latch: &latch,
                         panicked: &panicked,
@@ -251,8 +388,9 @@ impl Pool {
                     };
                     task();
                     guard.completed = true;
-                }))
-                .expect("pool workers outlive the sender");
+                }),
+                true,
+            );
         }
         {
             // Block until the queued tasks drain, even if `first` panics.
@@ -276,51 +414,34 @@ impl Pool {
         }
     }
 
-    /// Blocks until `latch` reaches zero, executing queued jobs while
-    /// waiting. The helping is what makes nested `run` calls deadlock-free:
-    /// a task blocked on its sub-tasks drains the very queue those
-    /// sub-tasks sit in, so some thread always makes progress no matter how
-    /// many workers are themselves blocked in nested waits.
+    /// Blocks until `latch` reaches zero, stealing and executing queued
+    /// jobs while waiting. The helping is what makes nested `run` calls
+    /// deadlock-free: a task blocked on its sub-tasks drains the very
+    /// queues those sub-tasks sit in, so some thread always makes progress
+    /// no matter how many workers are themselves blocked in nested waits.
     fn wait_on(&self, latch: &Latch) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
         loop {
             if latch.is_done() {
                 return;
             }
-            if self.try_run_one() {
+            if let Some(job) = shared.pop(0, Take::ScopedOnly) {
+                let _ = catch_unwind(AssertUnwindSafe(job));
                 continue;
             }
-            // Queue looked empty (or an idle worker holds the receiver and
-            // will take the next job itself): sleep briefly on the latch.
-            // The timeout re-polls the queue, since new jobs don't signal
-            // this condvar.
+            // Queues looked empty: sleep briefly on the latch. The timeout
+            // re-polls the queues, since new jobs don't signal this condvar.
             let guard = latch.remaining.lock().expect("latch lock");
             if *guard == 0 {
                 return;
             }
             let _ = latch
                 .done
-                .wait_timeout(guard, std::time::Duration::from_micros(500))
+                .wait_timeout(guard, Duration::from_micros(500))
                 .expect("latch wait");
         }
-    }
-
-    /// Executes one queued job on the calling thread, if one is ready.
-    /// Returns false when the queue is empty or the receiver is busy (an
-    /// idle worker blocked in `recv` holds it — and will take the next job
-    /// itself).
-    fn try_run_one(&self) -> bool {
-        let Some(receiver) = &self.receiver else {
-            return false;
-        };
-        let job = match receiver.try_lock() {
-            Ok(rx) => match rx.try_recv() {
-                Ok(job) => job,
-                Err(_) => return false,
-            },
-            Err(_) => return false,
-        };
-        let _ = catch_unwind(AssertUnwindSafe(job));
-        true
     }
 
     /// Enqueues a `'static` job for a worker (fire and forget). On a
@@ -328,10 +449,8 @@ impl Pool {
     /// the job is swallowed (the worker survives); jobs that must report
     /// completion should do so through a channel they own.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
-        match &self.sender {
-            Some(sender) => sender
-                .send(Box::new(job))
-                .expect("pool workers outlive the sender"),
+        match &self.shared {
+            Some(shared) => shared.push(Box::new(job), false),
             None => job(),
         }
     }
@@ -391,15 +510,22 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        // Closing the channel ends every worker's recv loop.
-        drop(self.sender.take());
+        let Some(shared) = self.shared.take() else {
+            return;
+        };
+        // Closing the pool ends every worker's loop once the queues drain.
+        shared.open.store(false, Ordering::Release);
+        {
+            let _guard = shared.idle_lock.lock().expect("pool idle lock");
+            shared.idle_cv.notify_all();
+        }
         let me = thread::current().id();
         for handle in self.workers.drain(..) {
             if handle.thread().id() == me {
                 // The last `Arc<Pool>` can be released from inside a worker
                 // (a spawned job outliving its engine): joining ourselves
                 // would deadlock. Detach instead — this worker's loop exits
-                // on the closed channel right after the job returns.
+                // on the closed pool right after the job returns.
                 continue;
             }
             let _ = handle.join();
@@ -458,18 +584,19 @@ pub fn chunk_ranges_or_whole(
 }
 
 /// The thread count named by `DEEPSEQ_THREADS`, or available parallelism.
-/// Warns once to stderr (via the `OnceLock` in [`Pool::global`]) when the
-/// variable is set to something that is not a positive integer.
+/// Warns once (via the `OnceLock` in [`Pool::global`]) through the
+/// [`config`](crate::config) registry when the variable is set to
+/// something that is not a positive integer.
 fn configured_threads() -> usize {
     let default = || thread::available_parallelism().map_or(1, |n| n.get());
     match std::env::var(THREADS_ENV) {
         Ok(value) => match value.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n.min(MAX_THREADS),
             _ => {
-                eprintln!(
-                    "warning: {THREADS_ENV}={value:?} is not a positive thread count; \
+                crate::config::report_warning(format!(
+                    "{THREADS_ENV}={value:?} is not a positive thread count; \
                      using available parallelism"
-                );
+                ));
                 default()
             }
         },
@@ -480,7 +607,7 @@ fn configured_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
 
     fn boxed<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
         Box::new(f)
@@ -544,8 +671,8 @@ mod tests {
     #[test]
     fn nested_runs_from_saturating_spawned_jobs_make_progress() {
         // More blocking jobs than workers, each fanning out a nested run:
-        // without help-while-waiting this deadlocks (every worker blocked
-        // on sub-tasks that sit behind other jobs in the queue).
+        // without steal-while-waiting this deadlocks (every worker blocked
+        // on sub-tasks that sit behind other jobs in the queues).
         let pool = Arc::new(Pool::new(2)); // one worker
         let (tx, rx) = mpsc::channel();
         for _ in 0..4 {
@@ -586,6 +713,71 @@ mod tests {
         let mut got: Vec<i32> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_are_stolen_across_worker_queues() {
+        // 2 workers, one of them wedged on a long job: every other job —
+        // including those round-robined onto the wedged worker's queue —
+        // must still complete promptly via stealing.
+        let pool = Pool::new(3);
+        let (wedge_tx, wedge_rx) = mpsc::channel::<()>();
+        pool.spawn(move || {
+            // Hold one worker until the test observed the others finish.
+            let _ = wedge_rx.recv_timeout(std::time::Duration::from_secs(10));
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).expect("receiver lives"));
+        }
+        drop(tx);
+        let mut got: Vec<i32> = Vec::new();
+        for _ in 0..16 {
+            got.push(
+                rx.recv_timeout(std::time::Duration::from_secs(10))
+                    .expect("stolen jobs complete while a worker is wedged"),
+            );
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        wedge_tx.send(()).expect("wedged worker still waiting");
+    }
+
+    #[test]
+    fn blocked_run_callers_never_execute_spawned_jobs() {
+        // One worker, wedged. A spawned job and a scoped `run` are both
+        // queued: the run caller must finish its own scoped tasks without
+        // ever picking up the (potentially blocking) spawned job.
+        let pool = Pool::new(2);
+        let (wedge_tx, wedge_rx) = mpsc::channel::<()>();
+        pool.spawn(move || {
+            let _ = wedge_rx.recv_timeout(std::time::Duration::from_secs(10));
+        });
+        // Give the worker a moment to take the wedge job off its queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let spawned_ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&spawned_ran);
+        pool.spawn(move || flag.store(true, Ordering::Release));
+        let counter = AtomicUsize::new(0);
+        pool.run(
+            (0..6)
+                .map(|_| {
+                    boxed(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+        // The only thread allowed to run the spawned job is still wedged.
+        assert!(!spawned_ran.load(Ordering::Acquire));
+        wedge_tx.send(()).expect("wedged worker still waiting");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !spawned_ran.load(Ordering::Acquire) {
+            assert!(std::time::Instant::now() < deadline, "spawned job ran");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! `deepseq-load` — a std-only load client for the `deepseq-serve` HTTP
+//! endpoint.
+//!
+//! ```text
+//! deepseq-load --addr 127.0.0.1:8184 [--requests 64] [--concurrency 16]
+//!              [--distinct 8] [--drain]
+//! ```
+//!
+//! Fires `--requests` embed requests at the server from `--concurrency`
+//! client threads, cycling through `--distinct` generated circuits (so the
+//! run exercises both the cache-miss and cache-hit paths), then scrapes
+//! `/metrics` and verifies the `deepseq_cache_hit_ratio` gauge parses as a
+//! float. Exits nonzero if any request fails, any response is non-2xx, or
+//! the metrics contract is violated — CI's `serve-e2e` job is built on
+//! exactly that exit code. `--drain` finally POSTs `/admin/drain` so a
+//! scripted server process shuts down cleanly.
+//!
+//! Every request is plain HTTP/1.1 over one fresh `TcpStream` with
+//! `Connection: close` — no keep-alive pooling, by design: N requests
+//! probe N separate accept/handle cycles.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deepseq_netlist::{write_aiger, SeqAig};
+
+const USAGE: &str = "deepseq-load — std-only load client for deepseq-serve
+
+USAGE:
+    deepseq-load --addr <HOST:PORT> [OPTIONS]
+
+OPTIONS:
+    --requests <N>     total embed requests to fire (default 64)
+    --concurrency <C>  client threads firing them (default 16)
+    --distinct <D>     distinct circuits to cycle through (default 8;
+                       repeats exercise the server-side embedding cache)
+    --drain            POST /admin/drain after the run
+";
+
+struct Args {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    distinct: usize,
+    drain: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        addr: String::new(),
+        requests: 64,
+        concurrency: 16,
+        distinct: 8,
+        drain: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => out.addr = value("--addr")?.clone(),
+            "--requests" => out.requests = parse_num(value("--requests")?, "--requests")?.max(1),
+            "--concurrency" => {
+                out.concurrency = parse_num(value("--concurrency")?, "--concurrency")?.max(1)
+            }
+            "--distinct" => out.distinct = parse_num(value("--distinct")?, "--distinct")?.max(1),
+            "--drain" => out.drain = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    if out.addr.is_empty() {
+        return Err(format!("--addr is required\n\n{USAGE}"));
+    }
+    Ok(out)
+}
+
+fn parse_num(s: &str, name: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{name} needs an integer"))
+}
+
+/// A parsed HTTP response: status code and body.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+/// One HTTP/1.1 exchange over a fresh connection (`Connection: close`,
+/// body read to EOF).
+fn exchange(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send {path}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut status_line = text.lines().next().unwrap_or_default().split(' ');
+    let status: u16 = status_line
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or(format!("malformed response to {path}: {text:.120}"))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(at) => text[at + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok(Response { status, body })
+}
+
+/// Generates the `index`-th distinct workload circuit: a `3 + index`-bit
+/// ripple counter with an enable PI — sequential depth, a few ANDs, and a
+/// different structural hash per index.
+fn counter_circuit(index: usize) -> String {
+    let bits = 3 + index;
+    let mut aig = SeqAig::new(format!("counter{bits}"));
+    let enable = aig.add_pi("enable");
+    let ffs: Vec<_> = (0..bits)
+        .map(|b| aig.add_ff(format!("q{b}"), b % 2 == 0))
+        .collect();
+    let mut carry = enable;
+    for (b, &ff) in ffs.iter().enumerate() {
+        // next = q XOR carry; carry = q AND carry.
+        let nq = aig.add_not(ff);
+        let ncarry = aig.add_not(carry);
+        let l = aig.add_and(ff, ncarry);
+        let r = aig.add_and(nq, carry);
+        let nl = aig.add_not(l);
+        let nr = aig.add_not(r);
+        let nxor = aig.add_and(nl, nr);
+        let next = aig.add_not(nxor);
+        let new_carry = aig.add_and(ff, carry);
+        aig.connect_ff(ff, next).expect("ff wiring");
+        aig.set_output(ff, format!("count{b}"));
+        carry = new_carry;
+    }
+    write_aiger(&aig)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let circuits: Arc<Vec<String>> = Arc::new((0..args.distinct).map(counter_circuit).collect());
+
+    // Fire the embed load: a shared ticket counter fans args.requests
+    // requests out over args.concurrency threads.
+    let next = Arc::new(AtomicUsize::new(0));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..args.concurrency)
+        .map(|_| {
+            let addr = args.addr.clone();
+            let circuits = Arc::clone(&circuits);
+            let next = Arc::clone(&next);
+            let failures = Arc::clone(&failures);
+            let total = args.requests;
+            std::thread::spawn(move || loop {
+                let ticket = next.fetch_add(1, Ordering::Relaxed);
+                if ticket >= total {
+                    return;
+                }
+                let circuit = &circuits[ticket % circuits.len()];
+                let path = format!("/v1/embed?id={ticket}&summary=1");
+                match exchange(&addr, "POST", &path, circuit.as_bytes()) {
+                    Ok(response) if (200..300).contains(&response.status) => {}
+                    Ok(response) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "request {ticket}: status {} body {:.200}",
+                            response.status, response.body
+                        );
+                    }
+                    Err(e) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("request {ticket}: {e}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().map_err(|_| "client thread panicked")?;
+    }
+    let elapsed = started.elapsed();
+    let failed = failures.load(Ordering::Relaxed);
+    println!(
+        "{} requests in {:.3}s ({:.1} req/s), {} failed",
+        args.requests,
+        elapsed.as_secs_f64(),
+        args.requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        failed
+    );
+    if failed > 0 {
+        return Err(format!("{failed} of {} requests failed", args.requests));
+    }
+
+    // Scrape /metrics and hold the server to its contract: the cache
+    // hit-rate gauge must be present and parse as a float.
+    let metrics = exchange(&args.addr, "GET", "/metrics", b"")?;
+    if metrics.status != 200 {
+        return Err(format!("/metrics answered {}", metrics.status));
+    }
+    let hit_ratio: f64 = metrics
+        .body
+        .lines()
+        .find_map(|line| line.strip_prefix("deepseq_cache_hit_ratio "))
+        .ok_or("deepseq_cache_hit_ratio missing from /metrics")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("deepseq_cache_hit_ratio does not parse as f64: {e}"))?;
+    println!("cache hit ratio: {hit_ratio:.3}");
+
+    if args.drain {
+        let drain = exchange(&args.addr, "POST", "/admin/drain", b"")?;
+        if drain.status != 200 {
+            return Err(format!("/admin/drain answered {}", drain.status));
+        }
+        println!("drain requested");
+    }
+    Ok(())
+}

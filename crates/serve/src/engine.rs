@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use deepseq_core::encoding::initial_states;
 use deepseq_core::CircuitGraph;
@@ -129,8 +130,16 @@ pub struct Engine {
     pool: Arc<Pool>,
     workspaces: Arc<Mutex<Vec<Workspace>>>,
     served: Arc<AtomicU64>,
+    hook: Arc<Mutex<Option<ServedHook>>>,
     max_concurrent: usize,
 }
+
+/// Observer invoked after every processed request (both the [`Engine::submit`]
+/// and [`Engine::serve_batch`] paths) with the response and the engine-side
+/// processing time — validation, cache lookup, and forward pass; queueing
+/// ahead of processing is excluded. The HTTP serving edge installs one to
+/// feed its `/metrics` latency histograms.
+pub type ServedHook = Arc<dyn Fn(&ServeResponse, Duration) + Send + Sync>;
 
 impl Engine {
     /// An engine around a frozen model, on the process-wide
@@ -148,8 +157,16 @@ impl Engine {
             pool,
             workspaces: Arc::new(Mutex::new(Vec::new())),
             served: Arc::new(AtomicU64::new(0)),
+            hook: Arc::new(Mutex::new(None)),
             max_concurrent: options.workers.max(1),
         }
+    }
+
+    /// Installs (or replaces) the served-request observer. Pass the hook
+    /// wrapped in an `Arc` so the engine can share it with in-flight
+    /// request tasks.
+    pub fn set_served_hook(&self, hook: ServedHook) {
+        *self.hook.lock().expect("hook lock") = Some(hook);
     }
 
     /// Enqueues one request onto the shared pool; the response arrives on
@@ -162,9 +179,10 @@ impl Engine {
         let workspaces = Arc::clone(&self.workspaces);
         let served = Arc::clone(&self.served);
         let pool = Arc::clone(&self.pool);
+        let hook = self.hook.lock().expect("hook lock").clone();
         self.pool.spawn(move || {
             let mut ws = checkout(&workspaces, &pool);
-            let response = process(&model, &cache, request, &mut ws);
+            let response = process(&model, &cache, request, &mut ws, &hook);
             served.fetch_add(1, Ordering::Relaxed);
             // A dropped reply receiver just means the caller lost interest.
             let _ = reply.send(response);
@@ -188,6 +206,7 @@ impl Engine {
         let queue: Mutex<VecDeque<(usize, ServeRequest)>> =
             Mutex::new(requests.into_iter().enumerate().collect());
         let (reply, responses) = mpsc::channel::<(usize, ServeResponse)>();
+        let hook = self.hook.lock().expect("hook lock").clone();
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..task_count)
             .map(|_| {
                 let queue = &queue;
@@ -197,12 +216,13 @@ impl Engine {
                 let served = &self.served;
                 let workspaces = &self.workspaces;
                 let pool = &self.pool;
+                let hook = &hook;
                 Box::new(move || {
                     let mut ws = checkout(workspaces, pool);
                     loop {
                         let next = queue.lock().expect("request queue").pop_front();
                         let Some((index, request)) = next else { break };
-                        let response = process(model, cache, request, &mut ws);
+                        let response = process(model, cache, request, &mut ws, hook);
                         served.fetch_add(1, Ordering::Relaxed);
                         reply
                             .send((index, response))
@@ -256,11 +276,17 @@ fn process(
     cache: &Mutex<EmbeddingCache>,
     request: ServeRequest,
     ws: &mut Workspace,
+    hook: &Option<ServedHook>,
 ) -> ServeResponse {
     let design = request.aig.name().to_string();
     let id = request.id;
+    let start = Instant::now();
     let result = serve_one(model, cache, request, ws);
-    ServeResponse { id, design, result }
+    let response = ServeResponse { id, design, result };
+    if let Some(hook) = hook {
+        hook(&response, start.elapsed());
+    }
+    response
 }
 
 fn serve_one(
@@ -436,6 +462,28 @@ mod tests {
             assert!(response.result.is_ok());
             assert_eq!(engine.requests_served(), 1);
         }
+    }
+
+    #[test]
+    fn served_hook_observes_batch_and_submit_paths() {
+        let engine = engine(2);
+        let seen = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&seen);
+        engine.set_served_hook(Arc::new(move |response, latency| {
+            assert!(response.result.is_ok());
+            assert!(latency <= Duration::from_secs(60));
+            counter.fetch_add(1, Ordering::Relaxed);
+        }));
+        let make = |id| ServeRequest {
+            id,
+            aig: toggle("t"),
+            workload: Workload::uniform(0, 0.5),
+            init_seed: 0,
+        };
+        engine.serve_batch((0..5).map(make).collect());
+        let rx = engine.submit(make(9));
+        rx.recv().expect("response arrives");
+        assert_eq!(seen.load(Ordering::Relaxed), 6);
     }
 
     #[test]

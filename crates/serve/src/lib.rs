@@ -33,8 +33,13 @@
 //! * [`Engine`] — batches independent requests across the **same shared
 //!   pool** the level parallelism runs on (one pool for the whole process,
 //!   not one thread set per engine), one workspace per concurrent task;
+//! * [`HttpServer`] — a **std-only HTTP/1.1 front door** for the engine
+//!   (`POST /v1/embed`, `/healthz`, `/metrics`, graceful drain), with
+//!   bounded admission (429 on overflow) and per-request deadlines (504
+//!   on expiry). See `docs/SERVING.md` for the wire protocol;
 //! * the `deepseq-serve` **CLI** — AIGER / `.bench` circuits in, JSON
-//!   predictions out, plus a text↔binary checkpoint converter.
+//!   predictions out, a text↔binary checkpoint converter, and a `serve`
+//!   mode that runs the HTTP server.
 //!
 //! # Example
 //!
@@ -67,8 +72,11 @@
 
 pub mod cache;
 pub mod engine;
+pub mod http;
 pub mod infer;
 pub mod json;
+pub mod metrics;
+pub mod server;
 
 use std::error::Error;
 use std::fmt;
@@ -78,7 +86,10 @@ use deepseq_nn::ParamsError;
 
 pub use cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
 pub use engine::{Engine, EngineOptions, ServeRequest, ServeResponse, ServedInference};
+pub use http::{HttpLimits, HttpRequest, HttpResponse};
 pub use infer::{InferenceModel, InferenceOutput, Workspace};
+pub use metrics::Metrics;
+pub use server::{DrainReport, HttpServer, ServerOptions};
 
 /// Errors of the serving subsystem.
 #[derive(Debug, Clone, PartialEq)]

@@ -2,29 +2,36 @@
 //!
 //! ```text
 //! deepseq-serve predict [options] <circuit files...>
+//! deepseq-serve serve [options]
 //! deepseq-serve convert <input> <output>
 //! deepseq-serve help
 //! ```
 //!
 //! `predict` loads circuits (`.aag` ASCII AIGER or `.bench` ISCAS'89,
 //! lowered to AIGs), runs them through the batched inference engine and
-//! prints one JSON object per circuit to stdout. `convert` converts a model
+//! prints one JSON object per circuit to stdout. `serve` puts the same
+//! engine behind an HTTP/1.1 endpoint (`POST /v1/embed`, `/healthz`,
+//! `/metrics`; see `docs/SERVING.md`). `convert` converts a model
 //! checkpoint between the text and binary formats (direction autodetected
 //! from the input's magic).
 
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use deepseq_core::{DeepSeq, DeepSeqConfig};
 use deepseq_netlist::{lower_to_aig, parse_aiger, SeqAig};
 use deepseq_serve::json::response_to_json;
-use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest};
+use deepseq_serve::{
+    Engine, EngineOptions, HttpServer, InferenceModel, ServeRequest, ServerOptions,
+};
 use deepseq_sim::Workload;
 
 const USAGE: &str = "deepseq-serve — batched tape-free DeepSeq inference
 
 USAGE:
     deepseq-serve predict [OPTIONS] <FILES...>
+    deepseq-serve serve [OPTIONS]
     deepseq-serve convert <INPUT> <OUTPUT>
     deepseq-serve help
 
@@ -43,6 +50,21 @@ predict options:
                          the cache-hit path)
     --summary            emit mean predictions instead of full matrices
     --stats              print engine/cache statistics to stderr
+
+serve options:
+    --addr <HOST:PORT>   bind address (default 127.0.0.1:0; the chosen
+                         address is printed to stdout as `listening <addr>`)
+    --checkpoint <FILE>  model checkpoint (as for predict); without it a
+                         freshly seeded model is used
+    --hidden <D>         hidden dim for the fresh model (default 32)
+    --iters <T>          propagation iterations for the fresh model (default 4)
+    --workers <N>        max requests processed concurrently (default: pool size)
+    --cache <N>          embedding-cache capacity (default 256)
+    --max-inflight <N>   admission: concurrent embed requests (default: pool size)
+    --max-queue <N>      admission: waiting embed requests before 429 (default 64)
+    --deadline-ms <MS>   per-request deadline, 504 on expiry (default 30000)
+    The server runs until `POST /admin/drain` arrives, then drains
+    gracefully: in-flight requests finish, no new connections are accepted.
 
 convert:
     text checkpoints (`deepseq-model v1` header) become binary (`DSQM`),
@@ -63,6 +85,7 @@ fn main() -> ExitCode {
     };
     let result = match command {
         "predict" => predict(rest),
+        "serve" => serve(rest),
         "convert" => convert(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -202,6 +225,100 @@ fn predict(args: &[String]) -> Result<(), String> {
             100.0 * s.hit_ratio()
         );
     }
+    Ok(())
+}
+
+struct ServeArgs {
+    addr: String,
+    checkpoint: Option<String>,
+    hidden: usize,
+    iters: usize,
+    workers: Option<usize>,
+    cache: usize,
+    max_inflight: usize,
+    max_queue: usize,
+    deadline_ms: u64,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let defaults = ServerOptions::default();
+    let mut out = ServeArgs {
+        addr: defaults.addr,
+        checkpoint: None,
+        hidden: 32,
+        iters: 4,
+        workers: None,
+        cache: 256,
+        max_inflight: defaults.max_inflight,
+        max_queue: defaults.max_queue,
+        deadline_ms: defaults.deadline.as_millis() as u64,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => out.addr = value("--addr")?.clone(),
+            "--checkpoint" => out.checkpoint = Some(value("--checkpoint")?.clone()),
+            "--hidden" => out.hidden = parse_num(value("--hidden")?, "--hidden")?,
+            "--iters" => out.iters = parse_num(value("--iters")?, "--iters")?,
+            "--workers" => out.workers = Some(parse_num(value("--workers")?, "--workers")?),
+            "--cache" => out.cache = parse_num(value("--cache")?, "--cache")?,
+            "--max-inflight" => {
+                out.max_inflight = parse_num(value("--max-inflight")?, "--max-inflight")?
+            }
+            "--max-queue" => out.max_queue = parse_num(value("--max-queue")?, "--max-queue")?,
+            "--deadline-ms" => {
+                out.deadline_ms = parse_num(value("--deadline-ms")?, "--deadline-ms")? as u64
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let args = parse_serve_args(args)?;
+    let model = match &args.checkpoint {
+        Some(path) => load_checkpoint(path)?,
+        None => {
+            let config = DeepSeqConfig {
+                hidden_dim: args.hidden,
+                iterations: args.iters,
+                ..DeepSeqConfig::default()
+            };
+            InferenceModel::from_model(&DeepSeq::new(config))
+                .map_err(|e| format!("freezing fresh model: {e}"))?
+        }
+    };
+    let engine = Engine::new(
+        model,
+        EngineOptions {
+            workers: args.workers.unwrap_or(EngineOptions::default().workers),
+            cache_capacity: args.cache,
+        },
+    );
+    let server = HttpServer::bind(
+        engine,
+        ServerOptions {
+            addr: args.addr,
+            max_inflight: args.max_inflight,
+            max_queue: args.max_queue,
+            deadline: Duration::from_millis(args.deadline_ms),
+            ..ServerOptions::default()
+        },
+    )
+    .map_err(|e| format!("binding server: {e}"))?;
+    // Stdout contract: exactly this line, so scripts can scrape the port.
+    println!("listening {}", server.local_addr());
+    server.wait_for_drain_request();
+    eprintln!("drain requested; finishing in-flight requests");
+    let report = server.shutdown();
+    eprintln!(
+        "drained: {} requests served, {} connections abandoned",
+        report.requests_served, report.connections_abandoned
+    );
     Ok(())
 }
 

@@ -1,0 +1,785 @@
+//! The HTTP/1.1 network front door of the serving engine.
+//!
+//! [`HttpServer::bind`] puts an [`Engine`] behind a `std::net::TcpListener`:
+//! a dedicated accept thread hands each connection to the engine's shared
+//! worker [`Pool`](deepseq_nn::Pool) (via `Pool::spawn`; on a 1-thread
+//! pool, which has no workers, connections fall back to one thread each so
+//! the accept loop never blocks behind a request). Connection handlers
+//! speak the small HTTP slice of [`http`](crate::http), route to the
+//! endpoints below, and record everything in a shared
+//! [`Metrics`] registry.
+//!
+//! # Endpoints
+//!
+//! | Method + path | Purpose |
+//! |---|---|
+//! | `POST /v1/embed` | circuit text in (AIGER/`.bench`), prediction JSON out |
+//! | `GET /healthz` | liveness + drain state |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `POST /admin/drain` | request graceful drain (loopback deployments) |
+//!
+//! # Admission, backpressure, deadlines
+//!
+//! Embed requests pass a bounded admission gate before touching the
+//! engine: at most `max_inflight` compute concurrently, at most
+//! `max_queue` wait behind them. Overflow is answered `429` immediately —
+//! the queue never grows without bound — and a request whose deadline
+//! expires while it waits (or computes) is answered `504`. The gate is
+//! what turns "millions of users" worth of open sockets into a bounded
+//! amount of queued compute.
+//!
+//! # Graceful drain
+//!
+//! [`HttpServer::shutdown`] (or `POST /admin/drain`, or
+//! [`HttpServer::request_drain`]) stops the accept loop, lets every
+//! admitted request finish, answers `503` to requests arriving on
+//! already-open connections, and closes those connections as they go
+//! idle. `shutdown` returns once every connection closed (or the
+//! `drain_grace` cap expired). In-flight work is never dropped — the
+//! drain property test in `crates/serve/tests/http_drain.rs` holds the
+//! server to exactly that.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use deepseq_netlist::{lower_to_aig, parse_aiger, SeqAig};
+use deepseq_sim::Workload;
+
+use crate::engine::{Engine, ServeRequest};
+use crate::http::{read_request, write_response, HttpError, HttpLimits, HttpRequest, HttpResponse};
+use crate::json::response_to_json;
+use crate::metrics::Metrics;
+
+/// Sizing and policy knobs of an [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Embed requests processed concurrently. `0` sizes from the engine's
+    /// pool thread count.
+    pub max_inflight: usize,
+    /// Embed requests allowed to wait behind the in-flight ones before
+    /// newcomers get `429`.
+    pub max_queue: usize,
+    /// Per-request deadline: time from reading the request to finishing
+    /// compute. Expiry answers `504`. Requests may tighten (never extend)
+    /// it with `?deadline_ms=`.
+    pub deadline: Duration,
+    /// Head/body size caps of the HTTP reader.
+    pub limits: HttpLimits,
+    /// Idle time after which a keep-alive connection is closed. Also
+    /// bounds how long a drain waits on idle connections.
+    pub idle_keepalive: Duration,
+    /// Hard cap on how long [`HttpServer::shutdown`] waits for open
+    /// connections after the admitted requests finished.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 0,
+            max_queue: 64,
+            deadline: Duration::from_secs(30),
+            limits: HttpLimits::default(),
+            idle_keepalive: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of a graceful drain.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Requests the engine served over the server's lifetime.
+    pub requests_served: u64,
+    /// Connections still open when `drain_grace` expired (0 on a clean
+    /// drain).
+    pub connections_abandoned: u64,
+}
+
+/// Admission gate state: how many embed requests hold a compute slot and
+/// how many wait for one.
+struct AdmissionState {
+    in_flight: usize,
+    queued: usize,
+}
+
+/// Bounded admission for embed requests (see the [module docs](self)).
+struct Admission {
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+}
+
+/// Outcome of one admission attempt.
+enum Admit {
+    /// A compute slot is held; release it with [`Admission::release`].
+    Go,
+    /// The wait queue is full — answer `429`.
+    QueueFull,
+    /// The deadline expired while waiting — answer `504`.
+    DeadlineExpired,
+}
+
+impl Admission {
+    fn new() -> Admission {
+        Admission {
+            state: Mutex::new(AdmissionState {
+                in_flight: 0,
+                queued: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Tries to take a compute slot, waiting (bounded by `max_queue` and
+    /// `deadline`) when all slots are busy. Mirrors the gate state into
+    /// the `queue_depth` / `in_flight` gauges.
+    fn acquire(
+        &self,
+        max_inflight: usize,
+        max_queue: usize,
+        deadline: Instant,
+        metrics: &Metrics,
+    ) -> Admit {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.in_flight < max_inflight && state.queued == 0 {
+            state.in_flight += 1;
+            metrics
+                .in_flight
+                .store(state.in_flight as u64, Ordering::Relaxed);
+            return Admit::Go;
+        }
+        if state.queued >= max_queue {
+            return Admit::QueueFull;
+        }
+        state.queued += 1;
+        metrics
+            .queue_depth
+            .store(state.queued as u64, Ordering::Relaxed);
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                state.queued -= 1;
+                metrics
+                    .queue_depth
+                    .store(state.queued as u64, Ordering::Relaxed);
+                return Admit::DeadlineExpired;
+            }
+            let (next, _timeout) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .expect("admission wait");
+            state = next;
+            if state.in_flight < max_inflight {
+                state.queued -= 1;
+                state.in_flight += 1;
+                metrics
+                    .queue_depth
+                    .store(state.queued as u64, Ordering::Relaxed);
+                metrics
+                    .in_flight
+                    .store(state.in_flight as u64, Ordering::Relaxed);
+                return Admit::Go;
+            }
+        }
+    }
+
+    /// Returns a compute slot and wakes one waiter.
+    fn release(&self, metrics: &Metrics) {
+        let mut state = self.state.lock().expect("admission lock");
+        state.in_flight -= 1;
+        metrics
+            .in_flight
+            .store(state.in_flight as u64, Ordering::Relaxed);
+        self.freed.notify_one();
+    }
+
+    /// True when no request holds or waits for a slot.
+    fn is_empty(&self) -> bool {
+        let state = self.state.lock().expect("admission lock");
+        state.in_flight == 0 && state.queued == 0
+    }
+}
+
+/// State shared between the accept thread, every connection handler, and
+/// the [`HttpServer`] handle.
+struct ServerShared {
+    engine: Engine,
+    metrics: Arc<Metrics>,
+    options: ServerOptions,
+    max_inflight: usize,
+    admission: Admission,
+    draining: AtomicBool,
+    /// Signalled when a drain is requested (admin endpoint or handle) and
+    /// when a connection closes (so `shutdown` can wait for zero).
+    drain_lock: Mutex<()>,
+    drain_cv: Condvar,
+    started: Instant,
+}
+
+impl ServerShared {
+    fn request_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        let _guard = self.drain_lock.lock().expect("drain lock");
+        self.drain_cv.notify_all();
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// Decrements the open-connection gauge and pokes the drain condvar when a
+/// handler exits, however it exits.
+struct ConnectionGuard {
+    shared: Arc<ServerShared>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.shared
+            .metrics
+            .connections_open
+            .fetch_sub(1, Ordering::Relaxed);
+        let _guard = self.shared.drain_lock.lock().expect("drain lock");
+        self.shared.drain_cv.notify_all();
+    }
+}
+
+/// A bound, accepting HTTP server (see the [module docs](self)).
+pub struct HttpServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `options.addr` and starts accepting connections on a
+    /// dedicated thread. The engine's pool runs the connection handlers.
+    pub fn bind(engine: Engine, options: ServerOptions) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(&options.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let max_inflight = if options.max_inflight == 0 {
+            engine.pool().threads().max(1)
+        } else {
+            options.max_inflight
+        };
+        let metrics = Arc::new(Metrics::default());
+        {
+            // Feed the engine-side latency histogram from the engine's own
+            // instrumentation hook, so it covers every path into the
+            // engine, cache hits included.
+            let histogram = Arc::clone(&metrics);
+            engine.set_served_hook(Arc::new(move |_response, latency| {
+                histogram.engine_latency.observe(latency);
+            }));
+        }
+        let shared = Arc::new(ServerShared {
+            engine,
+            metrics,
+            options,
+            max_inflight,
+            admission: Admission::new(),
+            draining: AtomicBool::new(false),
+            drain_lock: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("deepseq-http-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(HttpServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// True once a drain has been requested.
+    pub fn drain_requested(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Requests a drain without blocking (`POST /admin/drain` calls the
+    /// same thing). Follow with [`HttpServer::shutdown`] to wait it out.
+    pub fn request_drain(&self) {
+        self.shared.request_drain();
+    }
+
+    /// Blocks until a drain is requested (by [`HttpServer::request_drain`]
+    /// or the admin endpoint) — the serve-mode main loop parks here.
+    pub fn wait_for_drain_request(&self) {
+        let mut guard = self.shared.drain_lock.lock().expect("drain lock");
+        while !self.shared.is_draining() {
+            guard = self.shared.drain_cv.wait(guard).expect("drain wait");
+        }
+    }
+
+    /// Gracefully drains and shuts down: stops accepting, finishes every
+    /// admitted request, waits for connections to close (bounded by
+    /// `drain_grace`), and joins the accept thread.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.request_drain();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let grace = self.shared.options.drain_grace;
+        let deadline = Instant::now() + grace;
+        {
+            let mut guard = self.shared.drain_lock.lock().expect("drain lock");
+            loop {
+                let drained = self.shared.admission.is_empty()
+                    && self.shared.metrics.connections_open.load(Ordering::Relaxed) == 0;
+                if drained {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, _) = self
+                    .shared
+                    .drain_cv
+                    .wait_timeout(guard, (deadline - now).min(Duration::from_millis(100)))
+                    .expect("drain wait");
+                guard = next;
+            }
+        }
+        DrainReport {
+            requests_served: self.shared.engine.requests_served(),
+            connections_abandoned: self.shared.metrics.connections_open.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Accepts connections until a drain is requested, then drops the
+/// listener (new connects are refused by the OS from that point on).
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        if shared.is_draining() {
+            return; // dropping the listener closes the socket
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared
+                    .metrics
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .connections_open
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let handler = move || handle_connection(stream, conn_shared);
+                // A 1-thread pool has no workers and runs spawned jobs
+                // inline, which would wedge the accept loop behind one
+                // connection — give those connections their own thread.
+                if shared.engine.pool().threads() > 1 {
+                    shared.engine.pool().spawn(handler);
+                } else {
+                    let _ = std::thread::Builder::new()
+                        .name("deepseq-http-conn".to_string())
+                        .spawn(handler);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Serves one connection: keep-alive request loop, routing, error
+/// rendering. Never panics the worker on a bad peer.
+fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
+    let _guard = ConnectionGuard {
+        shared: Arc::clone(&shared),
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.options.idle_keepalive));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let request = match read_request(&mut reader, &mut writer, &shared.options.limits) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(_)) => return, // timeout/reset: nothing to answer
+            Err(HttpError::BadRequest(msg)) => {
+                // Malformed input answers 400 with a JSON error body — the
+                // connection is closed (framing may be lost) but never
+                // dropped without a response.
+                let response = HttpResponse::error(400, &msg).closing();
+                shared.metrics.count_status(400);
+                let _ = write_response(&mut writer, &response);
+                return;
+            }
+            Err(HttpError::NotImplemented(msg)) => {
+                let response = HttpResponse::error(501, &msg).closing();
+                shared.metrics.count_status(501);
+                let _ = write_response(&mut writer, &response);
+                return;
+            }
+        };
+        let mut response = route(&shared, &request);
+        // During a drain, finish the request we already read but close the
+        // connection; new requests belong on a live instance.
+        if request.wants_close() || shared.is_draining() {
+            response.close = true;
+        }
+        shared.metrics.count_status(response.status);
+        if write_response(&mut writer, &response).is_err() || response.close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
+    let metrics = &shared.metrics;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/embed") => {
+            metrics.requests_embed.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
+            let response = embed(shared, request, start);
+            metrics.request_latency.observe(start.elapsed());
+            response
+        }
+        ("GET", "/healthz") => {
+            metrics.requests_healthz.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"draining\":{},\"uptime_ms\":{}}}",
+                    shared.is_draining(),
+                    shared.started.elapsed().as_millis()
+                ),
+            )
+        }
+        ("GET", "/metrics") => {
+            metrics.requests_metrics.fetch_add(1, Ordering::Relaxed);
+            let cache = shared.engine.cache_stats();
+            HttpResponse::text(200, metrics.render(&cache, shared.is_draining()))
+        }
+        ("POST", "/admin/drain") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            shared.request_drain();
+            HttpResponse::json(200, "{\"status\":\"draining\"}").closing()
+        }
+        (_, "/v1/embed") | (_, "/healthz") | (_, "/metrics") | (_, "/admin/drain") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, &format!("{} not allowed here", request.method))
+        }
+        (_, path) => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(404, &format!("no such endpoint {path}"))
+        }
+    }
+}
+
+/// `POST /v1/embed`: parse → admit → engine → JSON.
+fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> HttpResponse {
+    let metrics = &shared.metrics;
+    if shared.is_draining() {
+        metrics.rejected_draining.fetch_add(1, Ordering::Relaxed);
+        return HttpResponse::error(503, "server is draining").closing();
+    }
+    let serve_request = match parse_embed_request(request) {
+        Ok(serve_request) => serve_request,
+        Err(msg) => return HttpResponse::error(400, &msg),
+    };
+    let summary = matches!(request.query_param("summary"), Some("1" | "true"));
+    // Requests may tighten the configured deadline, never extend it.
+    let deadline_budget = match request.query_param("deadline_ms") {
+        None => shared.options.deadline,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms).min(shared.options.deadline),
+            Err(_) => return HttpResponse::error(400, &format!("malformed deadline_ms {raw:?}")),
+        },
+    };
+    let deadline = start + deadline_budget;
+
+    match shared.admission.acquire(
+        shared.max_inflight,
+        shared.options.max_queue,
+        deadline,
+        metrics,
+    ) {
+        Admit::QueueFull => {
+            metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(429, "admission queue is full; retry later")
+                .with_header("retry-after", "1".to_string())
+        }
+        Admit::DeadlineExpired => {
+            metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(504, "deadline expired while queued")
+        }
+        Admit::Go => {
+            // serve_batch with one request runs it inline on this thread;
+            // level fan-out inside the engine still spreads across the
+            // pool's scoped queues.
+            let mut responses = shared.engine.serve_batch(vec![serve_request]);
+            shared.admission.release(metrics);
+            let response = responses.pop().expect("one response per request");
+            if Instant::now() > deadline {
+                metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                return HttpResponse::error(504, "deadline expired during processing");
+            }
+            let status = if response.result.is_ok() { 200 } else { 400 };
+            HttpResponse::json(status, response_to_json(&response, summary))
+        }
+    }
+}
+
+/// Builds a [`ServeRequest`] from the HTTP request's body and query.
+fn parse_embed_request(request: &HttpRequest) -> Result<ServeRequest, String> {
+    if request.body.is_empty() {
+        return Err("empty body; POST an ASCII AIGER (`aag …`) or `.bench` netlist".to_string());
+    }
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8 circuit text".to_string())?;
+    let name = request.query_param("name").unwrap_or("request");
+    let format = match request.query_param("format") {
+        Some("aiger") => "aiger",
+        Some("bench") => "bench",
+        Some(other) => return Err(format!("unknown format {other:?} (aiger | bench)")),
+        // Sniff: an ASCII AIGER always opens with its `aag` header.
+        None if text.trim_start().starts_with("aag") => "aiger",
+        None => "bench",
+    };
+    let aig: SeqAig = if format == "aiger" {
+        parse_aiger(text).map_err(|e| format!("invalid AIGER payload: {e}"))?
+    } else {
+        let netlist = deepseq_netlist::bench_io::parse_bench_named(text, name)
+            .map_err(|e| format!("invalid .bench payload: {e}"))?;
+        lower_to_aig(&netlist)
+            .map_err(|e| format!("lowering .bench payload: {e}"))?
+            .aig
+    };
+    let p1 = match request.query_param("p1") {
+        None => 0.5,
+        Some(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or(format!("malformed p1 {raw:?} (float in [0, 1])"))?,
+    };
+    let parse_u64 = |key: &str| -> Result<u64, String> {
+        match request.query_param(key) {
+            None => Ok(0),
+            Some(raw) => raw.parse().map_err(|_| format!("malformed {key} {raw:?}")),
+        }
+    };
+    Ok(ServeRequest {
+        id: parse_u64("id")?,
+        init_seed: parse_u64("seed")?,
+        workload: Workload::uniform(aig.num_pis(), p1),
+        aig,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::InferenceModel;
+    use crate::EngineOptions;
+    use deepseq_core::{DeepSeq, DeepSeqConfig};
+    use deepseq_nn::Pool;
+
+    fn test_engine() -> Engine {
+        let model = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        Engine::with_pool(
+            InferenceModel::from_model(&model).expect("canonical params"),
+            EngineOptions {
+                workers: 2,
+                cache_capacity: 8,
+            },
+            Arc::new(Pool::new(2)),
+        )
+    }
+
+    fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, query: &[(&str, &str)], body: &[u8]) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn shared() -> Arc<ServerShared> {
+        Arc::new(ServerShared {
+            engine: test_engine(),
+            metrics: Arc::new(Metrics::default()),
+            options: ServerOptions::default(),
+            max_inflight: 2,
+            admission: Admission::new(),
+            draining: AtomicBool::new(false),
+            drain_lock: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            started: Instant::now(),
+        })
+    }
+
+    /// A 2-node toggle circuit in ASCII AIGER.
+    const TOGGLE_AAG: &[u8] = b"aag 1 0 1 1 0\n2 3\n2\n";
+
+    #[test]
+    fn embed_round_trips_a_circuit() {
+        let shared = shared();
+        let response = route(&shared, &post("/v1/embed", &[("id", "7")], TOGGLE_AAG));
+        assert_eq!(response.status, 200, "{:?}", response.body);
+        let body = String::from_utf8(response.body).expect("json body");
+        assert!(body.starts_with("{\"id\":7,"), "{body}");
+        assert!(body.contains("\"cache_hit\":false"), "{body}");
+        // Second identical request hits the cache.
+        let response = route(&shared, &post("/v1/embed", &[("id", "8")], TOGGLE_AAG));
+        let body = String::from_utf8(response.body).expect("json body");
+        assert!(body.contains("\"cache_hit\":true"), "{body}");
+    }
+
+    #[test]
+    fn embed_rejects_garbage_with_400() {
+        let shared = shared();
+        for (query, body) in [
+            (vec![], b"not a circuit at all".to_vec()),
+            (vec![], b"aag 1 1\n".to_vec()),
+            (vec![], Vec::new()),
+            (vec![], vec![0xff, 0xfe]),
+            (vec![("p1", "2.0")], TOGGLE_AAG.to_vec()),
+            (vec![("seed", "abc")], TOGGLE_AAG.to_vec()),
+            (vec![("format", "verilog")], TOGGLE_AAG.to_vec()),
+            (vec![("deadline_ms", "soon")], TOGGLE_AAG.to_vec()),
+        ] {
+            let response = route(&shared, &post("/v1/embed", &query, &body));
+            assert_eq!(response.status, 400, "{query:?}");
+            let body = String::from_utf8(response.body).expect("json");
+            assert!(body.starts_with("{\"error\":"), "{body}");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_expires_with_504() {
+        let shared = shared();
+        let response = route(
+            &shared,
+            &post("/v1/embed", &[("deadline_ms", "0")], TOGGLE_AAG),
+        );
+        assert_eq!(response.status, 504);
+        assert_eq!(shared.metrics.deadline_expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn health_metrics_and_unknown_routes() {
+        let shared = shared();
+        let health = route(&shared, &get("/healthz"));
+        assert_eq!(health.status, 200);
+        assert!(String::from_utf8(health.body)
+            .unwrap()
+            .contains("\"draining\":false"));
+
+        // Serve one circuit so the cache counters are nonzero.
+        route(&shared, &post("/v1/embed", &[], TOGGLE_AAG));
+        let metrics = route(&shared, &get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("deepseq_cache_hit_ratio"), "{text}");
+        assert!(
+            text.contains("deepseq_http_request_duration_seconds_bucket"),
+            "{text}"
+        );
+
+        assert_eq!(route(&shared, &get("/nope")).status, 404);
+        assert_eq!(route(&shared, &get("/v1/embed")).status, 405);
+    }
+
+    #[test]
+    fn draining_rejects_embeds_with_503() {
+        let shared = shared();
+        shared.request_drain();
+        let response = route(&shared, &post("/v1/embed", &[], TOGGLE_AAG));
+        assert_eq!(response.status, 503);
+        assert!(response.close);
+        let health = route(&shared, &get("/healthz"));
+        assert!(String::from_utf8(health.body)
+            .unwrap()
+            .contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn admission_gate_overflows_and_releases() {
+        let metrics = Metrics::default();
+        let admission = Admission::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        // Fill both slots, then the 1-deep queue, then overflow.
+        assert!(matches!(
+            admission.acquire(2, 1, deadline, &metrics),
+            Admit::Go
+        ));
+        assert!(matches!(
+            admission.acquire(2, 1, deadline, &metrics),
+            Admit::Go
+        ));
+        let short = Instant::now() + Duration::from_millis(30);
+        assert!(matches!(
+            admission.acquire(2, 0, short, &metrics),
+            Admit::QueueFull
+        ));
+        // A queued request whose deadline passes reports expiry.
+        assert!(matches!(
+            admission.acquire(2, 1, short, &metrics),
+            Admit::DeadlineExpired
+        ));
+        admission.release(&metrics);
+        admission.release(&metrics);
+        assert!(admission.is_empty());
+        assert_eq!(metrics.in_flight.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Graceful-drain property: shutting down with requests in flight
+//! completes every admitted request and accepts zero new connections.
+
+mod util;
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use deepseq_serve::{HttpServer, ServerOptions};
+
+use util::{counter_aiger, exchange, test_engine};
+
+#[test]
+fn drain_completes_in_flight_requests_and_accepts_no_new_connections() {
+    // One compute slot: of the four clients below, one computes and three
+    // wait in the admission queue when the drain hits. The pool is wider
+    // than the client count so every connection handler gets a worker.
+    let server = HttpServer::bind(
+        test_engine(6),
+        ServerOptions {
+            max_inflight: 1,
+            max_queue: 8,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                // Distinct circuits: every request is cache-cold compute.
+                let body = counter_aiger(100 + i);
+                exchange(addr, "POST", &format!("/v1/embed?id={i}"), body.as_bytes())
+            })
+        })
+        .collect();
+
+    // Wait (in-process, no extra connections) until all four requests are
+    // past the drain gate: one in flight, three queued.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let admitted =
+            metrics.in_flight.load(Ordering::Relaxed) + metrics.queue_depth.load(Ordering::Relaxed);
+        if admitted == 4 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "requests never reached the admission gate (admitted {admitted})"
+        );
+        std::thread::yield_now();
+    }
+
+    server.request_drain();
+    let report = server.shutdown();
+
+    // Every admitted request completed successfully.
+    for (i, client) in clients.into_iter().enumerate() {
+        let response = client.join().expect("client thread");
+        assert_eq!(response.status, 200, "client {i}: {}", response.body);
+    }
+    assert_eq!(report.requests_served, 4);
+    assert_eq!(report.connections_abandoned, 0);
+    // Exactly the four client connections were ever accepted…
+    assert_eq!(metrics.connections_total.load(Ordering::Relaxed), 4);
+    assert_eq!(metrics.connections_open.load(Ordering::Relaxed), 0);
+    // …and the port no longer accepts connections at all.
+    let refused = std::net::TcpStream::connect(addr);
+    assert!(refused.is_err(), "listener still accepting after drain");
+}
+
+/// A drain with nothing in flight shuts down promptly and cleanly.
+#[test]
+fn idle_drain_is_immediate() {
+    let server = HttpServer::bind(test_engine(1), ServerOptions::default()).expect("bind");
+    let addr = server.local_addr();
+    let health = exchange(addr, "GET", "/healthz", b"");
+    assert_eq!(health.status, 200);
+    let started = Instant::now();
+    let report = server.shutdown();
+    assert_eq!(report.requests_served, 0);
+    assert_eq!(report.connections_abandoned, 0);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle drain took {:?}",
+        started.elapsed()
+    );
+    assert!(std::net::TcpStream::connect(addr).is_err());
+}

@@ -1,0 +1,113 @@
+//! Shared helpers of the HTTP integration tests: a tiny blocking client
+//! and a deterministic circuit generator.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use deepseq_core::{DeepSeq, DeepSeqConfig};
+use deepseq_netlist::{write_aiger, SeqAig};
+use deepseq_nn::Pool;
+use deepseq_serve::{Engine, EngineOptions, InferenceModel};
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+/// One `Connection: close` HTTP/1.1 exchange against `addr`.
+pub fn exchange(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Response {
+    let raw = raw_exchange(
+        addr,
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes()
+        .into_iter()
+        .chain(body.iter().copied())
+        .collect(),
+    );
+    parse_response(&raw)
+}
+
+/// Sends arbitrary bytes and reads to EOF — for malformed-request tests.
+pub fn raw_exchange(addr: SocketAddr, payload: Vec<u8>) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    stream.write_all(&payload).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    raw
+}
+
+/// Parses status code and body out of a raw HTTP response.
+pub fn parse_response(raw: &[u8]) -> Response {
+    let text = String::from_utf8_lossy(raw);
+    let status = text
+        .lines()
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text:.200}"));
+    let body = match text.find("\r\n\r\n") {
+        Some(at) => text[at + 4..].to_string(),
+        None => String::new(),
+    };
+    Response { status, body }
+}
+
+/// A deterministic engine (hidden 8, 2 iterations, fresh seeded weights)
+/// on its own `threads`-wide pool.
+pub fn test_engine(threads: usize) -> Engine {
+    let model = DeepSeq::new(DeepSeqConfig {
+        hidden_dim: 8,
+        iterations: 2,
+        ..DeepSeqConfig::default()
+    });
+    Engine::with_pool(
+        InferenceModel::from_model(&model).expect("canonical params"),
+        EngineOptions {
+            workers: threads,
+            cache_capacity: 64,
+        },
+        Arc::new(Pool::new(threads)),
+    )
+}
+
+/// The `index`-th distinct test circuit: a `2 + index`-bit ripple counter
+/// with an enable PI, in ASCII AIGER.
+pub fn counter_aiger(index: usize) -> String {
+    write_aiger(&counter_aig(index))
+}
+
+/// The same circuit as a [`SeqAig`] (for in-process comparison requests).
+pub fn counter_aig(index: usize) -> SeqAig {
+    let bits = 2 + index;
+    let mut aig = SeqAig::new(format!("counter{bits}"));
+    let enable = aig.add_pi("enable");
+    let ffs: Vec<_> = (0..bits)
+        .map(|b| aig.add_ff(format!("q{b}"), b % 2 == 0))
+        .collect();
+    let mut carry = enable;
+    for (b, &ff) in ffs.iter().enumerate() {
+        let nq = aig.add_not(ff);
+        let ncarry = aig.add_not(carry);
+        let l = aig.add_and(ff, ncarry);
+        let r = aig.add_and(nq, carry);
+        let nl = aig.add_not(l);
+        let nr = aig.add_not(r);
+        let nxor = aig.add_and(nl, nr);
+        let next = aig.add_not(nxor);
+        let new_carry = aig.add_and(ff, carry);
+        aig.connect_ff(ff, next).expect("ff wiring");
+        aig.set_output(ff, format!("count{b}"));
+        carry = new_carry;
+    }
+    aig
+}
