@@ -25,6 +25,7 @@
 //! same way and reduces the error sums in sample order.
 
 use deepseq_netlist::SeqAig;
+use deepseq_nn::trace;
 use deepseq_nn::{Adam, GradStore, Matrix, Pool, Tape};
 use deepseq_sim::{simulate, SimOptions, Workload};
 use rand::rngs::StdRng;
@@ -205,9 +206,11 @@ pub fn train_on(
     let mut history = Vec::with_capacity(opts.epochs);
     let group_size = opts.samples_per_step.max(1);
     for epoch in 0..opts.epochs {
+        let _epoch_span = trace::span_with(trace::SpanKind::TrainEpoch, epoch as u64);
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
         for group in order.chunks(group_size) {
+            let _step_span = trace::span_with(trace::SpanKind::TrainStep, group.len() as u64);
             // Fan the group's samples across the pool; each task owns one
             // reusable tape (reset between samples) and the passes come
             // back in group order whatever the pool size.

@@ -334,6 +334,10 @@ impl Kernel {
             b.rows(),
             b.cols()
         );
+        let _span = crate::trace::span_with(
+            crate::trace::SpanKind::Gemm,
+            crate::trace::pack_dims(a.rows(), a.cols(), b.cols()),
+        );
         out.reset(a.rows(), b.cols());
         self.gemm_acc(
             pool,
@@ -368,6 +372,10 @@ impl Kernel {
         if ka == 0 || n == 0 {
             return out;
         }
+        let _span = crate::trace::span_with(
+            crate::trace::SpanKind::Gemm,
+            crate::trace::pack_dims(ka, m, n),
+        );
         let ranges = par_ranges(pool, ka, m, n);
         match self.resolve(ka, m, n) {
             Kernel::Naive => run_trow_tasks(
@@ -433,6 +441,10 @@ impl Kernel {
         if m == 0 || nb == 0 {
             return out;
         }
+        let _span = crate::trace::span_with(
+            crate::trace::SpanKind::Gemm,
+            crate::trace::pack_dims(m, k, nb),
+        );
         let ranges = par_ranges(pool, m, k, nb);
         match self.resolve(m, k, nb) {
             Kernel::Naive => run_row_tasks(

@@ -14,6 +14,10 @@
 //!   that large products, the serve path and the data-parallel training
 //!   loop fan out across, with results bitwise-identical at any thread
 //!   count;
+//! * [`trace`] — opt-in (`DEEPSEQ_TRACE`) span recording behind a single
+//!   atomic check: per-stage timings from the HTTP edge down to GEMM
+//!   dispatch, exported as span trees, chrome://tracing JSON and the
+//!   `deepseq_stage_seconds` metrics;
 //! * [`Tape`] — a define-by-run reverse-mode autograd tape with the segment
 //!   ops (gather / segment-softmax / segment-sum) that make levelized
 //!   "topological batching" over circuit graphs efficient;
@@ -59,6 +63,7 @@ pub mod optim;
 pub mod params;
 pub mod pool;
 pub mod tape;
+pub mod trace;
 
 pub use config::{report_warning, warning_count, warnings};
 pub use kernels::{Act, Kernel};
@@ -66,5 +71,6 @@ pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use params::{BinReader, GradStore, ParamId, Params, ParamsError};
-pub use pool::Pool;
+pub use pool::{Pool, PoolStats};
 pub use tape::{Tape, VarId};
+pub use trace::{SpanKind, SpanRecord};

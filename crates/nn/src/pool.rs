@@ -77,10 +77,12 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+use crate::trace;
 
 /// Environment variable sizing the process-wide pool ([`Pool::global`]):
 /// a positive integer thread count (`1` disables threading entirely),
@@ -114,14 +116,15 @@ impl QueueClass {
     }
 
     /// Dequeues one job, checking `home`'s own queue first and stealing
-    /// from the siblings in ring order otherwise.
-    fn pop(&self, home: usize) -> Option<Job> {
+    /// from the siblings in ring order otherwise. Returns the job and
+    /// whether it came from a queue other than `home`'s (a steal).
+    fn pop(&self, home: usize) -> Option<(Job, bool)> {
         let n = self.queues.len();
         for k in 0..n {
             let i = (home + k) % n;
             let job = self.queues[i].lock().expect("pool queue").pop_front();
-            if job.is_some() {
-                return job;
+            if let Some(job) = job {
+                return Some((job, i != home));
             }
         }
         None
@@ -155,6 +158,12 @@ struct Shared {
     /// timeout as a belt-and-braces backstop.
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
+    /// Jobs dequeued from a queue other than the popper's home queue.
+    steals: AtomicU64,
+    /// Times a worker entered the idle wait (parked).
+    parks: AtomicU64,
+    /// Times a parked worker was woken by a notify (not a timeout).
+    wakeups: AtomicU64,
 }
 
 /// Which queue classes a dequeue attempt may touch.
@@ -186,10 +195,14 @@ impl Shared {
             Take::Anything => self.spawned.pop(home),
             Take::ScopedOnly => None,
         });
-        if job.is_some() {
+        if let Some((job, stolen)) = job {
             self.pending.fetch_sub(1, Ordering::Release);
+            if stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(job);
         }
-        job
+        None
     }
 }
 
@@ -211,10 +224,14 @@ fn worker_loop(shared: Arc<Shared>, home: usize) {
         if shared.pending.load(Ordering::Acquire) > 0 || !shared.open.load(Ordering::Acquire) {
             continue; // something arrived between the scan and the lock
         }
-        let _ = shared
+        shared.parks.fetch_add(1, Ordering::Relaxed);
+        let (_guard, timeout) = shared
             .idle_cv
             .wait_timeout(guard, Duration::from_millis(100))
             .expect("pool idle wait");
+        if !timeout.timed_out() {
+            shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -264,6 +281,26 @@ impl Drop for CountDownGuard<'_> {
     }
 }
 
+/// Cumulative scheduler counters of one [`Pool`] (see [`Pool::stats`]).
+///
+/// All counters are zero for a 1-thread pool (nothing is queued, parked
+/// or stolen when every task runs inline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Total pool parallelism (workers + the calling thread).
+    pub threads: usize,
+    /// Jobs dequeued from a queue other than the popper's own — the
+    /// work-stealing rate. High steals with low parks means the
+    /// round-robin placement is fighting the actual load distribution.
+    pub steals: u64,
+    /// Times a worker found every queue empty and parked on the idle
+    /// condvar.
+    pub parks: u64,
+    /// Parked workers woken by a push notification (timeouts excluded) —
+    /// roughly "jobs that had to wait for a thread to wake up".
+    pub wakeups: u64,
+}
+
 /// A persistent pool of `threads - 1` worker threads plus the calling
 /// thread (see the [module docs](self)).
 ///
@@ -304,6 +341,9 @@ impl Pool {
             open: AtomicBool::new(true),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         });
         let workers = (0..threads - 1)
             .map(|i| {
@@ -331,6 +371,21 @@ impl Pool {
     /// Total parallelism (workers + the calling thread), at least 1.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Snapshot of the scheduler counters (steals / parks / wakeups)
+    /// since the pool was created. All zeros on a 1-thread pool.
+    pub fn stats(&self) -> PoolStats {
+        let mut stats = PoolStats {
+            threads: self.threads,
+            ..PoolStats::default()
+        };
+        if let Some(shared) = &self.shared {
+            stats.steals = shared.steals.load(Ordering::Relaxed);
+            stats.parks = shared.parks.load(Ordering::Relaxed);
+            stats.wakeups = shared.wakeups.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// Runs every task to completion, fanning them out across the workers;
@@ -367,6 +422,16 @@ impl Pool {
         let shared = self.shared.as_ref().expect("checked above");
         let latch = Arc::new(Latch::new(tasks.len() - 1));
         let panicked = Arc::new(AtomicBool::new(false));
+        // Forward the caller's trace id into the fanned-out tasks so a
+        // request's level/GEMM spans stay attributable to it whichever
+        // worker (or stealing `run` caller) executes them. One atomic
+        // load when tracing is off; zero-cost inside the task when the
+        // caller has no trace.
+        let trace_ctx = if trace::enabled() {
+            trace::current_trace()
+        } else {
+            0
+        };
         let mut tasks = tasks.into_iter();
         let first = tasks.next().expect("tasks nonempty");
         for task in tasks {
@@ -381,6 +446,7 @@ impl Pool {
             let panicked = Arc::clone(&panicked);
             shared.push(
                 Box::new(move || {
+                    let _trace = (trace_ctx != 0).then(|| trace::scope(trace_ctx));
                     let mut guard = CountDownGuard {
                         latch: &latch,
                         panicked: &panicked,
@@ -450,7 +516,24 @@ impl Pool {
     /// completion should do so through a channel they own.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
         match &self.shared {
-            Some(shared) => shared.push(Box::new(job), false),
+            Some(shared) => {
+                let trace_ctx = if trace::enabled() {
+                    trace::current_trace()
+                } else {
+                    0
+                };
+                if trace_ctx != 0 {
+                    shared.push(
+                        Box::new(move || {
+                            let _trace = trace::scope(trace_ctx);
+                            job();
+                        }),
+                        false,
+                    );
+                } else {
+                    shared.push(Box::new(job), false);
+                }
+            }
             None => job(),
         }
     }
@@ -741,7 +824,35 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, (0..16).collect::<Vec<_>>());
+        // Half the jobs round-robined onto the wedged worker's queue; the
+        // free worker must have stolen them.
+        assert!(pool.stats().steals > 0, "{:?}", pool.stats());
         wedge_tx.send(()).expect("wedged worker still waiting");
+    }
+
+    #[test]
+    fn stats_report_threads_parks_and_zero_for_inline_pools() {
+        let single = Pool::new(1);
+        let stats = single.stats();
+        assert_eq!(stats.threads, 1);
+        assert_eq!((stats.steals, stats.parks, stats.wakeups), (0, 0, 0));
+
+        let pool = Pool::new(3);
+        // Give both workers time to find their queues empty and park.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).expect("receiver lives"));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 8);
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 3);
+        assert!(stats.parks > 0, "{stats:?}");
+        // Wakeups only happen out of a park; the inverse isn't guaranteed
+        // (a park may end on its timeout), hence ≤, not ==.
+        assert!(stats.wakeups <= stats.parks, "{stats:?}");
     }
 
     #[test]

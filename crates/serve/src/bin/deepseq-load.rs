@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! deepseq-load --addr 127.0.0.1:8184 [--requests 64] [--concurrency 16]
-//!              [--distinct 8] [--drain]
+//!              [--distinct 8] [--no-keepalive] [--drain]
 //! ```
 //!
 //! Fires `--requests` embed requests at the server from `--concurrency`
@@ -15,11 +15,20 @@
 //! exactly that exit code. `--drain` finally POSTs `/admin/drain` so a
 //! scripted server process shuts down cleanly.
 //!
-//! Every request is plain HTTP/1.1 over one fresh `TcpStream` with
-//! `Connection: close` — no keep-alive pooling, by design: N requests
-//! probe N separate accept/handle cycles.
+//! Each client thread holds **one persistent keep-alive connection** and
+//! frames responses by `content-length`, reconnecting transparently if the
+//! server closed an idle socket — so a C-thread run probes C accept cycles
+//! and N request/response exchanges, like a real pooled client would.
+//! `--no-keepalive` restores the old one-connection-per-request behaviour
+//! for exercising the accept path itself.
+//!
+//! When the server runs with tracing enabled (`--trace-out` /
+//! `DEEPSEQ_TRACE`), the run finishes by scraping `GET /debug/trace` and
+//! printing the server-side per-stage latency summary (count, p50, p95 per
+//! pipeline stage); without tracing that endpoint answers 404 and the
+//! summary is silently skipped.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,6 +47,8 @@ OPTIONS:
     --concurrency <C>  client threads firing them (default 16)
     --distinct <D>     distinct circuits to cycle through (default 8;
                        repeats exercise the server-side embedding cache)
+    --no-keepalive     open a fresh connection per request instead of one
+                       persistent connection per thread
     --drain            POST /admin/drain after the run
 ";
 
@@ -46,6 +57,7 @@ struct Args {
     requests: usize,
     concurrency: usize,
     distinct: usize,
+    keepalive: bool,
     drain: bool,
 }
 
@@ -55,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         requests: 64,
         concurrency: 16,
         distinct: 8,
+        keepalive: true,
         drain: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                 out.concurrency = parse_num(value("--concurrency")?, "--concurrency")?.max(1)
             }
             "--distinct" => out.distinct = parse_num(value("--distinct")?, "--distinct")?.max(1),
+            "--no-keepalive" => out.keepalive = false,
             "--drain" => out.drain = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -94,36 +108,150 @@ struct Response {
     body: String,
 }
 
-/// One HTTP/1.1 exchange over a fresh connection (`Connection: close`,
-/// body read to EOF).
-fn exchange(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Response, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .map_err(|e| e.to_string())?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    );
-    stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body))
-        .map_err(|e| format!("send {path}: {e}"))?;
-    let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .map_err(|e| format!("read {path}: {e}"))?;
-    let text = String::from_utf8_lossy(&raw);
-    let mut status_line = text.lines().next().unwrap_or_default().split(' ');
-    let status: u16 = status_line
-        .nth(1)
-        .and_then(|code| code.parse().ok())
-        .ok_or(format!("malformed response to {path}: {text:.120}"))?;
-    let body = match text.find("\r\n\r\n") {
-        Some(at) => text[at + 4..].to_string(),
-        None => String::new(),
+/// A client connection that survives across requests. Responses are framed
+/// by `content-length`, so the socket stays usable for the next exchange;
+/// a server-side `connection: close` (or any read/write error on a reused
+/// socket) drops the stream and the next exchange reconnects.
+struct Client {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+    keepalive: bool,
+    /// Connections opened over this client's lifetime.
+    connects: usize,
+}
+
+impl Client {
+    fn new(addr: &str, keepalive: bool) -> Self {
+        Client {
+            addr: addr.to_string(),
+            stream: None,
+            keepalive,
+            connects: 0,
+        }
+    }
+
+    /// One HTTP/1.1 exchange, reusing the pooled connection when possible.
+    /// A failed attempt on a *reused* socket is retried once on a fresh
+    /// connection — the server is allowed to close an idle keep-alive
+    /// socket at any time, and that race is not a request failure.
+    fn exchange(&mut self, method: &str, path: &str, body: &[u8]) -> Result<Response, String> {
+        let reused = self.stream.is_some();
+        match self.try_exchange(method, path, body) {
+            Err(_) if reused => {
+                self.stream = None;
+                self.try_exchange(method, path, body)
+            }
+            outcome => outcome,
+        }
+    }
+
+    fn try_exchange(&mut self, method: &str, path: &str, body: &[u8]) -> Result<Response, String> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .map_err(|e| e.to_string())?;
+            self.connects += 1;
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("connected above");
+        let connection = if self.keepalive {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        let send = reader
+            .get_mut()
+            .write_all(head.as_bytes())
+            .and_then(|()| reader.get_mut().write_all(body));
+        if let Err(e) = send {
+            self.stream = None;
+            return Err(format!("send {path}: {e}"));
+        }
+        match read_response(reader, path) {
+            Ok((response, server_closes)) => {
+                if server_closes || !self.keepalive {
+                    self.stream = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one `content-length`-framed response off the stream, leaving the
+/// stream positioned at the next response. Returns the response and
+/// whether the server announced `connection: close`.
+fn read_response(
+    reader: &mut BufReader<TcpStream>,
+    path: &str,
+) -> Result<(Response, bool), String> {
+    let mut status = 0u16;
+    let mut content_length: Option<usize> = None;
+    let mut server_closes = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        if n == 0 {
+            return Err(format!("read {path}: connection closed mid-response"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if status == 0 {
+            status = trimmed
+                .split(' ')
+                .nth(1)
+                .and_then(|code| code.parse().ok())
+                .ok_or(format!("malformed status line for {path}: {trimmed:.120}"))?;
+            continue;
+        }
+        if trimmed.is_empty() {
+            break; // end of headers
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad content-length for {path}: {value}"))?,
+                );
+            } else if name.eq_ignore_ascii_case("connection") {
+                server_closes = value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut raw = vec![0u8; len];
+            reader
+                .read_exact(&mut raw)
+                .map_err(|e| format!("read body {path}: {e}"))?;
+            String::from_utf8_lossy(&raw).into_owned()
+        }
+        None => {
+            // No content-length: the connection is the frame (close-delimited).
+            let mut raw = Vec::new();
+            reader
+                .read_to_end(&mut raw)
+                .map_err(|e| format!("read body {path}: {e}"))?;
+            server_closes = true;
+            String::from_utf8_lossy(&raw).into_owned()
+        }
     };
-    Ok(Response { status, body })
+    Ok((Response { status, body }, server_closes))
 }
 
 /// Generates the `index`-th distinct workload circuit: a `3 + index`-bit
@@ -170,9 +298,11 @@ fn run() -> Result<(), String> {
     let circuits: Arc<Vec<String>> = Arc::new((0..args.distinct).map(counter_circuit).collect());
 
     // Fire the embed load: a shared ticket counter fans args.requests
-    // requests out over args.concurrency threads.
+    // requests out over args.concurrency threads, each holding one pooled
+    // connection.
     let next = Arc::new(AtomicUsize::new(0));
     let failures = Arc::new(AtomicUsize::new(0));
+    let connects = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
     let threads: Vec<_> = (0..args.concurrency)
         .map(|_| {
@@ -180,26 +310,32 @@ fn run() -> Result<(), String> {
             let circuits = Arc::clone(&circuits);
             let next = Arc::clone(&next);
             let failures = Arc::clone(&failures);
+            let connects = Arc::clone(&connects);
             let total = args.requests;
-            std::thread::spawn(move || loop {
-                let ticket = next.fetch_add(1, Ordering::Relaxed);
-                if ticket >= total {
-                    return;
-                }
-                let circuit = &circuits[ticket % circuits.len()];
-                let path = format!("/v1/embed?id={ticket}&summary=1");
-                match exchange(&addr, "POST", &path, circuit.as_bytes()) {
-                    Ok(response) if (200..300).contains(&response.status) => {}
-                    Ok(response) => {
-                        failures.fetch_add(1, Ordering::Relaxed);
-                        eprintln!(
-                            "request {ticket}: status {} body {:.200}",
-                            response.status, response.body
-                        );
+            let keepalive = args.keepalive;
+            std::thread::spawn(move || {
+                let mut client = Client::new(&addr, keepalive);
+                loop {
+                    let ticket = next.fetch_add(1, Ordering::Relaxed);
+                    if ticket >= total {
+                        connects.fetch_add(client.connects, Ordering::Relaxed);
+                        return;
                     }
-                    Err(e) => {
-                        failures.fetch_add(1, Ordering::Relaxed);
-                        eprintln!("request {ticket}: {e}");
+                    let circuit = &circuits[ticket % circuits.len()];
+                    let path = format!("/v1/embed?id={ticket}&summary=1");
+                    match client.exchange("POST", &path, circuit.as_bytes()) {
+                        Ok(response) if (200..300).contains(&response.status) => {}
+                        Ok(response) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "request {ticket}: status {} body {:.200}",
+                                response.status, response.body
+                            );
+                        }
+                        Err(e) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("request {ticket}: {e}");
+                        }
                     }
                 }
             })
@@ -211,19 +347,22 @@ fn run() -> Result<(), String> {
     let elapsed = started.elapsed();
     let failed = failures.load(Ordering::Relaxed);
     println!(
-        "{} requests in {:.3}s ({:.1} req/s), {} failed",
+        "{} requests in {:.3}s ({:.1} req/s), {} failed, {} connections",
         args.requests,
         elapsed.as_secs_f64(),
         args.requests as f64 / elapsed.as_secs_f64().max(1e-9),
-        failed
+        failed,
+        connects.load(Ordering::Relaxed)
     );
     if failed > 0 {
         return Err(format!("{failed} of {} requests failed", args.requests));
     }
 
+    let mut client = Client::new(&args.addr, args.keepalive);
+
     // Scrape /metrics and hold the server to its contract: the cache
     // hit-rate gauge must be present and parse as a float.
-    let metrics = exchange(&args.addr, "GET", "/metrics", b"")?;
+    let metrics = client.exchange("GET", "/metrics", b"")?;
     if metrics.status != 200 {
         return Err(format!("/metrics answered {}", metrics.status));
     }
@@ -237,12 +376,62 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("deepseq_cache_hit_ratio does not parse as f64: {e}"))?;
     println!("cache hit ratio: {hit_ratio:.3}");
 
+    // If the server traces, print its per-stage latency summary; a 404
+    // just means tracing is off over there.
+    let trace = client.exchange("GET", "/debug/trace", b"")?;
+    if trace.status == 200 {
+        print_stage_summary(&trace.body);
+    }
+
     if args.drain {
-        let drain = exchange(&args.addr, "POST", "/admin/drain", b"")?;
+        let drain = client.exchange("POST", "/admin/drain", b"")?;
         if drain.status != 200 {
             return Err(format!("/admin/drain answered {}", drain.status));
         }
         println!("drain requested");
     }
     Ok(())
+}
+
+/// Prints the non-empty stages of a `/debug/trace` stage summary
+/// (`{"dropped_spans":N,"stages":[{"stage":...,"count":...,...}]}`) as an
+/// aligned table. The parse is deliberately shallow — pull each
+/// `{...}` stage object apart by its known keys.
+fn print_stage_summary(body: &str) {
+    println!("server per-stage latency (from /debug/trace):");
+    println!(
+        "  {:<12} {:>8} {:>12} {:>12}",
+        "stage", "count", "p50", "p95"
+    );
+    for object in body.split("{\"stage\":\"").skip(1) {
+        let Some(stage) = object.split('"').next() else {
+            continue;
+        };
+        let field = |key: &str| -> Option<f64> {
+            let tail = object.split(&format!("\"{key}\":")).nth(1)?;
+            tail.split([',', '}']).next()?.parse().ok()
+        };
+        let count = field("count").unwrap_or(0.0);
+        if count == 0.0 {
+            continue;
+        }
+        let ms = |key| field(key).map_or_else(|| "?".into(), |s| format!("{:.3}ms", s * 1e3));
+        println!(
+            "  {:<12} {:>8} {:>12} {:>12}",
+            stage,
+            count as u64,
+            ms("p50_s"),
+            ms("p95_s")
+        );
+    }
+    if let Some(dropped) = body
+        .split("\"dropped_spans\":")
+        .nth(1)
+        .and_then(|t| t.split(',').next())
+        .and_then(|t| t.parse::<u64>().ok())
+    {
+        if dropped > 0 {
+            println!("  ({dropped} spans dropped server-side; rings overflowed)");
+        }
+    }
 }

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use deepseq_core::encoding::initial_states;
 use deepseq_core::CircuitGraph;
 use deepseq_netlist::SeqAig;
+use deepseq_nn::trace;
 use deepseq_nn::Pool;
 use deepseq_sim::Workload;
 
@@ -303,7 +304,10 @@ fn serve_one(
         });
     }
     let key = CacheKey::for_request(&request.aig, &request.workload, request.init_seed);
-    if let Some(data) = cache.lock().expect("cache lock").get(&key) {
+    let lookup = trace::span(trace::SpanKind::CacheLookup);
+    let cached = cache.lock().expect("cache lock").get(&key);
+    drop(lookup);
+    if let Some(data) = cached {
         return Ok(ServedInference {
             num_nodes: data.num_nodes,
             cache_hit: true,

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use deepseq_core::{Aggregator, CircuitGraph, DeepSeq, DeepSeqConfig, LevelBatch, Predictions};
 use deepseq_netlist::aig::NUM_NODE_TYPES;
 use deepseq_nn::pool::chunk_ranges_or_whole;
+use deepseq_nn::trace;
 use deepseq_nn::{Act, Kernel, Matrix, Params, Pool};
 
 use crate::ServeError;
@@ -197,6 +198,7 @@ impl InferenceModel {
         init_h: &Matrix,
         ws: &mut Workspace,
     ) -> InferenceOutput {
+        let _span = trace::span_with(trace::SpanKind::Forward, graph.num_nodes as u64);
         let d = self.config.hidden_dim;
         assert_eq!(
             init_h.shape(),
@@ -225,6 +227,7 @@ impl InferenceModel {
             }
         }
 
+        let head_span = trace::span(trace::SpanKind::Head);
         let tr = run_head(
             ws.kernel,
             &ws.pool,
@@ -241,6 +244,7 @@ impl InferenceModel {
             &mut ws.head_a,
             &mut ws.head_b,
         );
+        drop(head_span);
         let embedding = mean_pool(&ws.state);
         InferenceOutput {
             predictions: Predictions { tr, lg },
@@ -331,6 +335,7 @@ fn run_batch_range(
     ws: &mut BatchScratch,
 ) {
     let k = range.len();
+    let _span = trace::span_with(trace::SpanKind::LevelChunk, k as u64);
     // Edges are sorted by segment, so this chunk's edges are contiguous.
     let e0 = batch
         .edges

@@ -104,6 +104,136 @@ pub fn response_to_json(response: &ServeResponse, summary: bool) -> String {
     out
 }
 
+/// Hard cap on spans rendered by [`trace_tree_json`] — the parent search
+/// is quadratic, and a debug endpoint should stay cheap even against a
+/// trace that filled every ring buffer.
+const MAX_TREE_SPANS: usize = 10_000;
+
+/// Renders one trace's records (from
+/// [`trace::collect`](deepseq_nn::trace::collect), already sorted
+/// start-ascending with longer spans first) as a span **tree**: each span
+/// is nested under the tightest enclosing span, with same-thread
+/// enclosures preferred — so a request's levels sit under its forward
+/// pass even when a worker ran them.
+pub fn trace_tree_json(trace_id: u64, records: &[deepseq_nn::SpanRecord]) -> String {
+    let truncated = records.len() > MAX_TREE_SPANS;
+    let records = &records[..records.len().min(MAX_TREE_SPANS)];
+    let interval = |i: usize| (records[i].start_ns, records[i].start_ns + records[i].dur_ns);
+    // Tightest strict enclosure; identical intervals stay siblings (no
+    // parent chains between indistinguishable spans).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for i in 0..records.len() {
+        let (si, ei) = interval(i);
+        let mut best: Option<usize> = None;
+        for j in 0..records.len() {
+            if j == i {
+                continue;
+            }
+            let (sj, ej) = interval(j);
+            if !(sj <= si && ej >= ei && (sj, ej) != (si, ei)) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let same_j = records[j].thread == records[i].thread;
+                    let same_b = records[b].thread == records[i].thread;
+                    if same_j != same_b {
+                        same_j
+                    } else {
+                        records[j].dur_ns < records[b].dur_ns
+                    }
+                }
+            };
+            if better {
+                best = Some(j);
+            }
+        }
+        match best {
+            Some(parent) => children[parent].push(i),
+            None => roots.push(i),
+        }
+    }
+
+    fn emit(
+        out: &mut String,
+        records: &[deepseq_nn::SpanRecord],
+        children: &[Vec<usize>],
+        i: usize,
+        depth: usize,
+    ) {
+        let r = &records[i];
+        let _ = write!(
+            out,
+            "{{\"kind\":\"{}\",\"thread\":{},\"start_us\":{:.3},\"dur_us\":{:.3}",
+            r.kind.name(),
+            r.thread,
+            r.start_ns as f64 / 1e3,
+            r.dur_ns as f64 / 1e3
+        );
+        if r.detail != 0 {
+            let _ = write!(out, ",\"detail\":{}", r.detail);
+            if r.kind == deepseq_nn::SpanKind::Gemm {
+                let (m, k, n) = deepseq_nn::trace::unpack_dims(r.detail);
+                let _ = write!(out, ",\"dims\":[{m},{k},{n}]");
+            }
+        }
+        // Depth cap: identical clock readings could in principle nest
+        // thousands of spans; beyond any plausible real nesting just
+        // flatten the remainder away.
+        if !children[i].is_empty() && depth < 64 {
+            out.push_str(",\"children\":[");
+            for (x, &c) in children[i].iter().enumerate() {
+                if x > 0 {
+                    out.push(',');
+                }
+                emit(out, records, children, c, depth + 1);
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+
+    let mut out = String::with_capacity(records.len() * 96 + 128);
+    let _ = write!(
+        out,
+        "{{\"trace\":{trace_id},\"spans\":{},\"truncated\":{truncated},\"tree\":[",
+        records.len()
+    );
+    for (x, &root) in roots.iter().enumerate() {
+        if x > 0 {
+            out.push(',');
+        }
+        emit(&mut out, records, &children, root, 0);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the per-stage latency summary for `GET /debug/trace` (no
+/// `id`): one entry per span kind with count, p50/p95 and total seconds.
+pub fn stage_summary_json(stages: &[deepseq_nn::trace::StageStats], dropped: u64) -> String {
+    let mut out = String::with_capacity(stages.len() * 96 + 64);
+    let _ = write!(out, "{{\"dropped_spans\":{dropped},\"stages\":[");
+    for (i, stage) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"stage\":\"{}\",\"count\":{},\"p50_s\":{},\"p95_s\":{},\"total_s\":{}}}",
+            stage.kind.name(),
+            stage.count,
+            stage.quantile(0.5),
+            stage.quantile(0.95),
+            stage.sum_ns as f64 / 1e9
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 fn predictions_tr(preds: &Predictions) -> String {
     matrix_rows(preds.tr.rows(), preds.tr.cols(), |r, c| preds.tr.get(r, c))
 }
@@ -136,5 +266,74 @@ mod tests {
             matrix_rows(2, 2, |r, c| (r * 2 + c) as f32),
             "[[0,1],[2,3]]"
         );
+    }
+
+    #[test]
+    fn trace_tree_nests_by_containment() {
+        use deepseq_nn::{SpanKind, SpanRecord};
+        let rec = |kind, start_ns, dur_ns, thread, detail| SpanRecord {
+            trace: 7,
+            kind,
+            detail,
+            start_ns,
+            dur_ns,
+            thread,
+        };
+        // collect() order: start ascending, longer spans first on ties.
+        let records = vec![
+            rec(SpanKind::Request, 0, 1000, 0, 0),
+            rec(SpanKind::Forward, 100, 800, 0, 42),
+            rec(
+                SpanKind::Gemm,
+                200,
+                100,
+                3,
+                deepseq_nn::trace::pack_dims(4, 5, 6),
+            ),
+            rec(SpanKind::Serialize, 950, 20, 0, 0),
+        ];
+        let json = trace_tree_json(7, &records);
+        assert!(json.starts_with("{\"trace\":7,\"spans\":4,\"truncated\":false,"));
+        // Gemm nests under forward (tightest container) despite the
+        // differing thread, and its packed dims are decoded.
+        let forward = json.find("\"kind\":\"forward\"").expect("forward span");
+        let gemm = json.find("\"kind\":\"gemm\"").expect("gemm span");
+        let serialize = json.find("\"kind\":\"serialize\"").expect("serialize span");
+        assert!(forward < gemm, "gemm should be inside forward: {json}");
+        assert!(json.contains("\"dims\":[4,5,6]"), "{json}");
+        // Serialize is a direct child of request, after forward closes.
+        assert!(serialize > gemm, "{json}");
+        // Exactly one root.
+        assert_eq!(json.matches("\"kind\":\"request\"").count(), 1);
+    }
+
+    #[test]
+    fn identical_intervals_stay_siblings() {
+        use deepseq_nn::{SpanKind, SpanRecord};
+        let rec = |kind| SpanRecord {
+            trace: 1,
+            kind,
+            detail: 0,
+            start_ns: 10,
+            dur_ns: 10,
+            thread: 0,
+        };
+        let json = trace_tree_json(1, &[rec(SpanKind::Gemm), rec(SpanKind::Head)]);
+        assert!(!json.contains("children"), "{json}");
+    }
+
+    #[test]
+    fn stage_summary_lists_every_stage() {
+        let stages = deepseq_nn::trace::stage_stats();
+        let json = stage_summary_json(&stages, 3);
+        assert!(json.starts_with("{\"dropped_spans\":3,\"stages\":["));
+        for kind in deepseq_nn::SpanKind::ALL {
+            assert!(
+                json.contains(&format!("{{\"stage\":\"{}\"", kind.name())),
+                "missing {}: {json}",
+                kind.name()
+            );
+        }
+        assert!(json.ends_with("]}"));
     }
 }

@@ -50,6 +50,10 @@ predict options:
                          the cache-hit path)
     --summary            emit mean predictions instead of full matrices
     --stats              print engine/cache statistics to stderr
+    --trace-out <FILE>   enable span tracing and write a chrome://tracing
+                         JSON profile to FILE on exit (see
+                         docs/OBSERVABILITY.md); DEEPSEQ_TRACE=<FILE> does
+                         the same without the flag
 
 serve options:
     --addr <HOST:PORT>   bind address (default 127.0.0.1:0; the chosen
@@ -63,6 +67,9 @@ serve options:
     --max-inflight <N>   admission: concurrent embed requests (default: pool size)
     --max-queue <N>      admission: waiting embed requests before 429 (default 64)
     --deadline-ms <MS>   per-request deadline, 504 on expiry (default 30000)
+    --trace-out <FILE>   enable span tracing: `GET /debug/trace` serves live
+                         span trees / stage summaries, and a chrome://tracing
+                         JSON profile is written to FILE after drain
     The server runs until `POST /admin/drain` arrives, then drains
     gracefully: in-flight requests finish, no new connections are accepted.
 
@@ -113,6 +120,7 @@ struct PredictArgs {
     repeat: usize,
     summary: bool,
     stats: bool,
+    trace_out: Option<String>,
     files: Vec<String>,
 }
 
@@ -128,6 +136,7 @@ fn parse_predict_args(args: &[String]) -> Result<PredictArgs, String> {
         repeat: 1,
         summary: false,
         stats: false,
+        trace_out: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -150,6 +159,7 @@ fn parse_predict_args(args: &[String]) -> Result<PredictArgs, String> {
             "--repeat" => out.repeat = parse_num(value("--repeat")?, "--repeat")?.max(1),
             "--summary" => out.summary = true,
             "--stats" => out.stats = true,
+            "--trace-out" => out.trace_out = Some(value("--trace-out")?.clone()),
             flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
             file => out.files.push(file.to_string()),
         }
@@ -164,8 +174,34 @@ fn parse_num(s: &str, name: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("{name} needs an integer"))
 }
 
+/// Resolves where the chrome://tracing profile should go: an explicit
+/// `--trace-out FILE` wins (and force-enables tracing); otherwise a
+/// `DEEPSEQ_TRACE=<path>` environment value supplies the path. Returns
+/// `None` when no profile should be written (tracing may still be on via
+/// `DEEPSEQ_TRACE=1`, feeding `/debug/trace` and the stage metrics only).
+fn resolve_trace_out(cli: &Option<String>) -> Option<String> {
+    use deepseq_nn::trace;
+    if let Some(path) = cli {
+        trace::set_enabled(true);
+        return Some(path.clone());
+    }
+    if trace::enabled() {
+        return trace::env_output_path();
+    }
+    None
+}
+
+/// Writes the accumulated spans as a chrome://tracing JSON profile.
+fn write_trace_profile(path: &str) -> Result<(), String> {
+    let json = deepseq_nn::trace::chrome_trace_json();
+    fs::write(path, &json).map_err(|e| format!("writing trace profile {path}: {e}"))?;
+    eprintln!("trace profile written to {path} ({} bytes)", json.len());
+    Ok(())
+}
+
 fn predict(args: &[String]) -> Result<(), String> {
     let args = parse_predict_args(args)?;
+    let trace_out = resolve_trace_out(&args.trace_out);
 
     let model = match &args.checkpoint {
         Some(path) => load_checkpoint(path)?,
@@ -225,6 +261,9 @@ fn predict(args: &[String]) -> Result<(), String> {
             100.0 * s.hit_ratio()
         );
     }
+    if let Some(path) = &trace_out {
+        write_trace_profile(path)?;
+    }
     Ok(())
 }
 
@@ -238,6 +277,7 @@ struct ServeArgs {
     max_inflight: usize,
     max_queue: usize,
     deadline_ms: u64,
+    trace_out: Option<String>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
@@ -252,6 +292,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         max_inflight: defaults.max_inflight,
         max_queue: defaults.max_queue,
         deadline_ms: defaults.deadline.as_millis() as u64,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -272,6 +313,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--deadline-ms" => {
                 out.deadline_ms = parse_num(value("--deadline-ms")?, "--deadline-ms")? as u64
             }
+            "--trace-out" => out.trace_out = Some(value("--trace-out")?.clone()),
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -280,6 +322,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
 
 fn serve(args: &[String]) -> Result<(), String> {
     let args = parse_serve_args(args)?;
+    let trace_out = resolve_trace_out(&args.trace_out);
     let model = match &args.checkpoint {
         Some(path) => load_checkpoint(path)?,
         None => {
@@ -319,6 +362,9 @@ fn serve(args: &[String]) -> Result<(), String> {
         "drained: {} requests served, {} connections abandoned",
         report.requests_served, report.connections_abandoned
     );
+    if let Some(path) = &trace_out {
+        write_trace_profile(path)?;
+    }
     Ok(())
 }
 

@@ -19,6 +19,9 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use deepseq_nn::trace::{StageStats, STAGE_BUCKET_BOUNDS_NS};
+use deepseq_nn::PoolStats;
+
 use crate::cache::CacheStats;
 
 pub use deepseq_nn::warning_count as config_warning_count;
@@ -125,9 +128,10 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the registry (plus the engine's cache counters and the
+    /// Renders the registry (plus the engine's cache counters, its pool's
+    /// scheduler counters, the per-stage span histograms, and the
     /// process-wide config-warning count) in Prometheus text format.
-    pub fn render(&self, cache: &CacheStats, draining: bool) -> String {
+    pub fn render(&self, cache: &CacheStats, pool: &PoolStats, draining: bool) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -269,6 +273,31 @@ impl Metrics {
             cache.hit_ratio(),
         );
 
+        gauge(
+            &mut out,
+            "deepseq_pool_threads",
+            "Worker-pool parallelism (workers + caller).",
+            pool.threads as f64,
+        );
+        counter(
+            &mut out,
+            "deepseq_pool_steals_total",
+            "Pool jobs dequeued from another worker's queue.",
+            pool.steals,
+        );
+        counter(
+            &mut out,
+            "deepseq_pool_parks_total",
+            "Times a pool worker parked on the idle condvar.",
+            pool.parks,
+        );
+        counter(
+            &mut out,
+            "deepseq_pool_wakeups_total",
+            "Parked pool workers woken by a job notification.",
+            pool.wakeups,
+        );
+
         counter(
             &mut out,
             "deepseq_config_warnings_total",
@@ -280,7 +309,67 @@ impl Metrics {
             .render(&mut out, "deepseq_http_request_duration_seconds");
         self.engine_latency
             .render(&mut out, "deepseq_engine_duration_seconds");
+        render_stage_seconds(&mut out, &deepseq_nn::trace::stage_stats());
         out
+    }
+}
+
+/// Renders the per-stage span histograms as one `deepseq_stage_seconds`
+/// family with a `stage` label, plus p50/p95 gauges per stage. Every
+/// [`SpanKind`](deepseq_nn::SpanKind) appears unconditionally (all-zero
+/// while tracing is off), so scrapers and the exposition contract tests
+/// never depend on the `DEEPSEQ_TRACE` switch.
+fn render_stage_seconds(out: &mut String, stages: &[StageStats]) {
+    let _ = writeln!(
+        out,
+        "# HELP deepseq_stage_seconds Span duration per pipeline stage \
+         (populated while DEEPSEQ_TRACE is on)."
+    );
+    let _ = writeln!(out, "# TYPE deepseq_stage_seconds histogram");
+    for stage in stages {
+        let name = stage.kind.name();
+        let mut cumulative = 0u64;
+        for (&bound_ns, &n) in STAGE_BUCKET_BOUNDS_NS.iter().zip(&stage.buckets) {
+            cumulative += n;
+            let _ = writeln!(
+                out,
+                "deepseq_stage_seconds_bucket{{stage=\"{name}\",le=\"{}\"}} {cumulative}",
+                bound_ns as f64 / 1e9
+            );
+        }
+        let _ = writeln!(
+            out,
+            "deepseq_stage_seconds_bucket{{stage=\"{name}\",le=\"+Inf\"}} {}",
+            stage.count
+        );
+        let _ = writeln!(
+            out,
+            "deepseq_stage_seconds_sum{{stage=\"{name}\"}} {}",
+            stage.sum_ns as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "deepseq_stage_seconds_count{{stage=\"{name}\"}} {}",
+            stage.count
+        );
+    }
+    for (metric, q) in [
+        ("deepseq_stage_p50_seconds", 0.5),
+        ("deepseq_stage_p95_seconds", 0.95),
+    ] {
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Approximate per-stage span duration quantile."
+        );
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for stage in stages {
+            let _ = writeln!(
+                out,
+                "{metric}{{stage=\"{}\"}} {}",
+                stage.kind.name(),
+                stage.quantile(q)
+            );
+        }
     }
 }
 
@@ -321,7 +410,13 @@ mod tests {
             entries: 4,
             capacity: 16,
         };
-        let text = m.render(&cache, true);
+        let pool = PoolStats {
+            threads: 4,
+            steals: 11,
+            parks: 5,
+            wakeups: 3,
+        };
+        let text = m.render(&cache, &pool, true);
         for needle in [
             "deepseq_requests_total{endpoint=\"embed\"} 7",
             "deepseq_responses_total{class=\"2xx\"} 1",
@@ -333,6 +428,14 @@ mod tests {
             "deepseq_cache_hit_ratio 0.75",
             "deepseq_config_warnings_total",
             "deepseq_http_request_duration_seconds_bucket{le=\"+Inf\"} 1",
+            "deepseq_pool_threads 4",
+            "deepseq_pool_steals_total 11",
+            "deepseq_pool_parks_total 5",
+            "deepseq_pool_wakeups_total 3",
+            "deepseq_stage_seconds_bucket{stage=\"gemm\",le=\"+Inf\"}",
+            "deepseq_stage_seconds_count{stage=\"queue_wait\"}",
+            "deepseq_stage_p50_seconds{stage=\"forward\"}",
+            "deepseq_stage_p95_seconds{stage=\"cache_lookup\"}",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

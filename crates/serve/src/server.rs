@@ -47,6 +47,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use deepseq_netlist::{lower_to_aig, parse_aiger, SeqAig};
+use deepseq_nn::trace;
 use deepseq_sim::Workload;
 
 use crate::engine::{Engine, ServeRequest};
@@ -226,12 +227,20 @@ struct ServerShared {
 impl ServerShared {
     fn request_drain(&self) {
         self.draining.store(true, Ordering::Release);
-        let _guard = self.drain_lock.lock().expect("drain lock");
-        self.drain_cv.notify_all();
+        self.notify_drain_waiters();
     }
 
     fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Wakes anything blocked on `drain_cv` (`shutdown`'s drain wait and
+    /// `wait_for_drain_request`). Called on every state change the drain
+    /// condition reads — drain requested, a connection closed, the
+    /// admission gate emptied — so the waiters never have to poll.
+    fn notify_drain_waiters(&self) {
+        let _guard = self.drain_lock.lock().expect("drain lock");
+        self.drain_cv.notify_all();
     }
 }
 
@@ -247,8 +256,7 @@ impl Drop for ConnectionGuard {
             .metrics
             .connections_open
             .fetch_sub(1, Ordering::Relaxed);
-        let _guard = self.shared.drain_lock.lock().expect("drain lock");
-        self.shared.drain_cv.notify_all();
+        self.shared.notify_drain_waiters();
     }
 }
 
@@ -361,10 +369,14 @@ impl HttpServer {
                 if now >= deadline {
                     break;
                 }
+                // Every input of the drained condition notifies `drain_cv`
+                // on change (connection close, admission release/expiry),
+                // so the full remaining grace can be slept in one wait —
+                // no polling cap adding up to 100 ms of shutdown latency.
                 let (next, _) = self
                     .shared
                     .drain_cv
-                    .wait_timeout(guard, (deadline - now).min(Duration::from_millis(100)))
+                    .wait_timeout(guard, deadline - now)
                     .expect("drain wait");
                 guard = next;
             }
@@ -457,10 +469,31 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
             response.close = true;
         }
         shared.metrics.count_status(response.status);
-        if write_response(&mut writer, &response).is_err() || response.close {
+        let wrote = {
+            // Re-enter the request's trace (echoed on the response) so
+            // the socket-write span joins its span tree.
+            let _trace = response_trace_scope(&response);
+            let _span = trace::span(trace::SpanKind::SocketWrite);
+            write_response(&mut writer, &response)
+        };
+        if wrote.is_err() || response.close {
             return;
         }
     }
+}
+
+/// Scope for the trace id a response carries in its `deepseq-trace-id`
+/// header, if tracing is on and the response has one.
+fn response_trace_scope(response: &HttpResponse) -> Option<trace::TraceScope> {
+    if !trace::enabled() {
+        return None;
+    }
+    response
+        .extra_headers
+        .iter()
+        .find(|(name, _)| name == "deepseq-trace-id")
+        .and_then(|(_, value)| value.parse::<u64>().ok())
+        .map(trace::scope)
 }
 
 /// Dispatches one parsed request to its endpoint.
@@ -470,9 +503,28 @@ fn route(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
         ("POST", "/v1/embed") => {
             metrics.requests_embed.fetch_add(1, Ordering::Relaxed);
             let start = Instant::now();
-            let response = embed(shared, request, start);
+            // Mint a per-request trace id at the edge; the thread-local
+            // scope carries it through the engine into pool tasks and
+            // kernel dispatch, and the response echoes it so clients can
+            // fetch the span tree from `/debug/trace?id=…`.
+            let trace_id = if trace::enabled() {
+                trace::next_trace_id()
+            } else {
+                0
+            };
+            let _trace = (trace_id != 0).then(|| trace::scope(trace_id));
+            let request_span = trace::span(trace::SpanKind::Request);
+            let mut response = embed(shared, request, start);
+            drop(request_span);
+            if trace_id != 0 {
+                response = response.with_header("deepseq-trace-id", trace_id.to_string());
+            }
             metrics.request_latency.observe(start.elapsed());
             response
+        }
+        ("GET", "/debug/trace") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            debug_trace(request)
         }
         ("GET", "/healthz") => {
             metrics.requests_healthz.fetch_add(1, Ordering::Relaxed);
@@ -488,14 +540,19 @@ fn route(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
         ("GET", "/metrics") => {
             metrics.requests_metrics.fetch_add(1, Ordering::Relaxed);
             let cache = shared.engine.cache_stats();
-            HttpResponse::text(200, metrics.render(&cache, shared.is_draining()))
+            let pool = shared.engine.pool().stats();
+            HttpResponse::text(200, metrics.render(&cache, &pool, shared.is_draining()))
         }
         ("POST", "/admin/drain") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             shared.request_drain();
             HttpResponse::json(200, "{\"status\":\"draining\"}").closing()
         }
-        (_, "/v1/embed") | (_, "/healthz") | (_, "/metrics") | (_, "/admin/drain") => {
+        (_, "/v1/embed")
+        | (_, "/healthz")
+        | (_, "/metrics")
+        | (_, "/admin/drain")
+        | (_, "/debug/trace") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, &format!("{} not allowed here", request.method))
         }
@@ -506,6 +563,35 @@ fn route(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
     }
 }
 
+/// `GET /debug/trace`: span-level introspection. With `?id=N` (the
+/// `deepseq-trace-id` echoed on a traced embed response), the span tree
+/// of that request; without a query, a per-stage latency summary.
+/// Answers `404` while tracing is disabled.
+fn debug_trace(request: &HttpRequest) -> HttpResponse {
+    if !trace::enabled() {
+        return HttpResponse::error(
+            404,
+            "tracing is disabled; set DEEPSEQ_TRACE=1 or pass --trace-out",
+        );
+    }
+    match request.query_param("id") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(id) if id > 0 => {
+                let records = trace::collect(id);
+                if records.is_empty() {
+                    return HttpResponse::error(404, &format!("no spans recorded for trace {id}"));
+                }
+                HttpResponse::json(200, crate::json::trace_tree_json(id, &records))
+            }
+            _ => HttpResponse::error(400, &format!("malformed trace id {raw:?}")),
+        },
+        None => HttpResponse::json(
+            200,
+            crate::json::stage_summary_json(&trace::stage_stats(), trace::dropped_spans()),
+        ),
+    }
+}
+
 /// `POST /v1/embed`: parse → admit → engine → JSON.
 fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> HttpResponse {
     let metrics = &shared.metrics;
@@ -513,10 +599,12 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
         metrics.rejected_draining.fetch_add(1, Ordering::Relaxed);
         return HttpResponse::error(503, "server is draining").closing();
     }
+    let parse_span = trace::span(trace::SpanKind::Parse);
     let serve_request = match parse_embed_request(request) {
         Ok(serve_request) => serve_request,
         Err(msg) => return HttpResponse::error(400, &msg),
     };
+    drop(parse_span);
     let summary = matches!(request.query_param("summary"), Some("1" | "true"));
     // Requests may tighten the configured deadline, never extend it.
     let deadline_budget = match request.query_param("deadline_ms") {
@@ -528,12 +616,15 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
     };
     let deadline = start + deadline_budget;
 
-    match shared.admission.acquire(
+    let queue_span = trace::span(trace::SpanKind::QueueWait);
+    let admit = shared.admission.acquire(
         shared.max_inflight,
         shared.options.max_queue,
         deadline,
         metrics,
-    ) {
+    );
+    drop(queue_span);
+    match admit {
         Admit::QueueFull => {
             metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(429, "admission queue is full; retry later")
@@ -541,6 +632,9 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
         }
         Admit::DeadlineExpired => {
             metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            // The expired request left the admission queue: a draining
+            // shutdown may be waiting for exactly that.
+            shared.notify_drain_waiters();
             HttpResponse::error(504, "deadline expired while queued")
         }
         Admit::Go => {
@@ -549,13 +643,17 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
             // pool's scoped queues.
             let mut responses = shared.engine.serve_batch(vec![serve_request]);
             shared.admission.release(metrics);
+            shared.notify_drain_waiters();
             let response = responses.pop().expect("one response per request");
             if Instant::now() > deadline {
                 metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 return HttpResponse::error(504, "deadline expired during processing");
             }
             let status = if response.result.is_ok() { 200 } else { 400 };
-            HttpResponse::json(status, response_to_json(&response, summary))
+            let serialize_span = trace::span(trace::SpanKind::Serialize);
+            let body = response_to_json(&response, summary);
+            drop(serialize_span);
+            HttpResponse::json(status, body)
         }
     }
 }

@@ -71,6 +71,51 @@ fn drain_completes_in_flight_requests_and_accepts_no_new_connections() {
     assert!(refused.is_err(), "listener still accepting after drain");
 }
 
+/// Shutdown returns promptly once the drained condition flips: every
+/// input of the condition (connection close, admission release, deadline
+/// expiry) pokes the drain condvar, so the waiter sleeps the full grace in
+/// one wait instead of polling on a 100 ms timer. An idle keep-alive
+/// connection pins the server un-drained for 300 ms; once the client
+/// closes it, shutdown must return within a few milliseconds — far under
+/// the old polling cap, which added up to 100 ms of pure latency here.
+#[test]
+fn shutdown_returns_promptly_after_the_last_connection_closes() {
+    let server = HttpServer::bind(test_engine(2), ServerOptions::default()).expect("bind");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while metrics.connections_open.load(Ordering::Relaxed) != 1 {
+        assert!(Instant::now() < deadline, "connection never registered");
+        std::thread::yield_now();
+    }
+
+    let closed_at = std::sync::Arc::new(std::sync::Mutex::new(None));
+    let closer = {
+        let closed_at = std::sync::Arc::clone(&closed_at);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            *closed_at.lock().expect("closed_at") = Some(Instant::now());
+            drop(stream);
+        })
+    };
+    let report = server.shutdown();
+    let returned = Instant::now();
+    closer.join().expect("closer thread");
+
+    assert_eq!(report.connections_abandoned, 0);
+    let closed_at = closed_at
+        .lock()
+        .expect("closed_at")
+        .expect("close recorded");
+    let lag = returned.duration_since(closed_at);
+    assert!(
+        lag < Duration::from_millis(60),
+        "shutdown lagged the connection close by {lag:?}"
+    );
+}
+
 /// A drain with nothing in flight shuts down promptly and cleanly.
 #[test]
 fn idle_drain_is_immediate() {

@@ -12,7 +12,7 @@ use deepseq_serve::json::response_to_json;
 use deepseq_serve::{HttpServer, ServeRequest, ServerOptions};
 use deepseq_sim::Workload;
 
-use util::{counter_aiger, exchange, raw_exchange, test_engine};
+use util::{assert_prometheus_contract, counter_aiger, exchange, raw_exchange, test_engine};
 
 fn boot(options: ServerOptions) -> (HttpServer, SocketAddr) {
     let server = HttpServer::bind(test_engine(2), options).expect("bind loopback");
@@ -121,6 +121,9 @@ fn concurrent_load_is_all_2xx_and_bitwise_identical_to_in_process() {
             metrics.body
         );
     }
+    // Beyond the spot checks: the whole payload must be well-formed
+    // Prometheus exposition with internally consistent histograms.
+    assert_prometheus_contract(&metrics.body);
 
     let report = server.shutdown();
     assert_eq!(report.requests_served, 72);

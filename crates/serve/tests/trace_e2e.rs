@@ -1,0 +1,143 @@
+//! End-to-end tracing: a real request against a real server produces a
+//! span tree covering the whole pipeline, the stage metrics fill in, and
+//! the chrome://tracing export stays well-formed.
+//!
+//! Tracing state is process-global, so the whole enabled/disabled
+//! sequence lives in ONE test function — parallel test threads must not
+//! race `set_enabled`.
+
+mod util;
+
+use deepseq_nn::trace;
+use deepseq_serve::{HttpServer, ServerOptions};
+
+use util::{assert_prometheus_contract, counter_aiger, exchange, raw_exchange, test_engine};
+
+/// Pulls a header value out of a raw HTTP response.
+fn header(raw: &[u8], name: &str) -> Option<String> {
+    let text = String::from_utf8_lossy(raw);
+    text.split("\r\n\r\n").next()?.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.eq_ignore_ascii_case(name)
+            .then(|| value.trim().to_string())
+    })
+}
+
+#[test]
+fn tracing_covers_the_pipeline_end_to_end() {
+    let server = HttpServer::bind(test_engine(2), ServerOptions::default()).expect("bind");
+    let addr = server.local_addr();
+
+    // Disabled (the default): the debug endpoint refuses, requests carry
+    // no trace id header.
+    assert!(!trace::enabled(), "tracing must default to off");
+    let refused = exchange(addr, "GET", "/debug/trace", b"");
+    assert_eq!(refused.status, 404, "{}", refused.body);
+    let body = counter_aiger(50);
+    let raw = raw_exchange(
+        addr,
+        format!(
+            "POST /v1/embed?id=1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes(),
+    );
+    assert_eq!(util::parse_response(&raw).status, 200);
+    assert!(header(&raw, "deepseq-trace-id").is_none());
+
+    // Enabled: the same request is traced under a fresh request id.
+    trace::set_enabled(true);
+    let body = counter_aiger(51);
+    let raw = raw_exchange(
+        addr,
+        format!(
+            "POST /v1/embed?id=2 HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes(),
+    );
+    assert_eq!(util::parse_response(&raw).status, 200);
+    let trace_id = header(&raw, "deepseq-trace-id").expect("traced response carries its id");
+    let trace_id: u64 = trace_id.parse().expect("numeric trace id");
+    assert!(trace_id > 0);
+
+    // The span tree covers the pipeline: queue wait, cache lookup, the
+    // per-level fan-out and the GEMM leaves, all under one request span.
+    let tree = exchange(addr, "GET", &format!("/debug/trace?id={trace_id}"), b"");
+    assert_eq!(tree.status, 200, "{}", tree.body);
+    assert!(tree.body.starts_with(&format!("{{\"trace\":{trace_id},")));
+    for kind in [
+        "request",
+        "parse",
+        "queue_wait",
+        "cache_lookup",
+        "forward",
+        "level_chunk",
+        "gemm",
+        "serialize",
+    ] {
+        assert!(
+            tree.body.contains(&format!("\"kind\":\"{kind}\"")),
+            "span tree misses {kind}:\n{}",
+            tree.body
+        );
+    }
+    // GEMM spans decode their packed dimensions.
+    assert!(tree.body.contains("\"dims\":["), "{}", tree.body);
+
+    // Unknown and malformed ids fail cleanly.
+    assert_eq!(
+        exchange(addr, "GET", "/debug/trace?id=99999999", b"").status,
+        404
+    );
+    assert_eq!(
+        exchange(addr, "GET", "/debug/trace?id=bogus", b"").status,
+        400
+    );
+
+    // The id-less form is the per-stage latency summary.
+    let summary = exchange(addr, "GET", "/debug/trace", b"");
+    assert_eq!(summary.status, 200);
+    assert!(summary.body.starts_with("{\"dropped_spans\":"));
+    assert!(
+        summary.body.contains("{\"stage\":\"gemm\","),
+        "{}",
+        summary.body
+    );
+
+    // The stage histograms feed /metrics, and the payload as a whole honours
+    // the Prometheus exposition contract.
+    let metrics = exchange(addr, "GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    assert_prometheus_contract(&metrics.body);
+    let gemm_count: f64 = metrics
+        .body
+        .lines()
+        .find_map(|line| line.strip_prefix("deepseq_stage_seconds_count{stage=\"gemm\"} "))
+        .expect("gemm stage count present")
+        .trim()
+        .parse()
+        .expect("numeric");
+    assert!(gemm_count > 0.0, "no gemm observations:\n{}", metrics.body);
+
+    // The chrome://tracing export is structurally sound and includes the
+    // spans recorded above.
+    let profile = trace::chrome_trace_json();
+    assert!(profile.starts_with("{\"traceEvents\":["), "{profile:.120}");
+    assert!(
+        profile.ends_with("]}"),
+        "…{}",
+        &profile[profile.len().saturating_sub(120)..]
+    );
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"ph\":\"M\"",
+        "\"name\":\"gemm\"",
+        "\"ts\":",
+    ] {
+        assert!(profile.contains(needle), "profile misses {needle}");
+    }
+
+    trace::set_enabled(false);
+    server.shutdown();
+}

@@ -62,6 +62,122 @@ pub fn parse_response(raw: &[u8]) -> Response {
     Response { status, body }
 }
 
+/// Asserts the Prometheus text-exposition correctness of a `/metrics`
+/// payload, beyond any individual test's needles:
+///
+/// * every line is `name[{labels}] value` with a numeric value;
+/// * every histogram series has ascending `le` bounds, monotonically
+///   non-decreasing cumulative bucket counts, a `+Inf` bucket, and
+///   matching `_sum` / `_count` lines with `_count` == the `+Inf` bucket;
+/// * the pool and per-stage families added by the tracing layer are
+///   present (`deepseq_pool_*`, `deepseq_stage_seconds`) — they are part
+///   of the contract whether or not tracing is enabled.
+///
+/// Not every test binary scrapes `/metrics`, so the helper may go unused
+/// in some of them.
+#[allow(dead_code)]
+pub fn assert_prometheus_contract(text: &str) {
+    use std::collections::BTreeMap;
+    // (family, labels-without-le) → [(le, cumulative count)] in file order.
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut values: BTreeMap<String, f64> = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed metrics line: {line}"));
+        let value: f64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric metrics value: {line}"));
+        values.insert(series.to_string(), value);
+        let Some((name, rest)) = series.split_once('{') else {
+            continue;
+        };
+        let Some(family) = name.strip_suffix("_bucket") else {
+            continue;
+        };
+        let labels = rest
+            .strip_suffix('}')
+            .unwrap_or_else(|| panic!("unterminated label set: {line}"));
+        let mut le = None;
+        let mut others = Vec::new();
+        for label in labels.split(',') {
+            if let Some(bound) = label.strip_prefix("le=") {
+                let bound = bound.trim_matches('"');
+                le = Some(if bound == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    bound
+                        .parse()
+                        .unwrap_or_else(|_| panic!("unparseable le bound: {line}"))
+                });
+            } else if !label.is_empty() {
+                others.push(label);
+            }
+        }
+        let le = le.unwrap_or_else(|| panic!("bucket without le label: {line}"));
+        buckets
+            .entry((family.to_string(), others.join(",")))
+            .or_default()
+            .push((le, value));
+    }
+    assert!(!buckets.is_empty(), "no histogram series in /metrics");
+    for ((family, labels), series) in &buckets {
+        let id = format!("{family}{{{labels}}}");
+        for pair in series.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "{id}: le bounds not ascending ({} then {})",
+                pair[0].0,
+                pair[1].0
+            );
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "{id}: cumulative bucket counts decrease ({} at le={}, then {} at le={})",
+                pair[0].1,
+                pair[0].0,
+                pair[1].1,
+                pair[1].0
+            );
+        }
+        let (last_le, inf_count) = *series.last().expect("non-empty series");
+        assert!(last_le.is_infinite(), "{id}: missing le=\"+Inf\" bucket");
+        let scalar = |suffix: &str| -> f64 {
+            let key = if labels.is_empty() {
+                format!("{family}_{suffix}")
+            } else {
+                format!("{family}_{suffix}{{{labels}}}")
+            };
+            *values
+                .get(&key)
+                .unwrap_or_else(|| panic!("{id}: missing {family}_{suffix} line"))
+        };
+        assert_eq!(
+            scalar("count"),
+            inf_count,
+            "{id}: +Inf bucket disagrees with _count"
+        );
+        assert!(scalar("sum") >= 0.0, "{id}: negative _sum");
+    }
+    for required in [
+        "deepseq_pool_threads ",
+        "deepseq_pool_steals_total ",
+        "deepseq_pool_parks_total ",
+        "deepseq_pool_wakeups_total ",
+        "deepseq_stage_seconds_bucket{",
+        "deepseq_stage_p50_seconds{",
+        "deepseq_stage_p95_seconds{",
+    ] {
+        assert!(
+            text.lines().any(|line| line.starts_with(required)),
+            "`{required}` missing from /metrics:\n{text}"
+        );
+    }
+}
+
 /// A deterministic engine (hidden 8, 2 iterations, fresh seeded weights)
 /// on its own `threads`-wide pool.
 pub fn test_engine(threads: usize) -> Engine {
