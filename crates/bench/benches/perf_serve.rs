@@ -91,7 +91,7 @@ fn bench_tapefree_forward(c: &mut Criterion) {
 /// the raw GEMM microbenches of `perf_kernels`.
 fn bench_tapefree_per_kernel(c: &mut Criterion) {
     for f in fixtures() {
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::ALL.into_iter().chain([Kernel::Simd]) {
             let mut ws = Workspace::with_pool(kernel, Arc::new(Pool::new(1)));
             c.bench_function(
                 &format!("serve_tapefree_{}_{}", kernel.name(), f.tag),

@@ -16,8 +16,9 @@
 //! (`id`, `unit`, `mean`, `median`, `min`, `max`, …), so the output embeds
 //! them verbatim under their benchmark ids, sorted for stable diffs. A
 //! `derived` section adds the ratios the acceptance criteria and the README
-//! table read: tape → tape-free speedup per design, naive → blocked/packed
-//! kernel speedup per GEMM shape and for the fused GRU gate, and the
+//! table read: tape → tape-free speedup per design, naive →
+//! blocked/packed/simd kernel speedup per GEMM shape and for the fused GRU
+//! gate, and the
 //! 1-thread → N-thread speedups of the `perf_threads` and `perf_train`
 //! entries (`serve_mt_<what>_t<N>_<rest>` → `mt_speedup_<what>_t<N>_<rest>`,
 //! `serve_train_<what>_t<N>_<rest>` → `train_speedup_<what>_t<N>_<rest>`).
@@ -160,8 +161,8 @@ fn derive_speedups(means: &[(String, f64)]) -> Vec<(String, f64)> {
                 out.push((format!("tapefree_speedup_{tag}"), tape / mean));
             }
         }
-        // Naive → blocked/packed GEMM, per shape.
-        for kernel in ["blocked", "packed"] {
+        // Naive → blocked/packed/simd GEMM, per shape.
+        for kernel in ["blocked", "packed", "simd"] {
             if let Some(rest) = name.strip_prefix(&format!("serve_kernel_{kernel}_")) {
                 if let Some(naive) = mean_of(&format!("serve_kernel_naive_{rest}")) {
                     out.push((format!("kernel_speedup_{kernel}_{rest}"), naive / mean));

@@ -1,0 +1,212 @@
+//! Per-shape autotuning behind [`Kernel::Auto`]'s resolve step.
+//!
+//! The static shape heuristic (tiny → naive, L1-busting → packed, rest →
+//! blocked) is a decent prior but wrong at the margins, and the best
+//! `k`-panel height for the blocked kernel depends on the operand shape.
+//! Instead of guessing, `Auto` runs an interleaved A/B trial on the first
+//! few products of each exact `(family, m, k, n)` shape: every candidate
+//! `(kernel, kc)` configuration is timed [`TRIALS`] times round-robin,
+//! then the fastest observed configuration is **pinned** and used for
+//! every later product of that shape — which is exactly the serving
+//! access pattern (the same model shapes recur per request).
+//!
+//! Every candidate in bitwise mode is a bitwise kernel, and in fast mode
+//! `Auto` resolves straight to [`Kernel::Simd`] without trials, so tuning
+//! can never mix arithmetic modes within a process: which candidate runs
+//! affects only *when* the answer arrives, never its bits.
+//!
+//! Bookkeeping costs one mutex-protected hash lookup per tuned product
+//! (products under the tiny-shape cutoff never reach the tuner), and two
+//! `Instant` reads per *trial* product only; pinned shapes skip the
+//! clock entirely. The table is capped at [`MAX_SHAPES`] distinct shapes
+//! — beyond that, new shapes fall back to the static heuristic.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use super::{Kernel, KC};
+
+/// Timed trials per candidate before a shape is pinned.
+const TRIALS: u32 = 2;
+
+/// Distinct `(family, m, k, n)` shapes tracked before falling back to the
+/// static heuristic (bounds table memory under adversarial shape churn).
+const MAX_SHAPES: usize = 1024;
+
+/// Which product family a shape belongs to — `a×b`, `aᵀ×b` and `a×bᵀ`
+/// have different memory behavior for the same dimension triple, so they
+/// tune independently.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub(super) enum Family {
+    /// Plain `a × b` (also the fused entry points' products).
+    Gemm,
+    /// `aᵀ × b` (tape backward pass).
+    TGemm,
+    /// `a × bᵀ` (tape backward pass).
+    BtGemm,
+}
+
+/// One tunable execution configuration: a concrete bitwise kernel plus
+/// the `k`-panel height for the blocked kernel (0 when unused).
+#[derive(Clone, Copy)]
+pub(super) struct Candidate {
+    pub kernel: Kernel,
+    pub kc: usize,
+}
+
+/// The static per-shape `k`-panel height for the blocked kernel: size the
+/// `kc × n` panel of `b` to roughly 32 KiB of L1, clamped to sane tiles.
+pub(super) fn kc_for(k: usize, n: usize) -> usize {
+    ((32 * 1024 / 4) / n.max(1))
+        .clamp(KC / 2, KC * 4)
+        .min(k.max(1))
+}
+
+/// The pre-tuning prior: the original shape heuristic (packed once the
+/// right-hand operand outgrows L1, blocked otherwise). Also the terminal
+/// answer when the shape table is full. `k` is the contraction dimension.
+fn static_candidate(k: usize, n: usize) -> Candidate {
+    if k.saturating_mul(n) >= 32_768 {
+        Candidate {
+            kernel: Kernel::Packed,
+            kc: 0,
+        }
+    } else {
+        Candidate {
+            kernel: Kernel::Blocked,
+            kc: kc_for(k, n),
+        }
+    }
+}
+
+fn candidates(family: Family, k: usize) -> Vec<Candidate> {
+    match family {
+        // The bt kernels stream the whole contraction per output element;
+        // kc does not apply.
+        Family::BtGemm => vec![
+            Candidate {
+                kernel: Kernel::Blocked,
+                kc: 0,
+            },
+            Candidate {
+                kernel: Kernel::Packed,
+                kc: 0,
+            },
+        ],
+        Family::Gemm | Family::TGemm => {
+            let mut out: Vec<Candidate> = [KC / 2, KC, KC * 2]
+                .into_iter()
+                .filter(|&kc| kc < k)
+                .map(|kc| Candidate {
+                    kernel: Kernel::Blocked,
+                    kc,
+                })
+                .collect();
+            // The single-panel (or largest-tile) configuration.
+            out.push(Candidate {
+                kernel: Kernel::Blocked,
+                kc: k.clamp(1, KC * 4),
+            });
+            out.push(Candidate {
+                kernel: Kernel::Packed,
+                kc: 0,
+            });
+            out
+        }
+    }
+}
+
+struct State {
+    candidates: Vec<Candidate>,
+    /// Best observed wall time per candidate; `u64::MAX` until finished
+    /// at least once.
+    best_ns: Vec<u64>,
+    /// Times each candidate was handed out for a trial.
+    handed: Vec<u32>,
+    pinned: Option<usize>,
+}
+
+type Key = (Family, usize, usize, usize);
+
+/// An in-flight timed trial; report it back via [`finish`] right after
+/// the product completes.
+pub(super) struct Trial {
+    key: Key,
+    idx: usize,
+    start: Instant,
+}
+
+fn table() -> &'static Mutex<HashMap<Key, State>> {
+    static TABLE: OnceLock<Mutex<HashMap<Key, State>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The configuration to run for one product of this shape: the pinned
+/// winner once tuning converged, otherwise the least-tried candidate
+/// together with a [`Trial`] to time it under.
+pub(super) fn pick(family: Family, m: usize, k: usize, n: usize) -> (Candidate, Option<Trial>) {
+    let key = (family, m, k, n);
+    let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+    if table.len() >= MAX_SHAPES && !table.contains_key(&key) {
+        return (static_candidate(k, n), None);
+    }
+    let state = table.entry(key).or_insert_with(|| {
+        let candidates = candidates(family, k);
+        let len = candidates.len();
+        State {
+            candidates,
+            best_ns: vec![u64::MAX; len],
+            handed: vec![0; len],
+            pinned: None,
+        }
+    });
+    if let Some(p) = state.pinned {
+        return (state.candidates[p], None);
+    }
+    let idx = state
+        .handed
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &h)| h)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    state.handed[idx] += 1;
+    (
+        state.candidates[idx],
+        Some(Trial {
+            key,
+            idx,
+            start: Instant::now(),
+        }),
+    )
+}
+
+/// Record a finished trial; pins the shape to its fastest observed
+/// candidate once every candidate has [`TRIALS`] completed timings.
+pub(super) fn finish(trial: Trial) {
+    let ns = trial.start.elapsed().as_nanos() as u64;
+    let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+    let Some(state) = table.get_mut(&trial.key) else {
+        return;
+    };
+    state.best_ns[trial.idx] = state.best_ns[trial.idx].min(ns);
+    if state.pinned.is_none()
+        && state.handed.iter().all(|&h| h >= TRIALS)
+        && state.best_ns.iter().all(|&b| b < u64::MAX)
+    {
+        state.pinned = state
+            .best_ns
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &b)| b)
+            .map(|(i, _)| i);
+    }
+}
+
+/// The pinned winner for a shape, if tuning has converged on one.
+pub(super) fn pinned(family: Family, m: usize, k: usize, n: usize) -> Option<Candidate> {
+    let table = table().lock().unwrap_or_else(|e| e.into_inner());
+    let state = table.get(&(family, m, k, n))?;
+    state.pinned.map(|p| state.candidates[p])
+}

@@ -9,7 +9,10 @@
 //! * [`Matrix`] — dense row-major `f32` matrices;
 //! * [`kernels`] — cache-blocked GEMM variants behind the [`Kernel`]
 //!   dispatch enum (selectable via `DEEPSEQ_KERNEL`), including the fused
-//!   gate op `act(x·W + h·U + b)` used by both training and serving;
+//!   gate op `act(x·W + h·U + b)` used by both training and serving, plus
+//!   the opt-in AVX2/FMA fast mode (`DEEPSEQ_KERNEL=simd`) governed by the
+//!   two-mode numerics contract documented in [`kernels`] and tested with
+//!   the [`numerics`] comparison primitives;
 //! * [`pool`] — the persistent worker [`Pool`] (sized by `DEEPSEQ_THREADS`)
 //!   that large products, the serve path and the data-parallel training
 //!   loop fan out across, with results bitwise-identical at any thread
@@ -59,6 +62,7 @@ pub mod config;
 pub mod kernels;
 pub mod layers;
 pub mod matrix;
+pub mod numerics;
 pub mod optim;
 pub mod params;
 pub mod pool;
@@ -66,7 +70,7 @@ pub mod tape;
 pub mod trace;
 
 pub use config::{report_warning, warning_count, warnings};
-pub use kernels::{Act, Kernel};
+pub use kernels::{simd_accelerated, Act, Kernel};
 pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::Adam;

@@ -1,0 +1,142 @@
+//! Floating-point comparison primitives for the two-mode numerics
+//! contract.
+//!
+//! Bitwise mode needs no tooling — `assert_eq!` is the whole contract.
+//! Fast mode ([`Kernel::Simd`](crate::Kernel::Simd)) promises *bounded*
+//! divergence from the reference kernels, and these are the primitives
+//! the property suites (and serve-side equivalence tests) state those
+//! bounds with: relative error against a reference, and ULP distance —
+//! "how many representable floats apart" — which is the right unit for
+//! "almost the same rounding". The shared test harness in
+//! `crates/nn/tests/util` wraps these in assertion helpers; serve/core
+//! suites use them directly.
+
+/// Distance between two `f32`s in units-in-the-last-place: the number of
+/// representable values strictly between them (0 when bitwise-equal, and
+/// also 0 for `+0.0` vs `-0.0`, which are numerically identical).
+/// `u64::MAX` if either value is NaN — NaN is never "close" to anything.
+///
+/// Works across the zero crossing by mapping the IEEE-754 bit patterns
+/// onto a monotonic signed line first.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Order-preserving map of f32 onto i64: negatives mirror below zero.
+    fn ordered(x: f32) -> i64 {
+        let bits = x.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            -((bits & 0x7FFF_FFFF) as i64)
+        } else {
+            bits as i64
+        }
+    }
+    (ordered(a) - ordered(b)).unsigned_abs()
+}
+
+/// The largest [`ulp_distance`] over two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn max_ulp_distance(a: &[f32], b: &[f32]) -> u64 {
+    assert_eq!(a.len(), b.len(), "max_ulp_distance length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ulp_distance(x, y))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Relative error of `got` against `want`, with the denominator clamped
+/// to at least 1 so tiny references don't blow the ratio up:
+/// `|got − want| / max(1, |want|)`. NaN propagates (and therefore fails
+/// any `<= eps` comparison).
+pub fn rel_err(got: f32, want: f32) -> f32 {
+    (got - want).abs() / want.abs().max(1.0)
+}
+
+/// The largest [`rel_err`] over two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn max_rel_err(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len(), "max_rel_err length mismatch");
+    got.iter()
+        .zip(want)
+        .map(|(&g, &w)| rel_err(g, w))
+        .fold(0.0, f32::max)
+}
+
+/// Is every element of `got` within relative error `eps` of `want`
+/// (clamped denominator, see [`rel_err`])? `Err` carries the first
+/// offending index with both values — ready to bubble into a proptest or
+/// assertion message.
+// `!(err <= eps)` rather than `err > eps`: NaN must fail the comparison.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn close_rel(got: &[f32], want: &[f32], eps: f32) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "length mismatch: got {} vs want {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let err = rel_err(g, w);
+        if !(err <= eps) {
+            return Err(format!(
+                "element {i}: got {g:e}, want {w:e} (rel err {err:e} > {eps:e})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(
+            ulp_distance(-1.0, f32::from_bits((-1.0f32).to_bits() + 1)),
+            1
+        );
+        // Crossing zero: one step either side of ±0.
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(1.0, f32::NAN), u64::MAX);
+    }
+
+    #[test]
+    fn rel_err_clamps_denominator() {
+        assert_eq!(rel_err(1.0, 1.0), 0.0);
+        assert!((rel_err(1.1, 1.0) - 0.1).abs() < 1e-6);
+        // |want| < 1 → absolute error.
+        assert_eq!(rel_err(0.001, 0.0), 0.001);
+        assert!((rel_err(101.0, 100.0) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn close_rel_reports_first_offender() {
+        assert!(close_rel(&[1.0, 2.0], &[1.0, 2.0], 0.0).is_ok());
+        assert!(close_rel(&[1.0], &[1.0, 2.0], 0.5).is_err());
+        let err = close_rel(&[1.0, 9.0], &[1.0, 2.0], 0.1).unwrap_err();
+        assert!(err.contains("element 1"), "{err}");
+        // NaN never passes.
+        assert!(close_rel(&[f32::NAN], &[1.0], 1e9).is_err());
+    }
+
+    #[test]
+    fn max_helpers_scan_whole_slices() {
+        assert_eq!(max_ulp_distance(&[], &[]), 0);
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, f32::from_bits(2.0f32.to_bits() + 3), 3.0];
+        assert_eq!(max_ulp_distance(&a, &b), 3);
+        assert!((max_rel_err(&[1.0, 2.2], &[1.0, 2.0]) - 0.1).abs() < 1e-6);
+    }
+}

@@ -350,13 +350,15 @@ pub fn span_with(kind: SpanKind, detail: u64) -> Span {
 }
 
 /// Pack a GEMM shape into a span detail (`m`, `k`, `n` each capped at
-/// 2²⁰−1; serving shapes are far smaller).
+/// 2²⁰−1; serving shapes are far smaller). Bits 60–63 are left free for
+/// the kernel tag of [`pack_gemm`].
 pub fn pack_dims(m: usize, k: usize, n: usize) -> u64 {
     const MASK: u64 = (1 << 20) - 1;
     ((m as u64 & MASK) << 40) | ((k as u64 & MASK) << 20) | (n as u64 & MASK)
 }
 
-/// Inverse of [`pack_dims`].
+/// Inverse of [`pack_dims`] (the kernel-tag bits of [`pack_gemm`] details
+/// are ignored).
 pub fn unpack_dims(detail: u64) -> (usize, usize, usize) {
     const MASK: u64 = (1 << 20) - 1;
     (
@@ -364,6 +366,32 @@ pub fn unpack_dims(detail: u64) -> (usize, usize, usize) {
         ((detail >> 20) & MASK) as usize,
         (detail & MASK) as usize,
     )
+}
+
+/// Pack a GEMM shape *and* the concrete kernel that computed it (as a
+/// [`kernel_tag_name`] tag in the four bits [`pack_dims`] leaves free), so
+/// `/debug/trace` can tell simd work from scalar work per span.
+pub fn pack_gemm(m: usize, k: usize, n: usize, kernel_tag: u8) -> u64 {
+    pack_dims(m, k, n) | ((kernel_tag as u64 & 0xF) << 60)
+}
+
+/// The kernel tag carried by a [`pack_gemm`] detail (0 on details packed
+/// by plain [`pack_dims`], i.e. "kernel unknown").
+pub fn unpack_kernel_tag(detail: u64) -> u8 {
+    ((detail >> 60) & 0xF) as u8
+}
+
+/// The kernel name a [`pack_gemm`] tag stands for; `None` for the
+/// untagged value 0 and anything out of range. Tags are assigned by
+/// `Kernel::trace_tag` in [`crate::kernels`].
+pub fn kernel_tag_name(tag: u8) -> Option<&'static str> {
+    match tag {
+        1 => Some("naive"),
+        2 => Some("blocked"),
+        3 => Some("packed"),
+        4 => Some("simd"),
+        _ => None,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -694,5 +722,19 @@ mod tests {
             unpack_dims(pack_dims(1 << 19, 1234, (1 << 20) - 1)),
             (1 << 19, 1234, (1 << 20) - 1)
         );
+    }
+
+    #[test]
+    fn kernel_tags_ride_alongside_dims() {
+        for tag in 0..=4u8 {
+            let detail = pack_gemm(7, 1234, (1 << 20) - 1, tag);
+            assert_eq!(unpack_dims(detail), (7, 1234, (1 << 20) - 1));
+            assert_eq!(unpack_kernel_tag(detail), tag);
+        }
+        // Plain pack_dims details are untagged.
+        assert_eq!(unpack_kernel_tag(pack_dims(3, 4, 5)), 0);
+        assert_eq!(kernel_tag_name(0), None);
+        assert_eq!(kernel_tag_name(4), Some("simd"));
+        assert_eq!(kernel_tag_name(15), None);
     }
 }

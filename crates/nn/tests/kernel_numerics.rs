@@ -1,0 +1,229 @@
+//! The fast-mode half of the two-mode numerics contract, property-tested.
+//!
+//! [`Kernel::Simd`] deliberately breaks bitwise equality with the
+//! reference kernels (fused multiply-adds round once, the bitwise kernels
+//! round twice), so its contract is stated in *bounds* instead:
+//!
+//! * **Accuracy** — every product family (`matmul`, `t_matmul`,
+//!   `matmul_t`, the fused gate and linear entry points) stays within
+//!   `1e-5` of the naive kernel in the backward-error sense: per output
+//!   element, `|simd − naive| ≤ 1e-5 · max(1, Σₖ|aᵢₖ||bₖⱼ|)`. The scale
+//!   is the same contraction over absolute values — the quantity the
+//!   rounding of *either* side is actually proportional to — so the bound
+//!   stays meaningful where cancellation drives the output near zero.
+//! * **Bounded ULP distance** — on well-conditioned elements (those not
+//!   dominated by cancellation, `|naive| ≥ scale/8`) the two kernels land
+//!   within [`ULP_CAP`] representable floats of each other. Worst case
+//!   analytically: fused-vs-split rounding differs by ≤ `2k` units in the
+//!   last place of `scale ≤ 8·|naive|`, i.e. ≤ `8k` ULP of the output —
+//!   under the cap for every generated contraction length.
+//! * **Self-determinism** — fast mode changes *which* bits, never their
+//!   dependence on run or thread count: repeated products and every
+//!   `DEEPSEQ_THREADS`-style pool size produce identical bits, on AVX2
+//!   hardware and on the portable fallback alike.
+//!
+//! These properties hold whether or not the host has AVX2 — the portable
+//! fused fallback produces the same bits — so this suite never skips.
+//! Degenerate shapes (empty, `1×N`, `N×1`) ride along in the shared
+//! operand generators.
+
+use deepseq_nn::{Act, Kernel, Matrix, Pool};
+use proptest::prelude::*;
+
+mod util;
+use util::{gate_operands, gemm_operands, transpose_operands, ulp_distance};
+
+/// The documented fast-mode relative-error bound (backward-error sense).
+const REL_EPS: f32 = 1e-5;
+
+/// ULP cap on well-conditioned elements (see module docs for the margin).
+const ULP_CAP: u64 = 2048;
+
+/// Elements with `|naive| ≥ scale / CONDITION_CUT` are considered
+/// well-conditioned enough for the ULP check.
+const CONDITION_CUT: f32 = 8.0;
+
+fn abs_of(m: &Matrix) -> Matrix {
+    m.map(f32::abs)
+}
+
+/// Check `got` against `want` under the fast-mode contract, where
+/// `scale[i]` is the absolute-value contraction for element `i`.
+// `!(diff <= bound)` rather than `diff > bound`: NaN must fail the check.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn check_contract(got: &Matrix, want: &Matrix, scale: &Matrix, what: &str) -> Result<(), String> {
+    if got.shape() != want.shape() {
+        return Err(format!(
+            "{what}: shape {:?} vs {:?}",
+            got.shape(),
+            want.shape()
+        ));
+    }
+    for (i, ((&g, &w), &s)) in got
+        .data()
+        .iter()
+        .zip(want.data())
+        .zip(scale.data())
+        .enumerate()
+    {
+        let bound = REL_EPS * s.max(1.0);
+        if !((g - w).abs() <= bound) {
+            return Err(format!(
+                "{what} elem {i}: {g:e} vs naive {w:e} (|diff| {:e} > {bound:e}, scale {s:e})",
+                (g - w).abs()
+            ));
+        }
+        if w.abs() >= s / CONDITION_CUT {
+            let ulp = ulp_distance(g, w);
+            if ulp > ULP_CAP {
+                return Err(format!(
+                    "{what} elem {i}: {g:e} vs naive {w:e} is {ulp} ULP apart (cap {ULP_CAP})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simd_matmul_meets_the_contract(seed in any::<u64>()) {
+        let (a, b) = gemm_operands(seed);
+        let want = Kernel::Naive.matmul(&a, &b);
+        let got = Kernel::Simd.matmul(&a, &b);
+        let scale = Kernel::Naive.matmul(&abs_of(&a), &abs_of(&b));
+        let res = check_contract(&got, &want, &scale, "matmul");
+        prop_assert!(res.is_ok(), "{:?}", res);
+    }
+
+    #[test]
+    fn simd_transpose_products_meet_the_contract(seed in any::<u64>()) {
+        let (a, t_b, bt_b) = transpose_operands(seed);
+        let want = Kernel::Naive.t_matmul(&a, &t_b);
+        let got = Kernel::Simd.t_matmul(&a, &t_b);
+        let scale = Kernel::Naive.t_matmul(&abs_of(&a), &abs_of(&t_b));
+        let res = check_contract(&got, &want, &scale, "t_matmul");
+        prop_assert!(res.is_ok(), "{:?}", res);
+
+        let want = Kernel::Naive.matmul_t(&a, &bt_b);
+        let got = Kernel::Simd.matmul_t(&a, &bt_b);
+        let scale = Kernel::Naive.matmul_t(&abs_of(&a), &abs_of(&bt_b));
+        let res = check_contract(&got, &want, &scale, "matmul_t");
+        prop_assert!(res.is_ok(), "{:?}", res);
+    }
+
+    #[test]
+    fn simd_fused_gate_meets_the_contract(seed in any::<u64>()) {
+        // act(x·w + h·u + b) vs the unfused naive composition. Every
+        // activation is 1-Lipschitz, so the pre-activation bound (the
+        // absolute-value contraction of both products plus |bias|)
+        // carries through the nonlinearity unchanged.
+        let (x, w, h, u, bias) = gate_operands(seed);
+        let mut scale = Kernel::Naive.matmul(&abs_of(&x), &abs_of(&w));
+        scale.add_assign(&Kernel::Naive.matmul(&abs_of(&h), &abs_of(&u)));
+        scale.add_row_assign(&abs_of(&bias));
+        for act in [Act::Identity, Act::Sigmoid, Act::Tanh, Act::Relu] {
+            let mut want = Kernel::Naive.matmul(&x, &w);
+            want.add_assign(&Kernel::Naive.matmul(&h, &u));
+            want.add_row_assign(&bias);
+            act.apply(want.data_mut());
+            let mut got = Matrix::default();
+            let mut tmp = Matrix::default();
+            Kernel::Simd.matmul_bias_act(
+                &x, &w, Some((&h, &u)), Some(&bias), act, &mut got, &mut tmp,
+            );
+            let res = check_contract(&got, &want, &scale, "fused gate");
+            prop_assert!(res.is_ok(), "{:?}: {:?}", act, res);
+        }
+    }
+
+    #[test]
+    fn simd_linear_act_meets_the_contract(seed in any::<u64>()) {
+        let (x, w, _, _, bias_d) = gate_operands(seed);
+        let mut scale = Kernel::Naive.matmul(&abs_of(&x), &abs_of(&w));
+        scale.add_row_assign(&abs_of(&bias_d));
+        let mut want = Kernel::Naive.matmul(&x, &w);
+        want.add_row_assign(&bias_d);
+        Act::Relu.apply(want.data_mut());
+        let mut got = Matrix::default();
+        Kernel::Simd.linear_act(&x, &w, Some(&bias_d), Act::Relu, &mut got);
+        let res = check_contract(&got, &want, &scale, "linear_act");
+        prop_assert!(res.is_ok(), "{:?}", res);
+    }
+
+    #[test]
+    fn simd_is_self_deterministic_across_runs_and_threads(seed in any::<u64>()) {
+        // The bits may differ from naive, but they may not differ from
+        // themselves: repeated products and every pool size agree exactly,
+        // for every product family.
+        let (a, b) = gemm_operands(seed);
+        let (ta, t_b, bt_b) = transpose_operands(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let serial = Pool::new(1);
+        let m_ref = Kernel::Simd.matmul_on(&serial, &a, &b);
+        let t_ref = Kernel::Simd.t_matmul_on(&serial, &ta, &t_b);
+        let bt_ref = Kernel::Simd.matmul_t_on(&serial, &ta, &bt_b);
+        // Repeat on the same pool: no hidden state may leak into the bits.
+        prop_assert_eq!(&Kernel::Simd.matmul_on(&serial, &a, &b), &m_ref);
+        for threads in [2usize, 4, 7] {
+            let pool = Pool::new(threads);
+            for (tag, got, want) in [
+                ("matmul", Kernel::Simd.matmul_on(&pool, &a, &b), &m_ref),
+                ("t_matmul", Kernel::Simd.t_matmul_on(&pool, &ta, &t_b), &t_ref),
+                ("matmul_t", Kernel::Simd.matmul_t_on(&pool, &ta, &bt_b), &bt_ref),
+            ] {
+                prop_assert_eq!(got.shape(), want.shape());
+                for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "{} t{} elem {}: {} vs {}", tag, threads, i, x, y
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance shapes from the bench suite, checked deterministically
+/// (not under proptest) so a failure names the exact shape; also logs
+/// whether this host runs the AVX2 paths or the portable fallback — the
+/// contract holds either way.
+#[test]
+fn simd_contract_on_bench_shapes() {
+    println!(
+        "simd acceleration: {}",
+        if deepseq_nn::simd_accelerated() {
+            "avx2+fma"
+        } else {
+            "portable fused fallback"
+        }
+    );
+    let mut rng = util::SeedRng(0x5EED);
+    for (m, k, n) in [(256, 256, 64), (512, 68, 32), (128, 128, 128)] {
+        let a = Matrix::from_fn(m, k, |_, _| rng.value());
+        let b = Matrix::from_fn(k, n, |_, _| rng.value());
+        let want = Kernel::Naive.matmul(&a, &b);
+        let got = Kernel::Simd.matmul(&a, &b);
+        let scale = Kernel::Naive.matmul(&abs_of(&a), &abs_of(&b));
+        check_contract(&got, &want, &scale, "bench shape").unwrap_or_else(|msg| {
+            panic!("{m}x{k}x{n}: {msg}");
+        });
+    }
+}
+
+/// Tiny products resolve to the naive kernel even under `Kernel::Simd`
+/// (the fused panels only pay off past the dispatch cutoff), so the
+/// degenerate shapes are not just close — they are bitwise-equal.
+#[test]
+fn simd_degenerate_shapes_are_bitwise_naive() {
+    let shapes: [(usize, usize, usize); 4] = [(0, 3, 4), (1, 7, 9), (9, 7, 1), (2, 2, 2)];
+    let mut rng = util::SeedRng(7);
+    for (m, k, n) in shapes {
+        let a = Matrix::from_fn(m, k, |_, _| rng.value());
+        let b = Matrix::from_fn(k, n, |_, _| rng.value());
+        let want = Kernel::Naive.matmul(&a, &b);
+        let got = Kernel::Simd.matmul(&a, &b);
+        assert_eq!(got, want, "{m}x{k}x{n}");
+    }
+}

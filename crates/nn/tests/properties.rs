@@ -7,6 +7,9 @@
 use deepseq_nn::{Act, Kernel, Matrix, Params, ParamsError, Pool, Tape};
 use proptest::prelude::*;
 
+mod util;
+use util::{close_rel, gate_operands, gemm_operands, transpose_operands};
+
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-1.0f32..1.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
@@ -38,10 +41,8 @@ where
                 params.get_mut(id).set(r, c, orig);
                 let numeric = (fp - fm) / (2.0 * eps);
                 let analytic = grads.get(id).map_or(0.0, |g| g.get(r, c));
-                if (analytic - numeric).abs() > tol {
-                    return Err(format!(
-                        "({r},{c}): analytic {analytic} vs numeric {numeric}"
-                    ));
+                if let Err(msg) = close_rel(&[analytic], &[numeric], tol) {
+                    return Err(format!("({r},{c}): {msg}"));
                 }
             }
         }
@@ -57,9 +58,8 @@ proptest! {
         // aᵀ·b computed directly matches the explicit transpose.
         let direct = a.t_matmul(&b);
         let explicit = a.transpose().matmul(&b);
-        for (x, y) in direct.data().iter().zip(explicit.data()) {
-            prop_assert!((x - y).abs() < 1e-5);
-        }
+        let res = close_rel(direct.data(), explicit.data(), 1e-5);
+        prop_assert!(res.is_ok(), "{:?}", res);
     }
 
     #[test]
@@ -67,9 +67,8 @@ proptest! {
         let scaled_a = a.map(|x| s * x);
         let left = scaled_a.matmul(&b);
         let right = a.matmul(&b).map(|x| s * x);
-        for (x, y) in left.data().iter().zip(right.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
-        }
+        let res = close_rel(left.data(), right.data(), 1e-4);
+        prop_assert!(res.is_ok(), "{:?}", res);
     }
 
     #[test]
@@ -230,13 +229,21 @@ proptest! {
 
     #[test]
     fn kernels_agree_with_naive_to_zero_ulp(seed in any::<u64>()) {
-        // Every kernel variant must reproduce the naive kernel's exact bit
-        // patterns — accumulation order is part of the kernel contract, so a
-        // kernel switch may never change results. Shapes sweep the
-        // degenerate cases (empty, 1×N, N×1) and blocked-aligned sizes.
+        // Every bitwise-mode kernel variant must reproduce the naive
+        // kernel's exact bit patterns — accumulation order is part of the
+        // kernel contract, so a kernel switch may never change results.
+        // Shapes sweep the degenerate cases (empty, 1×N, N×1) and
+        // blocked-aligned sizes. `is_bitwise` keeps `Auto` in the sweep in
+        // the default mode and drops it under `DEEPSEQ_KERNEL=simd`, where
+        // it resolves to the fused fast path (bounded-error contract,
+        // tested in kernel_numerics.rs instead).
         let (a, b) = gemm_operands(seed);
         let reference = Kernel::Naive.matmul(&a, &b);
-        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
+        for kernel in Kernel::ALL
+            .into_iter()
+            .chain([Kernel::Auto])
+            .filter(|k| k.is_bitwise())
+        {
             let got = kernel.matmul(&a, &b);
             prop_assert_eq!(got.shape(), reference.shape());
             for (i, (x, y)) in got.data().iter().zip(reference.data()).enumerate() {
@@ -256,7 +263,11 @@ proptest! {
         let (a, t_b, bt_b) = transpose_operands(seed);
         let t_ref = Kernel::Naive.t_matmul(&a, &t_b);
         let bt_ref = Kernel::Naive.matmul_t(&a, &bt_b);
-        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
+        for kernel in Kernel::ALL
+            .into_iter()
+            .chain([Kernel::Auto])
+            .filter(|k| k.is_bitwise())
+        {
             let got = kernel.t_matmul(&a, &t_b);
             prop_assert_eq!(got.shape(), t_ref.shape());
             for (x, y) in got.data().iter().zip(t_ref.data()) {
@@ -276,11 +287,16 @@ proptest! {
         // must reproduce the single-threaded bit patterns at every thread
         // count, for every kernel and every product family, across shapes
         // including the degenerate (empty, 1×N, N×1) and parallel-scale
-        // cases of the shape generators.
+        // cases of the shape generators. This self-determinism holds for
+        // `Simd` too — fast mode changes *which* bits, never their
+        // dependence on thread count.
         let (a, b) = gemm_operands(seed);
         let (ta, t_b, bt_b) = transpose_operands(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
         let serial = Pool::new(1);
-        for kernel in Kernel::ALL.into_iter().chain([Kernel::Auto]) {
+        for kernel in Kernel::ALL
+            .into_iter()
+            .chain([Kernel::Auto, Kernel::Simd])
+        {
             let m_ref = kernel.matmul_on(&serial, &a, &b);
             let t_ref = kernel.t_matmul_on(&serial, &ta, &t_b);
             let bt_ref = kernel.matmul_t_on(&serial, &ta, &bt_b);
@@ -323,13 +339,8 @@ proptest! {
                     &x, &w, Some((&h, &u)), Some(&bias), act, &mut out, &mut tmp,
                 );
                 prop_assert_eq!(out.shape(), reference.shape());
-                for (got, want) in out.data().iter().zip(reference.data()) {
-                    let scale = want.abs().max(1.0);
-                    prop_assert!(
-                        (got - want).abs() <= 1e-5 * scale,
-                        "{} {:?}: {} vs {}", kernel.name(), act, got, want
-                    );
-                }
+                let res = close_rel(out.data(), reference.data(), 1e-5);
+                prop_assert!(res.is_ok(), "{} {:?}: {:?}", kernel.name(), act, res);
             }
         }
     }
@@ -358,97 +369,6 @@ proptest! {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
-}
-
-/// Deterministic xorshift over a proptest-supplied seed, for deriving
-/// random shapes *and* values from one input (the vendored proptest has no
-/// `flat_map`).
-struct SeedRng(u64);
-
-impl SeedRng {
-    fn next(&mut self, bound: usize) -> usize {
-        self.0 ^= self.0 >> 12;
-        self.0 ^= self.0 << 25;
-        self.0 ^= self.0 >> 27;
-        (self.0.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
-    }
-
-    fn value(&mut self) -> f32 {
-        // Mix exact zeros (exercising the naive kernel's zero-skip), exact
-        // small integers and awkward fractions.
-        match self.next(6) {
-            0 => 0.0,
-            1 => -(self.next(4) as f32),
-            2 => 1.0 / (1 + self.next(100)) as f32,
-            _ => (self.next(2001) as f32 - 1000.0) * 1e-3,
-        }
-    }
-}
-
-/// Random GEMM operand pair: degenerate shapes (empty, `1×N`, `N×1`),
-/// blocked-tile-aligned shapes, arbitrary in-between sizes, and shapes
-/// large enough to clear the parallel fan-out threshold.
-fn gemm_operands(seed: u64) -> (Matrix, Matrix) {
-    let mut rng = SeedRng(seed | 1);
-    let (m, k, n) = match rng.next(6) {
-        0 => (rng.next(3), rng.next(13), rng.next(13)), // may be empty
-        1 => (1, 1 + rng.next(24), 1 + rng.next(24)),   // 1×N
-        2 => (1 + rng.next(24), 1 + rng.next(24), 1),   // N×1
-        3 => (
-            8 * (1 + rng.next(4)),
-            8 * (1 + rng.next(4)),
-            8 * (1 + rng.next(4)),
-        ), // aligned
-        4 => (64 + rng.next(120), 24 + rng.next(40), 24 + rng.next(40)), // parallel-scale (≥ PAR_MIN_FLOPS)
-        _ => (1 + rng.next(40), 1 + rng.next(40), 1 + rng.next(40)),
-    };
-    let a = Matrix::from_fn(m, k, |_, _| rng.value());
-    let b = Matrix::from_fn(k, n, |_, _| rng.value());
-    (a, b)
-}
-
-/// Random operands for the transpose products: `a (m×k)`, `t_b (m×n)` for
-/// `aᵀ·b`, and `bt_b (j×k)` for `a·bᵀ` — shapes include empty and 1-wide.
-fn transpose_operands(seed: u64) -> (Matrix, Matrix, Matrix) {
-    let mut rng = SeedRng(seed | 1);
-    let (m, k, n, j) = match rng.next(5) {
-        0 => (rng.next(3), rng.next(8), rng.next(8), rng.next(8)),
-        1 => (1, 1 + rng.next(16), 1 + rng.next(16), 1),
-        2 => (
-            // Parallel-scale: output rows ≥ 2·PAR_MIN_ROWS, flops over the
-            // fan-out threshold for both transpose products.
-            32 + rng.next(64),
-            48 + rng.next(64),
-            48 + rng.next(64),
-            48 + rng.next(64),
-        ),
-        _ => (
-            1 + rng.next(24),
-            1 + rng.next(24),
-            1 + rng.next(24),
-            1 + rng.next(24),
-        ),
-    };
-    let a = Matrix::from_fn(m, k, |_, _| rng.value());
-    let t_b = Matrix::from_fn(m, n, |_, _| rng.value());
-    let bt_b = Matrix::from_fn(j, k, |_, _| rng.value());
-    (a, t_b, bt_b)
-}
-
-/// Random fused-gate operands `x (m×k)`, `w (k×d)`, `h (m×e)`, `u (e×d)`,
-/// `bias (1×d)`.
-fn gate_operands(seed: u64) -> (Matrix, Matrix, Matrix, Matrix, Matrix) {
-    let mut rng = SeedRng(seed | 1);
-    let m = 1 + rng.next(20);
-    let k = 1 + rng.next(20);
-    let e = 1 + rng.next(12);
-    let d = 1 + rng.next(20);
-    let x = Matrix::from_fn(m, k, |_, _| rng.value());
-    let w = Matrix::from_fn(k, d, |_, _| rng.value());
-    let h = Matrix::from_fn(m, e, |_, _| rng.value());
-    let u = Matrix::from_fn(e, d, |_, _| rng.value());
-    let bias = Matrix::from_fn(1, d, |_, _| rng.value());
-    (x, w, h, u, bias)
 }
 
 /// Strategy: a parameter store with 1–4 randomly-shaped, randomly-valued

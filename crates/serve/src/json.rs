@@ -177,6 +177,10 @@ pub fn trace_tree_json(trace_id: u64, records: &[deepseq_nn::SpanRecord]) -> Str
             if r.kind == deepseq_nn::SpanKind::Gemm {
                 let (m, k, n) = deepseq_nn::trace::unpack_dims(r.detail);
                 let _ = write!(out, ",\"dims\":[{m},{k},{n}]");
+                let tag = deepseq_nn::trace::unpack_kernel_tag(r.detail);
+                if let Some(kernel) = deepseq_nn::trace::kernel_tag_name(tag) {
+                    let _ = write!(out, ",\"kernel\":\"{kernel}\"");
+                }
             }
         }
         // Depth cap: identical clock readings could in principle nest
@@ -288,19 +292,20 @@ mod tests {
                 200,
                 100,
                 3,
-                deepseq_nn::trace::pack_dims(4, 5, 6),
+                deepseq_nn::trace::pack_gemm(4, 5, 6, 4),
             ),
             rec(SpanKind::Serialize, 950, 20, 0, 0),
         ];
         let json = trace_tree_json(7, &records);
         assert!(json.starts_with("{\"trace\":7,\"spans\":4,\"truncated\":false,"));
         // Gemm nests under forward (tightest container) despite the
-        // differing thread, and its packed dims are decoded.
+        // differing thread, and its packed dims + kernel tag are decoded.
         let forward = json.find("\"kind\":\"forward\"").expect("forward span");
         let gemm = json.find("\"kind\":\"gemm\"").expect("gemm span");
         let serialize = json.find("\"kind\":\"serialize\"").expect("serialize span");
         assert!(forward < gemm, "gemm should be inside forward: {json}");
         assert!(json.contains("\"dims\":[4,5,6]"), "{json}");
+        assert!(json.contains("\"kernel\":\"simd\""), "{json}");
         // Serialize is a direct child of request, after forward closes.
         assert!(serialize > gemm, "{json}");
         // Exactly one root.

@@ -1,7 +1,12 @@
 //! The acceptance gate of the serving subsystem: the tape-free forward pass
 //! must produce predictions **bitwise equal** to `DeepSeq::forward` on the
 //! same checkpoint — across every aggregator, every propagation scheme,
-//! random circuits and the synthetic design suite.
+//! random circuits and the synthetic design suite. Under the opt-in fast
+//! mode (`DEEPSEQ_KERNEL=simd`) the same suite runs with the
+//! bounded-relative-error half of the two-mode numerics contract instead
+//! (see `util::matrices_match`).
+
+mod util;
 
 use deepseq_core::encoding::initial_states;
 use deepseq_core::{Aggregator, CircuitGraph, DeepSeq, DeepSeqConfig, PropagationScheme};
@@ -21,16 +26,13 @@ fn assert_equivalent(aig: &SeqAig, config: DeepSeqConfig, ws: &mut Workspace) {
     let h0 = initial_states(aig, &workload, config.hidden_dim, 7);
     let tape = model.predict(&graph, &h0);
     let free = frozen.run(&graph, &h0, ws).predictions;
-    assert_eq!(
-        tape,
-        free,
-        "tape and tape-free predictions diverge on {} with {config:?}",
-        aig.name()
-    );
+    let ctx = format!("{} with {config:?}", aig.name());
+    util::assert_matrices_match(&free.tr, &tape.tr, &format!("tr predictions on {ctx}"));
+    util::assert_matrices_match(&free.lg, &tape.lg, &format!("lg predictions on {ctx}"));
     // The pooled embedding matches the tape-side readout too.
     let emb_tape = model.embed_graph(&graph, &h0);
     let emb_free = frozen.run(&graph, &h0, ws).embedding;
-    assert_eq!(emb_tape, emb_free, "embeddings diverge on {}", aig.name());
+    util::assert_matrices_match(&emb_free, &emb_tape, &format!("embedding on {ctx}"));
 }
 
 #[test]
@@ -95,7 +97,10 @@ fn equivalent_after_binary_checkpoint_roundtrip() {
     let frozen = InferenceModel::from_binary_checkpoint(&model.save_binary()).unwrap();
     let graph = CircuitGraph::build(&aig);
     let h0 = initial_states(&aig, &Workload::uniform(aig.num_pis(), 0.5), 8, 0);
-    assert_eq!(model.predict(&graph, &h0), frozen.predict(&graph, &h0));
+    let tape = model.predict(&graph, &h0);
+    let free = frozen.predict(&graph, &h0);
+    util::assert_matrices_match(&free.tr, &tape.tr, "roundtripped tr predictions");
+    util::assert_matrices_match(&free.lg, &tape.lg, "roundtripped lg predictions");
 }
 
 #[test]

@@ -1,5 +1,9 @@
-//! Shared helpers of the HTTP integration tests: a tiny blocking client
-//! and a deterministic circuit generator.
+//! Shared helpers of the serve integration tests: a tiny blocking HTTP
+//! client, a deterministic circuit generator, and the two-mode-aware
+//! prediction comparison used by the equivalence suites.
+
+// Each test binary compiles its own copy and uses a different subset.
+#![allow(dead_code)]
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -175,6 +179,47 @@ pub fn assert_prometheus_contract(text: &str) {
             text.lines().any(|line| line.starts_with(required)),
             "`{required}` missing from /metrics:\n{text}"
         );
+    }
+}
+
+/// The documented end-to-end fast-mode bound: under `DEEPSEQ_KERNEL=simd`
+/// a full serving forward pass stays within this relative error of the
+/// tape path (see docs/ARCHITECTURE.md, "Numerics contract"). Bitwise
+/// mode needs no bound — the paths are bit-equal.
+pub const FAST_MODE_FORWARD_EPS: f32 = 1e-4;
+
+/// Compare a serving-side output matrix against its tape-side reference
+/// under whichever half of the two-mode numerics contract is active:
+/// bitwise equality in bitwise mode (the default), relative error ≤
+/// [`FAST_MODE_FORWARD_EPS`] under `DEEPSEQ_KERNEL=simd`.
+pub fn matrices_match(
+    got: &deepseq_nn::Matrix,
+    want: &deepseq_nn::Matrix,
+    what: &str,
+) -> Result<(), String> {
+    if got.shape() != want.shape() {
+        return Err(format!(
+            "{what}: shape {:?} vs {:?}",
+            got.shape(),
+            want.shape()
+        ));
+    }
+    if deepseq_nn::Kernel::fast_mode() {
+        deepseq_nn::numerics::close_rel(got.data(), want.data(), FAST_MODE_FORWARD_EPS)
+            .map_err(|msg| format!("{what} (fast mode): {msg}"))
+    } else {
+        match deepseq_nn::numerics::max_ulp_distance(got.data(), want.data()) {
+            0 => Ok(()),
+            ulp => Err(format!("{what}: bitwise mode diverged (max {ulp} ULP)")),
+        }
+    }
+}
+
+/// Panicking wrapper around [`matrices_match`].
+#[track_caller]
+pub fn assert_matrices_match(got: &deepseq_nn::Matrix, want: &deepseq_nn::Matrix, what: &str) {
+    if let Err(msg) = matrices_match(got, want, what) {
+        panic!("{msg}");
     }
 }
 
