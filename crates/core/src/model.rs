@@ -4,7 +4,10 @@
 //! probabilities.
 
 use deepseq_netlist::aig::NUM_NODE_TYPES;
-use deepseq_nn::{BinReader, GruCell, Matrix, Mlp, Params, ParamsError, Tape, VarId};
+use deepseq_nn::{
+    append_crc_trailer, verify_crc_trailer, BinReader, GruCell, Matrix, Mlp, Params, ParamsError,
+    Tape, VarId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -305,7 +308,7 @@ impl DeepSeq {
     pub fn save_binary(&self) -> Vec<u8> {
         let c = &self.config;
         let params = self.params.save_binary();
-        let mut out = Vec::with_capacity(MODEL_HEADER_LEN + params.len());
+        let mut out = Vec::with_capacity(MODEL_HEADER_LEN + params.len() + 4);
         out.extend_from_slice(&MODEL_MAGIC);
         out.extend_from_slice(&MODEL_VERSION.to_le_bytes());
         out.extend_from_slice(&(c.hidden_dim as u32).to_le_bytes());
@@ -314,6 +317,9 @@ impl DeepSeq {
         out.push(scheme_byte(c.scheme));
         out.extend_from_slice(&c.seed.to_le_bytes());
         out.extend_from_slice(&params);
+        // v2: CRC-32 trailer over the whole blob (the embedded DSQP blob
+        // also carries its own — the outer one covers the model header).
+        append_crc_trailer(&mut out);
         out
     }
 
@@ -322,17 +328,33 @@ impl DeepSeq {
     /// # Errors
     /// Returns [`ParamsError::BadMagic`] for non-checkpoint bytes,
     /// [`ParamsError::UnsupportedVersion`] for future versions,
-    /// [`ParamsError::Truncated`] / [`ParamsError::Corrupt`] for damaged
-    /// payloads.
+    /// [`ParamsError::ChecksumMismatch`] when the v2 CRC-32 trailer
+    /// disagrees with the body, [`ParamsError::Truncated`] /
+    /// [`ParamsError::Corrupt`] for damaged payloads. Legacy v1
+    /// checkpoints (no trailer) still load, with a warning.
     pub fn from_binary_checkpoint(bytes: &[u8]) -> Result<Self, ParamsError> {
-        let mut r = BinReader::new(bytes);
-        if r.take::<4>()? != MODEL_MAGIC {
+        // Peek the header version, then verify and strip the v2 CRC
+        // trailer before trusting any of the body.
+        let mut header = BinReader::new(bytes);
+        if header.take::<4>()? != MODEL_MAGIC {
             return Err(ParamsError::BadMagic);
         }
-        let version = r.u16()?;
-        if version != MODEL_VERSION {
-            return Err(ParamsError::UnsupportedVersion { found: version });
-        }
+        let body = match header.u16()? {
+            // Version 2 (0x0002) never reads as 1 under any single bit
+            // flip, so corruption cannot masquerade a v2 blob as v1.
+            MODEL_VERSION_V1 => {
+                deepseq_nn::report_warning(
+                    "loading legacy v1 DSQM checkpoint (no CRC32 trailer): \
+                     integrity unverified; re-save to upgrade",
+                );
+                bytes
+            }
+            MODEL_VERSION => verify_crc_trailer(bytes, MODEL_HEADER_LEN)?,
+            found => return Err(ParamsError::UnsupportedVersion { found }),
+        };
+        let mut r = BinReader::new(body);
+        let _magic = r.take::<4>()?; // validated above
+        let _version = r.u16()?;
         let hidden_dim = r.u32()? as usize;
         let iterations = r.u32()? as usize;
         let aggregator = match r.take::<1>()?[0] {
@@ -374,8 +396,12 @@ impl DeepSeq {
 /// inside carries its own `DSQP` magic).
 pub const MODEL_MAGIC: [u8; 4] = *b"DSQM";
 
-/// Version written by [`DeepSeq::save_binary`].
-pub const MODEL_VERSION: u16 = 1;
+/// Version written by [`DeepSeq::save_binary`]: v2 appends a CRC32
+/// integrity trailer over everything before it.
+pub const MODEL_VERSION: u16 = 2;
+
+/// The pre-trailer model format; still loadable, with a warning.
+const MODEL_VERSION_V1: u16 = 1;
 
 const MODEL_HEADER_LEN: usize = 4 + 2 + 4 + 4 + 1 + 1 + 8;
 
@@ -596,6 +622,7 @@ mod tests {
         bytes.push(2); // dual
         bytes.push(2); // custom
         bytes.extend_from_slice(&0u64.to_le_bytes()); // seed
+        append_crc_trailer(&mut bytes); // valid trailer: reach the bounds check
         assert!(DeepSeq::from_binary_checkpoint(&bytes).is_err());
         // Zero hidden dim is nonsense too.
         let zero = "deepseq-model v1 hidden=0\ndeepseq-params v1\n";
@@ -620,6 +647,47 @@ mod tests {
         ] {
             assert!(DeepSeq::from_binary_checkpoint(&bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn binary_checkpoint_rejects_single_bit_flips() {
+        // One-bit corruption anywhere must yield a typed error, never a
+        // silently-wrong model. One bit position per byte keeps the sweep
+        // fast while still covering every byte of header, params and
+        // trailer; the exhaustive all-bits sweep lives in the nn crate.
+        let model = DeepSeq::new(small_config(
+            Aggregator::DualAttention,
+            PropagationScheme::Custom,
+        ));
+        let bytes = model.save_binary();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1 << (i % 8);
+            assert!(
+                DeepSeq::from_binary_checkpoint(&corrupt).is_err(),
+                "flip at byte {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_v1_model_checkpoint_loads_with_warning() {
+        let model = DeepSeq::new(small_config(
+            Aggregator::DualAttention,
+            PropagationScheme::Custom,
+        ));
+        // Reconstruct the v1-era layout: no trailers, version fields 1,
+        // both for the DSQM header and the embedded DSQP blob.
+        let mut v1 = model.save_binary();
+        v1.truncate(v1.len() - 4); // outer DSQM trailer
+        v1.truncate(v1.len() - 4); // inner DSQP trailer
+        v1[4] = 1; // DSQM version
+        v1[MODEL_HEADER_LEN + 4] = 1; // DSQP version
+        let before = deepseq_nn::warning_count();
+        let restored = DeepSeq::from_binary_checkpoint(&v1).expect("legacy v1 blob loads");
+        assert!(deepseq_nn::warning_count() > before, "no legacy warning");
+        assert_eq!(restored.config(), model.config());
+        assert_eq!(restored.params.save_binary(), model.params.save_binary());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   that large products, the serve path and the data-parallel training
 //!   loop fan out across, with results bitwise-identical at any thread
 //!   count;
+//! * [`fault`] — opt-in (`DEEPSEQ_FAULT`) deterministic fault injection
+//!   behind the same single-atomic disarmed fast path as [`trace`]: named
+//!   points (checkpoint corruption, task panics, slow stages, cache
+//!   evictions, socket-write failures, dropped replies) with a seeded,
+//!   thread-stable PRNG so every recovery path is exercisable in CI;
 //! * [`trace`] — opt-in (`DEEPSEQ_TRACE`) span recording behind a single
 //!   atomic check: per-stage timings from the HTTP edge down to GEMM
 //!   dispatch, exported as span trees, chrome://tracing JSON and the
@@ -59,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod kernels;
 pub mod layers;
 pub mod matrix;
@@ -70,11 +76,15 @@ pub mod tape;
 pub mod trace;
 
 pub use config::{report_warning, warning_count, warnings};
+pub use fault::{FaultPoint, FaultSpec};
 pub use kernels::{simd_accelerated, Act, Kernel};
 pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::Adam;
-pub use params::{BinReader, GradStore, ParamId, Params, ParamsError};
+pub use params::{
+    append_crc_trailer, crc32, verify_crc_trailer, write_atomic, BinReader, GradStore, ParamId,
+    Params, ParamsError,
+};
 pub use pool::{Pool, PoolStats};
 pub use tape::{Tape, VarId};
 pub use trace::{SpanKind, SpanRecord};

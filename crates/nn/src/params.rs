@@ -220,8 +220,113 @@ impl Params {
 /// Magic bytes opening every binary parameter checkpoint.
 pub const BINARY_MAGIC: [u8; 4] = *b"DSQP";
 
-/// Version written by [`Params::save_binary`].
-pub const BINARY_VERSION: u16 = 1;
+/// Version written by [`Params::save_binary`]: v2 appends a CRC32
+/// integrity trailer over everything before it.
+pub const BINARY_VERSION: u16 = 2;
+
+/// The pre-trailer format; still loadable, with a warning, for
+/// checkpoints written before the CRC32 trailer existed.
+const BINARY_VERSION_V1: u16 = 1;
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) over `bytes` — the
+/// checksum carried in v2 `DSQP`/`DSQM` checkpoint trailers. Detects
+/// every single-bit flip and all burst errors up to 32 bits.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Appends the 4-byte little-endian CRC-32 trailer over `out`'s current
+/// contents — the final step of writing any v2 checkpoint blob.
+pub fn append_crc_trailer(out: &mut Vec<u8>) {
+    let crc = crc32(out);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies the CRC-32 trailer of a v2 checkpoint blob whose header is
+/// `header_len` bytes, returning the body with the trailer stripped.
+///
+/// # Errors
+/// [`ParamsError::Truncated`] when there is no room for header + trailer,
+/// [`ParamsError::ChecksumMismatch`] (with the trailer's byte offset)
+/// when the stored and computed checksums disagree.
+pub fn verify_crc_trailer(bytes: &[u8], header_len: usize) -> Result<&[u8], ParamsError> {
+    let min = header_len + 4;
+    if bytes.len() < min {
+        return Err(ParamsError::Truncated {
+            offset: bytes.len(),
+            needed: min - bytes.len(),
+        });
+    }
+    let at = bytes.len() - 4;
+    let mut trailer = [0u8; 4];
+    trailer.copy_from_slice(&bytes[at..]);
+    let stored = u32::from_le_bytes(trailer);
+    let computed = crc32(&bytes[..at]);
+    if stored != computed {
+        return Err(ParamsError::ChecksumMismatch {
+            offset: at,
+            stored,
+            computed,
+        });
+    }
+    Ok(&bytes[..at])
+}
+
+/// Writes `bytes` to `path` crash-safely: write to a sibling temp file,
+/// fsync it, then atomically rename over the target (and fsync the
+/// containing directory so the rename itself is durable). A crash at any
+/// point leaves either the old file or the complete new one on disk,
+/// never a torn mix.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let written = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if written.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return written;
+    }
+    // Durability of the rename itself — best effort: not every platform
+    // allows opening a directory for sync.
+    if let Ok(dirfd) = std::fs::File::open(&dir) {
+        let _ = dirfd.sync_all();
+    }
+    Ok(())
+}
 
 impl Params {
     /// Serializes all parameters to the binary checkpoint format.
@@ -230,20 +335,21 @@ impl Params {
     ///
     /// ```text
     /// magic   b"DSQP"
-    /// u16     format version (1)
+    /// u16     format version (2)
     /// u16     reserved (0)
     /// u32     parameter count
     /// per parameter, in registration order:
     ///   u32       name length in bytes, then the UTF-8 name
     ///   u32 × 2   rows, cols
     ///   f32 × n   row-major values, IEEE-754 little-endian
+    /// u32     CRC-32 (IEEE) of every preceding byte
     /// ```
     pub fn save_binary(&self) -> Vec<u8> {
         let payload: usize = self
             .iter()
             .map(|(_, name, m)| 12 + name.len() + 4 * m.data().len())
             .sum();
-        let mut out = Vec::with_capacity(12 + payload);
+        let mut out = Vec::with_capacity(16 + payload);
         out.extend_from_slice(&BINARY_MAGIC);
         out.extend_from_slice(&BINARY_VERSION.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes());
@@ -257,6 +363,7 @@ impl Params {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
+        append_crc_trailer(&mut out);
         out
     }
 
@@ -267,18 +374,40 @@ impl Params {
     ///
     /// # Errors
     /// Returns [`ParamsError::BadMagic`] / [`ParamsError::UnsupportedVersion`]
-    /// on a foreign or future header, [`ParamsError::Truncated`] when the
-    /// payload ends early, and the usual [`ParamsError::UnknownParam`] /
-    /// [`ParamsError::ShapeMismatch`] on content mismatches.
+    /// on a foreign or future header, [`ParamsError::ChecksumMismatch`] when
+    /// the v2 CRC-32 trailer disagrees with the body,
+    /// [`ParamsError::Truncated`] when the payload ends early, and the usual
+    /// [`ParamsError::UnknownParam`] / [`ParamsError::ShapeMismatch`] on
+    /// content mismatches. Legacy v1 checkpoints (no trailer) still load,
+    /// with a [`crate::report_warning`] nudge to re-save.
     pub fn load_binary(&mut self, bytes: &[u8]) -> Result<(), ParamsError> {
-        let mut r = BinReader::new(bytes);
-        if r.take::<4>()? != BINARY_MAGIC {
+        if crate::fault::should_inject(crate::fault::FaultPoint::CheckpointRead) {
+            return Err(ParamsError::Corrupt {
+                msg: "injected checkpoint_read fault".into(),
+            });
+        }
+        // Peek the header to learn the version, then verify and strip the
+        // v2 CRC trailer *before* trusting any of the body.
+        let mut header = BinReader::new(bytes);
+        if header.take::<4>()? != BINARY_MAGIC {
             return Err(ParamsError::BadMagic);
         }
-        let version = r.u16()?;
-        if version != BINARY_VERSION {
-            return Err(ParamsError::UnsupportedVersion { found: version });
-        }
+        let body = match header.u16()? {
+            // A single bit flip of version 2 (0x0002) can never read as 1,
+            // so corruption cannot masquerade a v2 blob as trailer-less v1.
+            BINARY_VERSION_V1 => {
+                crate::config::report_warning(
+                    "loading legacy v1 DSQP checkpoint (no CRC32 trailer): \
+                     integrity unverified; re-save to upgrade",
+                );
+                bytes
+            }
+            BINARY_VERSION => verify_crc_trailer(bytes, 12)?,
+            found => return Err(ParamsError::UnsupportedVersion { found }),
+        };
+        let mut r = BinReader::new(body);
+        let _magic = r.take::<4>()?; // validated above
+        let _version = r.u16()?;
         let _reserved = r.u16()?;
         let count = r.u32()? as usize;
         for _ in 0..count {
@@ -461,6 +590,16 @@ pub enum ParamsError {
         /// Description.
         msg: String,
     },
+    /// The v2 CRC-32 trailer disagrees with the checkpoint body — the
+    /// blob was corrupted (bit flip, torn write) after serialization.
+    ChecksumMismatch {
+        /// Byte offset of the 4-byte trailer within the blob.
+        offset: usize,
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum computed over the body.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for ParamsError {
@@ -487,6 +626,15 @@ impl fmt::Display for ParamsError {
                 "binary checkpoint truncated: needed {needed} bytes at offset {offset}"
             ),
             ParamsError::Corrupt { msg } => write!(f, "corrupt binary checkpoint: {msg}"),
+            ParamsError::ChecksumMismatch {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checkpoint CRC32 mismatch at trailer offset {offset}: \
+                 stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -711,17 +859,79 @@ mod tests {
                     ParamsError::Truncated { .. }
                         | ParamsError::BadMagic
                         | ParamsError::Corrupt { .. }
+                        | ParamsError::ChecksumMismatch { .. }
                 ),
                 "cut at {cut}: unexpected {err:?}"
             );
         }
-        // Trailing garbage is rejected too.
+        // Trailing garbage breaks the checksum.
         let mut longer = bytes.clone();
         longer.push(0);
         assert!(matches!(
             p.load_binary(&longer),
-            Err(ParamsError::Corrupt { .. })
+            Err(ParamsError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn binary_rejects_every_single_bit_flip() {
+        // Any one-bit corruption anywhere in the blob must yield a typed
+        // error — never Ok (a silently-wrong load) and never a panic. CRC32
+        // detects all single-bit errors, and a flipped version field can
+        // never turn 2 into 1 (the trailer-less legacy version).
+        let mut p = sample_params(1);
+        let bytes = p.save_binary();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                let err = p.load_binary(&corrupt);
+                assert!(err.is_err(), "flip byte {i} bit {bit} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_checkpoint_loads_with_warning() {
+        let p = sample_params(1);
+        // A v1-era blob: same layout minus the trailer, version field 1.
+        let mut v1 = p.save_binary();
+        v1.truncate(v1.len() - 4);
+        v1[4] = 1;
+        let before = crate::config::warning_count();
+        let mut q = sample_params(2);
+        q.load_binary(&v1).expect("legacy v1 blob loads");
+        assert!(crate::config::warning_count() > before, "no legacy warning");
+        for (_, name, value) in p.iter() {
+            let qid = q.find(name).unwrap();
+            assert_eq!(value, q.get(qid), "{name}");
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("deepseq-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "ckpt.bin")
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -737,6 +947,7 @@ mod tests {
         bytes.push(b'w');
         bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
         bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // cols
+        append_crc_trailer(&mut bytes); // valid trailer: reach the shape check
         let mut p = Params::new();
         p.register("w", Matrix::zeros(1, 1));
         assert!(matches!(

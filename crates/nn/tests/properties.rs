@@ -209,7 +209,10 @@ proptest! {
         // The error is typed, not a panic, and names a decoding failure.
         prop_assert!(matches!(
             err.unwrap_err(),
-            ParamsError::Truncated { .. } | ParamsError::BadMagic | ParamsError::Corrupt { .. }
+            ParamsError::Truncated { .. }
+                | ParamsError::BadMagic
+                | ParamsError::Corrupt { .. }
+                | ParamsError::ChecksumMismatch { .. }
         ));
     }
 

@@ -32,7 +32,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use deepseq_netlist::{write_aiger, SeqAig};
@@ -49,6 +49,12 @@ OPTIONS:
                        repeats exercise the server-side embedding cache)
     --no-keepalive     open a fresh connection per request instead of one
                        persistent connection per thread
+    --retries <N>      retry transport failures and 429/500/503/504 up to N
+                       times per request, sleeping exponential backoff with
+                       decorrelated jitter in between (default 0)
+    --hedge-after <MS> fire a second identical request on a fresh connection
+                       if the first hasn't answered after MS, and take the
+                       first completion (default: off)
     --drain            POST /admin/drain after the run
 ";
 
@@ -58,6 +64,8 @@ struct Args {
     concurrency: usize,
     distinct: usize,
     keepalive: bool,
+    retries: usize,
+    hedge_after: Option<Duration>,
     drain: bool,
 }
 
@@ -68,6 +76,8 @@ fn parse_args() -> Result<Args, String> {
         concurrency: 16,
         distinct: 8,
         keepalive: true,
+        retries: 0,
+        hedge_after: None,
         drain: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +94,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--distinct" => out.distinct = parse_num(value("--distinct")?, "--distinct")?.max(1),
             "--no-keepalive" => out.keepalive = false,
+            "--retries" => out.retries = parse_num(value("--retries")?, "--retries")?,
+            "--hedge-after" => {
+                let ms = parse_num(value("--hedge-after")?, "--hedge-after")?;
+                out.hedge_after = Some(Duration::from_millis(ms as u64));
+            }
             "--drain" => out.drain = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -254,6 +269,130 @@ fn read_response(
     Ok((Response { status, body }, server_closes))
 }
 
+/// splitmix64: the jitter source for retry backoff. Self-contained so the
+/// client stays std-only.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff with decorrelated jitter: each delay is drawn
+/// uniformly from `[base, prev * 3]`, capped — successive retries spread
+/// out *and* desynchronise across clients, avoiding retry stampedes.
+struct Backoff {
+    state: u64,
+    prev_ms: u64,
+}
+
+const BACKOFF_BASE_MS: u64 = 25;
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        Backoff {
+            state: seed,
+            prev_ms: BACKOFF_BASE_MS,
+        }
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        let upper = (self.prev_ms.saturating_mul(3)).clamp(BACKOFF_BASE_MS + 1, BACKOFF_CAP_MS);
+        let span = upper - BACKOFF_BASE_MS;
+        let ms = BACKOFF_BASE_MS + splitmix64(&mut self.state) % (span + 1);
+        self.prev_ms = ms;
+        Duration::from_millis(ms)
+    }
+}
+
+/// Reliability counters of one load run.
+#[derive(Default)]
+struct RetryStats {
+    /// Retry attempts fired (beyond each request's first attempt).
+    retries: AtomicUsize,
+    /// Hedge requests fired (primary exceeded --hedge-after).
+    hedges: AtomicUsize,
+    /// Requests whose accepted answer came from the hedge, not the primary.
+    hedge_wins: AtomicUsize,
+}
+
+/// True for outcomes worth retrying: transport failures and the statuses a
+/// fault-injected or saturated server answers (429 backpressure, 500 caught
+/// panic, 503 degraded/draining, 504 deadline).
+fn is_retryable(outcome: &Result<Response, String>) -> bool {
+    match outcome {
+        Err(_) => true,
+        Ok(response) => matches!(response.status, 429 | 500 | 503 | 504),
+    }
+}
+
+/// One request attempt: the pooled exchange, or — when hedging — the
+/// primary plus at most one hedge on fresh connections, first completion
+/// wins (a failed first completion still waits for the straggler).
+fn send_once(
+    client: &mut Client,
+    addr: &str,
+    path: &str,
+    body: &[u8],
+    hedge_after: Option<Duration>,
+    stats: &RetryStats,
+) -> Result<Response, String> {
+    let Some(hedge_delay) = hedge_after else {
+        return client.exchange("POST", path, body);
+    };
+    // Hedged attempts each get a one-shot connection: the answer may come
+    // from either socket, so neither can be pooled for reuse.
+    let (tx, rx) = mpsc::channel::<(u8, Result<Response, String>)>();
+    let spawn_attempt = |tag: u8| {
+        let addr = addr.to_string();
+        let path = path.to_string();
+        let body = body.to_vec();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let mut one_shot = Client::new(&addr, false);
+            let _ = tx.send((tag, one_shot.exchange("POST", &path, &body)));
+        });
+    };
+    spawn_attempt(0);
+    let mut in_flight = 1usize;
+    let (first_tag, first) = match rx.recv_timeout(hedge_delay) {
+        Ok(completion) => completion,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            stats.hedges.fetch_add(1, Ordering::Relaxed);
+            spawn_attempt(1);
+            in_flight += 1;
+            match rx.recv() {
+                Ok(completion) => completion,
+                Err(_) => return Err("hedged request: no attempt completed".to_string()),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            return Err("hedged request: attempt thread died".to_string())
+        }
+    };
+    in_flight -= 1;
+    let first_ok = matches!(&first, Ok(r) if (200..300).contains(&r.status));
+    if first_ok || in_flight == 0 {
+        if first_ok && first_tag == 1 {
+            stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+        }
+        return first;
+    }
+    // The first completion failed and the other attempt is still running:
+    // its answer may yet save the request.
+    match rx.recv() {
+        Ok((tag, second)) if matches!(&second, Ok(r) if (200..300).contains(&r.status)) => {
+            if tag == 1 {
+                stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+            }
+            second
+        }
+        _ => first,
+    }
+}
+
 /// Generates the `index`-th distinct workload circuit: a `3 + index`-bit
 /// ripple counter with an enable PI — sequential depth, a few ANDs, and a
 /// different structural hash per index.
@@ -303,18 +442,23 @@ fn run() -> Result<(), String> {
     let next = Arc::new(AtomicUsize::new(0));
     let failures = Arc::new(AtomicUsize::new(0));
     let connects = Arc::new(AtomicUsize::new(0));
+    let stats = Arc::new(RetryStats::default());
     let started = Instant::now();
     let threads: Vec<_> = (0..args.concurrency)
-        .map(|_| {
+        .map(|worker| {
             let addr = args.addr.clone();
             let circuits = Arc::clone(&circuits);
             let next = Arc::clone(&next);
             let failures = Arc::clone(&failures);
             let connects = Arc::clone(&connects);
+            let stats = Arc::clone(&stats);
             let total = args.requests;
             let keepalive = args.keepalive;
+            let retries = args.retries;
+            let hedge_after = args.hedge_after;
             std::thread::spawn(move || {
                 let mut client = Client::new(&addr, keepalive);
+                let mut backoff = Backoff::new(0x6c0a_dc11 ^ (worker as u64) << 32);
                 loop {
                     let ticket = next.fetch_add(1, Ordering::Relaxed);
                     if ticket >= total {
@@ -323,7 +467,30 @@ fn run() -> Result<(), String> {
                     }
                     let circuit = &circuits[ticket % circuits.len()];
                     let path = format!("/v1/embed?id={ticket}&summary=1");
-                    match client.exchange("POST", &path, circuit.as_bytes()) {
+                    let mut outcome = send_once(
+                        &mut client,
+                        &addr,
+                        &path,
+                        circuit.as_bytes(),
+                        hedge_after,
+                        &stats,
+                    );
+                    for _attempt in 0..retries {
+                        if !is_retryable(&outcome) {
+                            break;
+                        }
+                        stats.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff.next_delay());
+                        outcome = send_once(
+                            &mut client,
+                            &addr,
+                            &path,
+                            circuit.as_bytes(),
+                            hedge_after,
+                            &stats,
+                        );
+                    }
+                    match outcome {
                         Ok(response) if (200..300).contains(&response.status) => {}
                         Ok(response) => {
                             failures.fetch_add(1, Ordering::Relaxed);
@@ -347,12 +514,16 @@ fn run() -> Result<(), String> {
     let elapsed = started.elapsed();
     let failed = failures.load(Ordering::Relaxed);
     println!(
-        "{} requests in {:.3}s ({:.1} req/s), {} failed, {} connections",
+        "{} requests in {:.3}s ({:.1} req/s), {} failed, {} connections, \
+         {} retries, {} hedges ({} won by hedge)",
         args.requests,
         elapsed.as_secs_f64(),
         args.requests as f64 / elapsed.as_secs_f64().max(1e-9),
         failed,
-        connects.load(Ordering::Relaxed)
+        connects.load(Ordering::Relaxed),
+        stats.retries.load(Ordering::Relaxed),
+        stats.hedges.load(Ordering::Relaxed),
+        stats.hedge_wins.load(Ordering::Relaxed)
     );
     if failed > 0 {
         return Err(format!("{failed} of {} requests failed", args.requests));

@@ -235,6 +235,12 @@ impl EmbeddingCache {
         self.map.is_empty()
     }
 
+    /// Drops one entry if present (the `cache_evict` fault hook uses this
+    /// to force a recompute path). Does not count as an eviction.
+    pub fn remove(&mut self, key: &CacheKey) -> Option<Arc<CachedInference>> {
+        self.map.remove(key).map(|entry| entry.value)
+    }
+
     /// Drops all entries, keeping the counters.
     pub fn clear(&mut self) {
         self.map.clear();

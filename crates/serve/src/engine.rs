@@ -13,13 +13,16 @@
 //! per-request allocation.
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use deepseq_core::encoding::initial_states;
 use deepseq_core::CircuitGraph;
 use deepseq_netlist::SeqAig;
+use deepseq_nn::fault::{self, FaultPoint};
 use deepseq_nn::trace;
 use deepseq_nn::Pool;
 use deepseq_sim::Workload;
@@ -27,6 +30,56 @@ use deepseq_sim::Workload;
 use crate::cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
 use crate::infer::{InferenceModel, Workspace};
 use crate::ServeError;
+
+/// Internal engine failures: the request did not fail validation — the
+/// machinery processing it did. The HTTP edge maps these to 500 (every
+/// other [`ServeError`] is the client's fault and maps to 400).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The request's compute task panicked; the panic was caught at the
+    /// engine boundary and the worker survived.
+    Panicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// The reply channel was dropped before a response was sent — the
+    /// task died (or an injected fault dropped the sender).
+    ReplyDropped,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Panicked { detail } => {
+                write!(f, "request task panicked: {detail}")
+            }
+            EngineError::ReplyDropped => {
+                write!(f, "reply channel dropped before a response was sent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Panics caught at the engine boundary since process start — the
+/// `deepseq_panics_caught_total` metric.
+static PANICS_CAUGHT: AtomicU64 = AtomicU64::new(0);
+
+/// Total panics caught (and converted to typed 500s) at the engine
+/// boundary since process start.
+pub fn panics_caught() -> u64 {
+    PANICS_CAUGHT.load(Ordering::Relaxed)
+}
+
+/// Locks a mutex, recovering from poisoning: every engine-internal lock
+/// guards a pile/queue whose operations never panic mid-update, and the
+/// per-request compute that *can* panic runs outside any of them (and is
+/// caught in [`process`] anyway), so the poisoned state is consistent.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// One inference request: a circuit plus the workload applied at its PIs.
 #[derive(Debug, Clone)]
@@ -126,7 +179,9 @@ impl Default for EngineOptions {
 /// # Ok::<(), deepseq_netlist::NetlistError>(())
 /// ```
 pub struct Engine {
-    model: Arc<InferenceModel>,
+    /// Swappable on checkpoint reload; tasks snapshot the `Arc` at start,
+    /// so in-flight requests finish on the model they began with.
+    model: Arc<Mutex<Arc<InferenceModel>>>,
     cache: Arc<Mutex<EmbeddingCache>>,
     pool: Arc<Pool>,
     workspaces: Arc<Mutex<Vec<Workspace>>>,
@@ -142,6 +197,47 @@ pub struct Engine {
 /// feed its `/metrics` latency histograms.
 pub type ServedHook = Arc<dyn Fn(&ServeResponse, Duration) + Send + Sync>;
 
+/// A response in flight from [`Engine::submit`].
+///
+/// [`PendingResponse::wait`] always yields a [`ServeResponse`]: if the
+/// compute task dies without replying, the response carries a typed
+/// [`EngineError::ReplyDropped`] instead of panicking the caller.
+#[derive(Debug)]
+pub struct PendingResponse {
+    id: u64,
+    design: String,
+    receiver: mpsc::Receiver<ServeResponse>,
+}
+
+impl PendingResponse {
+    /// Blocks until the response arrives (or the task provably never
+    /// will — a dropped sender yields a typed `ReplyDropped` error).
+    pub fn wait(self) -> ServeResponse {
+        match self.receiver.recv() {
+            Ok(response) => response,
+            Err(mpsc::RecvError) => ServeResponse {
+                id: self.id,
+                design: self.design,
+                result: Err(ServeError::Engine(EngineError::ReplyDropped)),
+            },
+        }
+    }
+
+    /// Non-blocking probe; `None` until the response is ready. After the
+    /// sender is dropped without a reply, returns the typed error response.
+    pub fn try_wait(&mut self) -> Option<ServeResponse> {
+        match self.receiver.try_recv() {
+            Ok(response) => Some(response),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(ServeResponse {
+                id: self.id,
+                design: std::mem::take(&mut self.design),
+                result: Err(ServeError::Engine(EngineError::ReplyDropped)),
+            }),
+        }
+    }
+}
+
 impl Engine {
     /// An engine around a frozen model, on the process-wide
     /// [`Pool::global`].
@@ -153,7 +249,7 @@ impl Engine {
     /// their own; everything else should share the global pool).
     pub fn with_pool(model: InferenceModel, options: EngineOptions, pool: Arc<Pool>) -> Engine {
         Engine {
-            model: Arc::new(model),
+            model: Arc::new(Mutex::new(Arc::new(model))),
             cache: Arc::new(Mutex::new(EmbeddingCache::new(options.cache_capacity))),
             pool,
             workspaces: Arc::new(Mutex::new(Vec::new())),
@@ -167,29 +263,41 @@ impl Engine {
     /// wrapped in an `Arc` so the engine can share it with in-flight
     /// request tasks.
     pub fn set_served_hook(&self, hook: ServedHook) {
-        *self.hook.lock().expect("hook lock") = Some(hook);
+        *lock_recover(&self.hook) = Some(hook);
     }
 
-    /// Enqueues one request onto the shared pool; the response arrives on
-    /// the returned channel. On a 1-thread pool the request is processed
-    /// inline before this returns.
-    pub fn submit(&self, request: ServeRequest) -> mpsc::Receiver<ServeResponse> {
+    /// Enqueues one request onto the shared pool; await the response via
+    /// [`PendingResponse::wait`]. On a 1-thread pool the request is
+    /// processed inline before this returns. A task that dies without
+    /// sending (the reply sender is dropped) surfaces as a typed
+    /// [`EngineError::ReplyDropped`] response, never a panic or a hang.
+    pub fn submit(&self, request: ServeRequest) -> PendingResponse {
         let (reply, receiver) = mpsc::channel();
-        let model = Arc::clone(&self.model);
+        let id = request.id;
+        let design = request.aig.name().to_string();
+        let model = lock_recover(&self.model).clone();
         let cache = Arc::clone(&self.cache);
         let workspaces = Arc::clone(&self.workspaces);
         let served = Arc::clone(&self.served);
         let pool = Arc::clone(&self.pool);
-        let hook = self.hook.lock().expect("hook lock").clone();
+        let hook = lock_recover(&self.hook).clone();
         self.pool.spawn(move || {
             let mut ws = checkout(&workspaces, &pool);
             let response = process(&model, &cache, request, &mut ws, &hook);
             served.fetch_add(1, Ordering::Relaxed);
-            // A dropped reply receiver just means the caller lost interest.
-            let _ = reply.send(response);
-            workspaces.lock().expect("workspace pile").push(ws);
+            if fault::should_inject(FaultPoint::EngineReplyDrop) {
+                drop(reply); // the caller sees a typed ReplyDropped
+            } else {
+                // A dropped reply *receiver* means the caller lost interest.
+                let _ = reply.send(response);
+            }
+            lock_recover(&workspaces).push(ws);
         });
-        receiver
+        PendingResponse {
+            id,
+            design,
+            receiver,
+        }
     }
 
     /// Serves a batch of independent requests across the worker pool and
@@ -203,16 +311,23 @@ impl Engine {
         if total == 0 {
             return Vec::new();
         }
+        // (id, design) per slot, so a request whose reply never arrives
+        // (task died, injected reply drop) still gets a typed response.
+        let meta: Vec<(u64, String)> = requests
+            .iter()
+            .map(|r| (r.id, r.aig.name().to_string()))
+            .collect();
         let task_count = self.max_concurrent.min(self.pool.threads()).min(total);
         let queue: Mutex<VecDeque<(usize, ServeRequest)>> =
             Mutex::new(requests.into_iter().enumerate().collect());
         let (reply, responses) = mpsc::channel::<(usize, ServeResponse)>();
-        let hook = self.hook.lock().expect("hook lock").clone();
+        let hook = lock_recover(&self.hook).clone();
+        let model = lock_recover(&self.model).clone();
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..task_count)
             .map(|_| {
                 let queue = &queue;
                 let reply = reply.clone();
-                let model = &self.model;
+                let model = &model;
                 let cache = &self.cache;
                 let served = &self.served;
                 let workspaces = &self.workspaces;
@@ -221,15 +336,19 @@ impl Engine {
                 Box::new(move || {
                     let mut ws = checkout(workspaces, pool);
                     loop {
-                        let next = queue.lock().expect("request queue").pop_front();
+                        let next = lock_recover(queue).pop_front();
                         let Some((index, request)) = next else { break };
                         let response = process(model, cache, request, &mut ws, hook);
                         served.fetch_add(1, Ordering::Relaxed);
-                        reply
-                            .send((index, response))
-                            .expect("receiver outlives run");
+                        if fault::should_inject(FaultPoint::EngineReplyDrop) {
+                            continue; // the slot fills with ReplyDropped
+                        }
+                        // The receiver outlives `pool.run`; a send can only
+                        // fail if the collector below already gave up, and
+                        // the missing slot is filled with a typed error.
+                        let _ = reply.send((index, response));
                     }
-                    workspaces.lock().expect("workspace pile").push(ws);
+                    lock_recover(workspaces).push(ws);
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
@@ -242,13 +361,46 @@ impl Engine {
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every request answered"))
+            .zip(meta)
+            .map(|(slot, (id, design))| {
+                slot.unwrap_or(ServeResponse {
+                    id,
+                    design,
+                    result: Err(ServeError::Engine(EngineError::ReplyDropped)),
+                })
+            })
             .collect()
+    }
+
+    /// Probes the embedding cache for `request` without computing anything
+    /// — the degraded-mode serving path: hits are answered from here,
+    /// misses are shed at the HTTP edge instead of recomputed.
+    pub fn lookup_cached(&self, request: &ServeRequest) -> Option<ServeResponse> {
+        let key = CacheKey::for_request(&request.aig, &request.workload, request.init_seed);
+        let data = lock_recover(&self.cache).get(&key)?;
+        Some(ServeResponse {
+            id: request.id,
+            design: request.aig.name().to_string(),
+            result: Ok(ServedInference {
+                num_nodes: data.num_nodes,
+                cache_hit: true,
+                data,
+            }),
+        })
+    }
+
+    /// Atomically replaces the engine's model (a checkpoint reload). The
+    /// embedding cache is cleared — cached results were computed under the
+    /// old weights. In-flight requests finish on the model they started
+    /// with; new requests see the new one.
+    pub fn swap_model(&self, model: InferenceModel) {
+        *lock_recover(&self.model) = Arc::new(model);
+        lock_recover(&self.cache).clear();
     }
 
     /// Current embedding-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        lock_recover(&self.cache).stats()
     }
 
     /// Total requests processed since construction.
@@ -265,9 +417,7 @@ impl Engine {
 /// Takes a workspace from the shared pile, or builds a fresh one on the
 /// engine's pool.
 fn checkout(workspaces: &Mutex<Vec<Workspace>>, pool: &Arc<Pool>) -> Workspace {
-    workspaces
-        .lock()
-        .expect("workspace pile")
+    lock_recover(workspaces)
         .pop()
         .unwrap_or_else(|| Workspace::with_pool(deepseq_nn::Kernel::for_serve(), Arc::clone(pool)))
 }
@@ -282,7 +432,23 @@ fn process(
     let design = request.aig.name().to_string();
     let id = request.id;
     let start = Instant::now();
-    let result = serve_one(model, cache, request, ws);
+    // The panic boundary: a panicking request (a bug in the forward pass,
+    // or an injected `task_panic` fault) becomes a typed 500 for *its*
+    // client, not a hung connection or a dead worker. The workspace is
+    // rebuilt rather than reused — a panic may have left it mid-update.
+    let result = catch_unwind(AssertUnwindSafe(|| serve_one(model, cache, request, ws)))
+        .unwrap_or_else(|payload| {
+            PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+            *ws = Workspace::with_pool(ws.kernel(), Arc::clone(ws.pool()));
+            let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(ServeError::Engine(EngineError::Panicked { detail }))
+        });
     let response = ServeResponse { id, design, result };
     if let Some(hook) = hook {
         hook(&response, start.elapsed());
@@ -296,6 +462,9 @@ fn serve_one(
     request: ServeRequest,
     ws: &mut Workspace,
 ) -> Result<ServedInference, ServeError> {
+    if fault::should_inject(FaultPoint::TaskPanic) {
+        panic!("injected task_panic fault");
+    }
     request.aig.validate()?;
     if request.workload.len() < request.aig.num_pis() {
         return Err(ServeError::WorkloadTooShort {
@@ -304,8 +473,14 @@ fn serve_one(
         });
     }
     let key = CacheKey::for_request(&request.aig, &request.workload, request.init_seed);
+    if fault::should_inject(FaultPoint::CacheEvict) {
+        lock_recover(cache).remove(&key);
+    }
+    if let Some(delay) = fault::slow_stage_delay("cache_lookup") {
+        std::thread::sleep(delay);
+    }
     let lookup = trace::span(trace::SpanKind::CacheLookup);
-    let cached = cache.lock().expect("cache lock").get(&key);
+    let cached = lock_recover(cache).get(&key);
     drop(lookup);
     if let Some(data) = cached {
         return Ok(ServedInference {
@@ -321,16 +496,16 @@ fn serve_one(
         model.config().hidden_dim,
         request.init_seed,
     );
+    if let Some(delay) = fault::slow_stage_delay("forward") {
+        std::thread::sleep(delay);
+    }
     let out = model.run(&graph, &h0, ws);
     let data = Arc::new(CachedInference {
         predictions: out.predictions,
         embedding: out.embedding,
         num_nodes: graph.num_nodes,
     });
-    cache
-        .lock()
-        .expect("cache lock")
-        .insert(key, Arc::clone(&data));
+    lock_recover(cache).insert(key, Arc::clone(&data));
     Ok(ServedInference {
         num_nodes: graph.num_nodes,
         cache_hit: false,
@@ -455,13 +630,14 @@ mod tests {
     fn submit_delivers_on_the_returned_channel() {
         for threads in [1, 3] {
             let engine = engine_on(2, Arc::new(Pool::new(threads)));
-            let rx = engine.submit(ServeRequest {
-                id: 7,
-                aig: toggle("t"),
-                workload: Workload::uniform(0, 0.5),
-                init_seed: 0,
-            });
-            let response = rx.recv().expect("response arrives");
+            let response = engine
+                .submit(ServeRequest {
+                    id: 7,
+                    aig: toggle("t"),
+                    workload: Workload::uniform(0, 0.5),
+                    init_seed: 0,
+                })
+                .wait();
             assert_eq!(response.id, 7);
             assert!(response.result.is_ok());
             assert_eq!(engine.requests_served(), 1);
@@ -485,9 +661,52 @@ mod tests {
             init_seed: 0,
         };
         engine.serve_batch((0..5).map(make).collect());
-        let rx = engine.submit(make(9));
-        rx.recv().expect("response arrives");
+        engine.submit(make(9)).wait();
         assert_eq!(seen.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn dropped_reply_sender_yields_typed_engine_error() {
+        // A task that dies before sending surfaces as ReplyDropped — the
+        // caller never panics on recv and never hangs.
+        let (reply, receiver) = mpsc::channel::<ServeResponse>();
+        drop(reply);
+        let pending = PendingResponse {
+            id: 3,
+            design: "d".into(),
+            receiver,
+        };
+        let response = pending.wait();
+        assert_eq!(response.id, 3);
+        assert_eq!(response.design, "d");
+        assert!(matches!(
+            response.result,
+            Err(ServeError::Engine(EngineError::ReplyDropped))
+        ));
+    }
+
+    #[test]
+    fn swap_model_clears_cache_and_keeps_serving() {
+        let engine = engine(2);
+        let make = |id| ServeRequest {
+            id,
+            aig: toggle("t"),
+            workload: Workload::uniform(0, 0.5),
+            init_seed: 0,
+        };
+        engine.serve_batch(vec![make(0)]);
+        assert!(engine.lookup_cached(&make(1)).is_some());
+        let model = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        engine.swap_model(InferenceModel::from_model(&model).unwrap());
+        // The old entry is gone (old weights), and serving still works.
+        assert!(engine.lookup_cached(&make(2)).is_none());
+        let responses = engine.serve_batch(vec![make(3)]);
+        assert!(responses[0].result.is_ok());
+        assert!(!responses[0].result.as_ref().unwrap().cache_hit);
     }
 
     #[test]

@@ -85,7 +85,10 @@ use deepseq_netlist::NetlistError;
 use deepseq_nn::ParamsError;
 
 pub use cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
-pub use engine::{Engine, EngineOptions, ServeRequest, ServeResponse, ServedInference};
+pub use engine::{
+    panics_caught, Engine, EngineError, EngineOptions, PendingResponse, ServeRequest,
+    ServeResponse, ServedInference,
+};
 pub use http::{HttpLimits, HttpRequest, HttpResponse};
 pub use infer::{InferenceModel, InferenceOutput, Workspace};
 pub use metrics::Metrics;
@@ -108,6 +111,18 @@ pub enum ServeError {
         /// Stimuli in the workload.
         stimuli: usize,
     },
+    /// The engine's machinery failed while processing the request (caught
+    /// panic, dropped reply channel) — a server-side 500, unlike every
+    /// other variant, which is the client's fault.
+    Engine(engine::EngineError),
+}
+
+impl ServeError {
+    /// True for server-side failures (HTTP 500); false for request errors
+    /// (HTTP 400).
+    pub fn is_internal(&self) -> bool {
+        matches!(self, ServeError::Engine(_))
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -121,6 +136,7 @@ impl fmt::Display for ServeError {
             ServeError::WorkloadTooShort { pis, stimuli } => {
                 write!(f, "workload covers {stimuli} PIs but the circuit has {pis}")
             }
+            ServeError::Engine(e) => write!(f, "internal engine failure: {e}"),
         }
     }
 }
@@ -130,8 +146,15 @@ impl Error for ServeError {
         match self {
             ServeError::Checkpoint(e) => Some(e),
             ServeError::Netlist(e) => Some(e),
+            ServeError::Engine(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<engine::EngineError> for ServeError {
+    fn from(e: engine::EngineError) -> Self {
+        ServeError::Engine(e)
     }
 }
 

@@ -67,11 +67,17 @@ serve options:
     --max-inflight <N>   admission: concurrent embed requests (default: pool size)
     --max-queue <N>      admission: waiting embed requests before 429 (default 64)
     --deadline-ms <MS>   per-request deadline, 504 on expiry (default 30000)
+    --degrade-after <N>  enter degraded (cache-only) mode after N consecutive
+                         429 rejections with no admission in between
+                         (default 0 = never trip automatically)
     --trace-out <FILE>   enable span tracing: `GET /debug/trace` serves live
                          span trees / stage summaries, and a chrome://tracing
                          JSON profile is written to FILE after drain
     The server runs until `POST /admin/drain` arrives, then drains
     gracefully: in-flight requests finish, no new connections are accepted.
+    `POST /admin/reload` re-reads --checkpoint and swaps it in (failed
+    reloads degrade the server to cache-only; see docs/RELIABILITY.md);
+    `POST /admin/degrade?mode=on|off` toggles degraded mode by hand.
 
 convert:
     text checkpoints (`deepseq-model v1` header) become binary (`DSQM`),
@@ -277,6 +283,7 @@ struct ServeArgs {
     max_inflight: usize,
     max_queue: usize,
     deadline_ms: u64,
+    degrade_after: u64,
     trace_out: Option<String>,
 }
 
@@ -292,6 +299,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         max_inflight: defaults.max_inflight,
         max_queue: defaults.max_queue,
         deadline_ms: defaults.deadline.as_millis() as u64,
+        degrade_after: defaults.saturation_trip,
         trace_out: None,
     };
     let mut it = args.iter();
@@ -312,6 +320,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--max-queue" => out.max_queue = parse_num(value("--max-queue")?, "--max-queue")?,
             "--deadline-ms" => {
                 out.deadline_ms = parse_num(value("--deadline-ms")?, "--deadline-ms")? as u64
+            }
+            "--degrade-after" => {
+                out.degrade_after = parse_num(value("--degrade-after")?, "--degrade-after")? as u64
             }
             "--trace-out" => out.trace_out = Some(value("--trace-out")?.clone()),
             other => return Err(format!("unknown serve option `{other}`")),
@@ -349,6 +360,8 @@ fn serve(args: &[String]) -> Result<(), String> {
             max_inflight: args.max_inflight,
             max_queue: args.max_queue,
             deadline: Duration::from_millis(args.deadline_ms),
+            checkpoint_path: args.checkpoint.clone(),
+            saturation_trip: args.degrade_after,
             ..ServerOptions::default()
         },
     )
@@ -454,17 +467,21 @@ fn convert(args: &[String]) -> Result<(), String> {
         return Err(format!("convert needs <INPUT> <OUTPUT>\n\n{USAGE}"));
     };
     let bytes = fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    // write_atomic (temp file + fsync + rename) so a crash mid-convert
+    // never leaves a truncated checkpoint at the output path.
     if bytes.starts_with(&deepseq_core::model::MODEL_MAGIC) {
         let model = DeepSeq::from_binary_checkpoint(&bytes)
             .map_err(|e| format!("loading binary checkpoint {input}: {e}"))?;
-        fs::write(output, model.save_to_string()).map_err(|e| format!("writing {output}: {e}"))?;
+        deepseq_nn::write_atomic(output.as_ref(), model.save_to_string().as_bytes())
+            .map_err(|e| format!("writing {output}: {e}"))?;
         eprintln!("converted binary → text: {input} → {output}");
     } else {
         let text =
             String::from_utf8(bytes).map_err(|_| format!("{input} is neither binary nor text"))?;
         let model = DeepSeq::from_checkpoint(&text)
             .map_err(|e| format!("loading text checkpoint {input}: {e}"))?;
-        fs::write(output, model.save_binary()).map_err(|e| format!("writing {output}: {e}"))?;
+        deepseq_nn::write_atomic(output.as_ref(), &model.save_binary())
+            .map_err(|e| format!("writing {output}: {e}"))?;
         eprintln!("converted text → binary: {input} → {output}");
     }
     Ok(())

@@ -106,6 +106,8 @@ pub struct Metrics {
     pub deadline_expired: AtomicU64,
     /// Requests rejected during drain (503).
     pub rejected_draining: AtomicU64,
+    /// Embed cache-misses shed with 503 while degraded.
+    pub rejected_degraded: AtomicU64,
     /// Embed requests currently waiting for an admission slot (gauge).
     pub queue_depth: AtomicU64,
     /// Embed requests currently holding an admission slot (gauge).
@@ -129,9 +131,16 @@ impl Metrics {
     }
 
     /// Renders the registry (plus the engine's cache counters, its pool's
-    /// scheduler counters, the per-stage span histograms, and the
-    /// process-wide config-warning count) in Prometheus text format.
-    pub fn render(&self, cache: &CacheStats, pool: &PoolStats, draining: bool) -> String {
+    /// scheduler counters, the per-stage span histograms, the process-wide
+    /// config-warning / caught-panic / injected-fault counts) in Prometheus
+    /// text format.
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        pool: &PoolStats,
+        draining: bool,
+        degraded: bool,
+    ) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -217,6 +226,12 @@ impl Metrics {
             "Embed requests rejected with 503 (server draining).",
             load(&self.rejected_draining),
         );
+        counter(
+            &mut out,
+            "deepseq_rejected_degraded_total",
+            "Embed cache-misses shed with 503 while degraded.",
+            load(&self.rejected_degraded),
+        );
         gauge(
             &mut out,
             "deepseq_queue_depth",
@@ -234,6 +249,12 @@ impl Metrics {
             "deepseq_draining",
             "1 while the server is draining, else 0.",
             if draining { 1.0 } else { 0.0 },
+        );
+        gauge(
+            &mut out,
+            "deepseq_degraded",
+            "1 while the server is in degraded (cache-only) mode, else 0.",
+            if degraded { 1.0 } else { 0.0 },
         );
 
         counter(
@@ -304,6 +325,24 @@ impl Metrics {
             "Configuration warnings (DEEPSEQ_THREADS / DEEPSEQ_KERNEL) since start.",
             config_warning_count(),
         );
+        counter(
+            &mut out,
+            "deepseq_panics_caught_total",
+            "Worker-task panics caught at the engine boundary.",
+            crate::engine::panics_caught(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP deepseq_faults_injected_total Injected faults by point \
+             (populated while DEEPSEQ_FAULT is armed)."
+        );
+        let _ = writeln!(out, "# TYPE deepseq_faults_injected_total counter");
+        for (point, value) in deepseq_nn::fault::injected_counts() {
+            let _ = writeln!(
+                out,
+                "deepseq_faults_injected_total{{point=\"{point}\"}} {value}"
+            );
+        }
 
         self.request_latency
             .render(&mut out, "deepseq_http_request_duration_seconds");
@@ -416,7 +455,7 @@ mod tests {
             parks: 5,
             wakeups: 3,
         };
-        let text = m.render(&cache, &pool, true);
+        let text = m.render(&cache, &pool, true, false);
         for needle in [
             "deepseq_requests_total{endpoint=\"embed\"} 7",
             "deepseq_responses_total{class=\"2xx\"} 1",
@@ -425,8 +464,13 @@ mod tests {
             "deepseq_queue_depth 3",
             "deepseq_in_flight 2",
             "deepseq_draining 1",
+            "deepseq_degraded 0",
+            "deepseq_rejected_degraded_total 0",
             "deepseq_cache_hit_ratio 0.75",
             "deepseq_config_warnings_total",
+            "deepseq_panics_caught_total",
+            "deepseq_faults_injected_total{point=\"checkpoint_read\"}",
+            "deepseq_faults_injected_total{point=\"engine_reply_drop\"}",
             "deepseq_http_request_duration_seconds_bucket{le=\"+Inf\"} 1",
             "deepseq_pool_threads 4",
             "deepseq_pool_steals_total 11",

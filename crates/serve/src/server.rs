@@ -14,9 +14,23 @@
 //! | Method + path | Purpose |
 //! |---|---|
 //! | `POST /v1/embed` | circuit text in (AIGER/`.bench`), prediction JSON out |
-//! | `GET /healthz` | liveness + drain state |
+//! | `GET /healthz` | liveness (always 200); `?ready=1` readiness (503 while draining/degraded) |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `POST /admin/drain` | request graceful drain (loopback deployments) |
+//! | `POST /admin/degrade` | enter (`?mode=on`, default) or leave (`?mode=off`) degraded mode |
+//! | `POST /admin/reload` | re-read the startup checkpoint and swap it in |
+//!
+//! # Degraded mode
+//!
+//! A degraded server keeps serving **cache hits** (they are known-good
+//! results) and sheds cache misses with `503` + `Retry-After` instead of
+//! computing. It is entered three ways: explicitly via `/admin/degrade`,
+//! automatically when `/admin/reload` fails (the old weights keep serving
+//! hits, but no new compute runs on weights the operator tried and failed
+//! to replace), and automatically under sustained admission saturation
+//! (`ServerOptions::saturation_trip` consecutive 429s). `/healthz?ready=1`
+//! reports `503` while degraded so load balancers route around the
+//! instance; plain `/healthz` stays `200` so supervisors don't kill it.
 //!
 //! # Admission, backpressure, deadlines
 //!
@@ -41,19 +55,30 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use deepseq_netlist::{lower_to_aig, parse_aiger, SeqAig};
+use deepseq_nn::fault::{self, FaultPoint};
 use deepseq_nn::trace;
 use deepseq_sim::Workload;
 
-use crate::engine::{Engine, ServeRequest};
+use crate::engine::{Engine, EngineError, ServeRequest, ServeResponse};
 use crate::http::{read_request, write_response, HttpError, HttpLimits, HttpRequest, HttpResponse};
+use crate::infer::InferenceModel;
 use crate::json::response_to_json;
 use crate::metrics::Metrics;
+use crate::ServeError;
+
+/// Locks a mutex, recovering the guard if a panicking holder poisoned it.
+/// Server state (admission counters, drain flag) stays meaningful across a
+/// caught panic, so refusing to serve because of poisoning would turn one
+/// contained failure into a cascading one.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// Sizing and policy knobs of an [`HttpServer`].
 #[derive(Debug, Clone)]
@@ -78,6 +103,14 @@ pub struct ServerOptions {
     /// Hard cap on how long [`HttpServer::shutdown`] waits for open
     /// connections after the admitted requests finished.
     pub drain_grace: Duration,
+    /// Checkpoint the server was started from, if any — `POST /admin/reload`
+    /// re-reads it (and is `409` without one).
+    pub checkpoint_path: Option<String>,
+    /// Consecutive `429` (queue-full) rejections, with no successful
+    /// admission in between, after which the server enters degraded mode on
+    /// its own. `0` disables the automatic trip (the default); explicit
+    /// `POST /admin/degrade` and failed reloads still degrade.
+    pub saturation_trip: u64,
 }
 
 impl Default for ServerOptions {
@@ -90,6 +123,8 @@ impl Default for ServerOptions {
             limits: HttpLimits::default(),
             idle_keepalive: Duration::from_secs(5),
             drain_grace: Duration::from_secs(30),
+            checkpoint_path: None,
+            saturation_trip: 0,
         }
     }
 }
@@ -148,7 +183,7 @@ impl Admission {
         deadline: Instant,
         metrics: &Metrics,
     ) -> Admit {
-        let mut state = self.state.lock().expect("admission lock");
+        let mut state = lock_recover(&self.state);
         if state.in_flight < max_inflight && state.queued == 0 {
             state.in_flight += 1;
             metrics
@@ -175,7 +210,7 @@ impl Admission {
             let (next, _timeout) = self
                 .freed
                 .wait_timeout(state, deadline - now)
-                .expect("admission wait");
+                .unwrap_or_else(|poison| poison.into_inner());
             state = next;
             if state.in_flight < max_inflight {
                 state.queued -= 1;
@@ -193,7 +228,7 @@ impl Admission {
 
     /// Returns a compute slot and wakes one waiter.
     fn release(&self, metrics: &Metrics) {
-        let mut state = self.state.lock().expect("admission lock");
+        let mut state = lock_recover(&self.state);
         state.in_flight -= 1;
         metrics
             .in_flight
@@ -203,7 +238,7 @@ impl Admission {
 
     /// True when no request holds or waits for a slot.
     fn is_empty(&self) -> bool {
-        let state = self.state.lock().expect("admission lock");
+        let state = lock_recover(&self.state);
         state.in_flight == 0 && state.queued == 0
     }
 }
@@ -217,6 +252,11 @@ struct ServerShared {
     max_inflight: usize,
     admission: Admission,
     draining: AtomicBool,
+    /// Cache-only mode: misses shed with 503 (see the [module docs](self)).
+    degraded: AtomicBool,
+    /// Consecutive queue-full rejections since the last admission; trips
+    /// degraded mode at `options.saturation_trip`.
+    queue_full_streak: AtomicU64,
     /// Signalled when a drain is requested (admin endpoint or handle) and
     /// when a connection closes (so `shutdown` can wait for zero).
     drain_lock: Mutex<()>,
@@ -234,12 +274,43 @@ impl ServerShared {
         self.draining.load(Ordering::Acquire)
     }
 
+    fn set_degraded(&self, on: bool) {
+        self.degraded.store(on, Ordering::Release);
+        if !on {
+            self.queue_full_streak.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Records one queue-full rejection; a long enough streak with no
+    /// admission in between trips degraded mode (sustained saturation).
+    fn note_queue_full(&self) {
+        let trip = self.options.saturation_trip;
+        if trip == 0 {
+            return;
+        }
+        let streak = self.queue_full_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= trip {
+            self.set_degraded(true);
+        }
+    }
+
+    /// Records one successful admission, resetting the saturation streak.
+    fn note_admitted(&self) {
+        if self.options.saturation_trip != 0 {
+            self.queue_full_streak.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Wakes anything blocked on `drain_cv` (`shutdown`'s drain wait and
     /// `wait_for_drain_request`). Called on every state change the drain
     /// condition reads — drain requested, a connection closed, the
     /// admission gate emptied — so the waiters never have to poll.
     fn notify_drain_waiters(&self) {
-        let _guard = self.drain_lock.lock().expect("drain lock");
+        let _guard = lock_recover(&self.drain_lock);
         self.drain_cv.notify_all();
     }
 }
@@ -296,6 +367,8 @@ impl HttpServer {
             max_inflight,
             admission: Admission::new(),
             draining: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            queue_full_streak: AtomicU64::new(0),
             drain_lock: Mutex::new(()),
             drain_cv: Condvar::new(),
             started: Instant::now(),
@@ -332,6 +405,17 @@ impl HttpServer {
         self.shared.is_draining()
     }
 
+    /// True while the server is in degraded (cache-only) mode.
+    pub fn degraded(&self) -> bool {
+        self.shared.is_degraded()
+    }
+
+    /// Enters or leaves degraded mode (`POST /admin/degrade` calls the
+    /// same thing).
+    pub fn set_degraded(&self, on: bool) {
+        self.shared.set_degraded(on);
+    }
+
     /// Requests a drain without blocking (`POST /admin/drain` calls the
     /// same thing). Follow with [`HttpServer::shutdown`] to wait it out.
     pub fn request_drain(&self) {
@@ -341,9 +425,13 @@ impl HttpServer {
     /// Blocks until a drain is requested (by [`HttpServer::request_drain`]
     /// or the admin endpoint) — the serve-mode main loop parks here.
     pub fn wait_for_drain_request(&self) {
-        let mut guard = self.shared.drain_lock.lock().expect("drain lock");
+        let mut guard = lock_recover(&self.shared.drain_lock);
         while !self.shared.is_draining() {
-            guard = self.shared.drain_cv.wait(guard).expect("drain wait");
+            guard = self
+                .shared
+                .drain_cv
+                .wait(guard)
+                .unwrap_or_else(|poison| poison.into_inner());
         }
     }
 
@@ -358,7 +446,7 @@ impl HttpServer {
         let grace = self.shared.options.drain_grace;
         let deadline = Instant::now() + grace;
         {
-            let mut guard = self.shared.drain_lock.lock().expect("drain lock");
+            let mut guard = lock_recover(&self.shared.drain_lock);
             loop {
                 let drained = self.shared.admission.is_empty()
                     && self.shared.metrics.connections_open.load(Ordering::Relaxed) == 0;
@@ -377,7 +465,7 @@ impl HttpServer {
                     .shared
                     .drain_cv
                     .wait_timeout(guard, deadline - now)
-                    .expect("drain wait");
+                    .unwrap_or_else(|poison| poison.into_inner());
                 guard = next;
             }
         }
@@ -474,7 +562,18 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
             // the socket-write span joins its span tree.
             let _trace = response_trace_scope(&response);
             let _span = trace::span(trace::SpanKind::SocketWrite);
-            write_response(&mut writer, &response)
+            if fault::should_inject(FaultPoint::SocketWrite) {
+                // Model a peer reset mid-write: the connection is torn down
+                // (the error return below closes it) but the server, its
+                // admission slot accounting, and the drain machinery are
+                // untouched.
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "injected socket_write fault",
+                ))
+            } else {
+                write_response(&mut writer, &response)
+            }
         };
         if wrote.is_err() || response.close {
             return;
@@ -528,30 +627,48 @@ fn route(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
         }
         ("GET", "/healthz") => {
             metrics.requests_healthz.fetch_add(1, Ordering::Relaxed);
-            HttpResponse::json(
-                200,
-                format!(
-                    "{{\"status\":\"ok\",\"draining\":{},\"uptime_ms\":{}}}",
-                    shared.is_draining(),
-                    shared.started.elapsed().as_millis()
-                ),
-            )
+            healthz(shared, request)
         }
         ("GET", "/metrics") => {
             metrics.requests_metrics.fetch_add(1, Ordering::Relaxed);
             let cache = shared.engine.cache_stats();
             let pool = shared.engine.pool().stats();
-            HttpResponse::text(200, metrics.render(&cache, &pool, shared.is_draining()))
+            HttpResponse::text(
+                200,
+                metrics.render(&cache, &pool, shared.is_draining(), shared.is_degraded()),
+            )
         }
         ("POST", "/admin/drain") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             shared.request_drain();
             HttpResponse::json(200, "{\"status\":\"draining\"}").closing()
         }
+        ("POST", "/admin/degrade") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            match request.query_param("mode") {
+                None | Some("on") => {
+                    shared.set_degraded(true);
+                    HttpResponse::json(200, "{\"status\":\"degraded\"}")
+                }
+                Some("off") => {
+                    shared.set_degraded(false);
+                    HttpResponse::json(200, "{\"status\":\"ok\"}")
+                }
+                Some(other) => {
+                    HttpResponse::error(400, &format!("unknown mode {other:?} (on | off)"))
+                }
+            }
+        }
+        ("POST", "/admin/reload") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            admin_reload(shared)
+        }
         (_, "/v1/embed")
         | (_, "/healthz")
         | (_, "/metrics")
         | (_, "/admin/drain")
+        | (_, "/admin/degrade")
+        | (_, "/admin/reload")
         | (_, "/debug/trace") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, &format!("{} not allowed here", request.method))
@@ -592,6 +709,65 @@ fn debug_trace(request: &HttpRequest) -> HttpResponse {
     }
 }
 
+/// `GET /healthz`: liveness by default (200 as long as the process
+/// answers, with `draining` / `degraded` / `ready` detail in the body);
+/// with `?ready=1`, a readiness probe that answers `503` while the server
+/// is draining or degraded, so load balancers route around it while
+/// `kubelet`-style liveness checks keep it alive.
+fn healthz(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
+    let draining = shared.is_draining();
+    let degraded = shared.is_degraded();
+    let ready = !draining && !degraded;
+    let body = format!(
+        "{{\"status\":\"{}\",\"live\":true,\"ready\":{ready},\"draining\":{draining},\
+         \"degraded\":{degraded},\"uptime_ms\":{}}}",
+        if ready { "ok" } else { "degraded" },
+        shared.started.elapsed().as_millis()
+    );
+    let readiness_probe = matches!(request.query_param("ready"), Some("1" | "true"));
+    let status = if readiness_probe && !ready { 503 } else { 200 };
+    HttpResponse::json(status, body)
+}
+
+/// `POST /admin/reload`: re-reads the checkpoint the server was started
+/// from and swaps it into the engine (clearing the cache). A failed reload
+/// — missing file, corrupt bytes, checksum mismatch — leaves the old model
+/// serving but flips the server into degraded mode: the operator asked for
+/// weights the server cannot vouch for, so only cache hits keep flowing
+/// until a reload succeeds or degraded mode is cleared explicitly.
+fn admin_reload(shared: &Arc<ServerShared>) -> HttpResponse {
+    let Some(path) = shared.options.checkpoint_path.as_deref() else {
+        return HttpResponse::error(
+            409,
+            "no checkpoint to reload (server started without --checkpoint)",
+        );
+    };
+    match reload_checkpoint(path) {
+        Ok(model) => {
+            shared.engine.swap_model(model);
+            shared.set_degraded(false);
+            HttpResponse::json(200, "{\"status\":\"reloaded\"}")
+        }
+        Err(msg) => {
+            shared.set_degraded(true);
+            HttpResponse::error(500, &format!("checkpoint reload failed ({msg}); degraded"))
+        }
+    }
+}
+
+/// Loads a checkpoint for [`admin_reload`], sniffing binary (`DSQM`)
+/// versus text by the magic.
+fn reload_checkpoint(path: &str) -> Result<InferenceModel, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.starts_with(&deepseq_core::model::MODEL_MAGIC) {
+        InferenceModel::from_binary_checkpoint(&bytes).map_err(|e| e.to_string())
+    } else {
+        let text =
+            String::from_utf8(bytes).map_err(|_| format!("{path} is neither binary nor text"))?;
+        InferenceModel::from_text_checkpoint(&text).map_err(|e| e.to_string())
+    }
+}
+
 /// `POST /v1/embed`: parse → admit → engine → JSON.
 fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> HttpResponse {
     let metrics = &shared.metrics;
@@ -606,6 +782,22 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
     };
     drop(parse_span);
     let summary = matches!(request.query_param("summary"), Some("1" | "true"));
+    if shared.is_degraded() {
+        // Cache-only mode: hits still flow (the cached result is known
+        // good), misses shed immediately — no compute on a server that
+        // cannot vouch for its weights or is saturated.
+        return match shared.engine.lookup_cached(&serve_request) {
+            Some(response) => {
+                let body = response_to_json(&response, summary);
+                HttpResponse::json(200, body)
+            }
+            None => {
+                metrics.rejected_degraded.fetch_add(1, Ordering::Relaxed);
+                HttpResponse::error(503, "server is degraded; cache miss shed")
+                    .with_header("retry-after", "5".to_string())
+            }
+        };
+    }
     // Requests may tighten the configured deadline, never extend it.
     let deadline_budget = match request.query_param("deadline_ms") {
         None => shared.options.deadline,
@@ -627,6 +819,7 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
     match admit {
         Admit::QueueFull => {
             metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            shared.note_queue_full();
             HttpResponse::error(429, "admission queue is full; retry later")
                 .with_header("retry-after", "1".to_string())
         }
@@ -638,18 +831,34 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
             HttpResponse::error(504, "deadline expired while queued")
         }
         Admit::Go => {
+            shared.note_admitted();
+            let request_id = serve_request.id;
+            let design = serve_request.aig.name().to_string();
             // serve_batch with one request runs it inline on this thread;
             // level fan-out inside the engine still spreads across the
             // pool's scoped queues.
             let mut responses = shared.engine.serve_batch(vec![serve_request]);
             shared.admission.release(metrics);
             shared.notify_drain_waiters();
-            let response = responses.pop().expect("one response per request");
+            // serve_batch answers every request (typed errors included);
+            // should that invariant ever break, answer a typed 500, never
+            // panic a connection handler.
+            let response = responses.pop().unwrap_or(ServeResponse {
+                id: request_id,
+                design,
+                result: Err(ServeError::Engine(EngineError::ReplyDropped)),
+            });
             if Instant::now() > deadline {
                 metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 return HttpResponse::error(504, "deadline expired during processing");
             }
-            let status = if response.result.is_ok() { 200 } else { 400 };
+            let status = match &response.result {
+                Ok(_) => 200,
+                // Server-side machinery failures (caught panic, dropped
+                // reply) are 500s; everything else is the request's fault.
+                Err(e) if e.is_internal() => 500,
+                Err(_) => 400,
+            };
             let serialize_span = trace::span(trace::SpanKind::Serialize);
             let body = response_to_json(&response, summary);
             drop(serialize_span);
@@ -753,13 +962,19 @@ mod tests {
     }
 
     fn shared() -> Arc<ServerShared> {
+        shared_with(ServerOptions::default())
+    }
+
+    fn shared_with(options: ServerOptions) -> Arc<ServerShared> {
         Arc::new(ServerShared {
             engine: test_engine(),
             metrics: Arc::new(Metrics::default()),
-            options: ServerOptions::default(),
+            options,
             max_inflight: 2,
             admission: Admission::new(),
             draining: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            queue_full_streak: AtomicU64::new(0),
             drain_lock: Mutex::new(()),
             drain_cv: Condvar::new(),
             started: Instant::now(),
@@ -849,6 +1064,153 @@ mod tests {
         assert!(String::from_utf8(health.body)
             .unwrap()
             .contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn degraded_mode_serves_hits_and_sheds_misses() {
+        let shared = shared();
+        // Populate the cache while healthy.
+        let warm = route(&shared, &post("/v1/embed", &[("id", "1")], TOGGLE_AAG));
+        assert_eq!(warm.status, 200);
+
+        let degrade = route(&shared, &post("/admin/degrade", &[], b""));
+        assert_eq!(degrade.status, 200);
+        assert!(shared.is_degraded());
+
+        // Hit: still served, marked as a cache hit.
+        let hit = route(&shared, &post("/v1/embed", &[("id", "2")], TOGGLE_AAG));
+        assert_eq!(hit.status, 200);
+        let body = String::from_utf8(hit.body).unwrap();
+        assert!(body.contains("\"cache_hit\":true"), "{body}");
+
+        // Miss: shed with 503 + Retry-After, counted.
+        let miss = route(&shared, &post("/v1/embed", &[("seed", "99")], TOGGLE_AAG));
+        assert_eq!(miss.status, 503);
+        assert!(miss
+            .extra_headers
+            .iter()
+            .any(|(name, _)| name == "retry-after"));
+        let body = String::from_utf8(miss.body).unwrap();
+        assert!(body.starts_with("{\"error\":"), "{body}");
+        assert_eq!(shared.metrics.rejected_degraded.load(Ordering::Relaxed), 1);
+
+        // Recovery: mode=off restores full service.
+        let restore = route(&shared, &post("/admin/degrade", &[("mode", "off")], b""));
+        assert_eq!(restore.status, 200);
+        assert!(!shared.is_degraded());
+        let served = route(&shared, &post("/v1/embed", &[("seed", "99")], TOGGLE_AAG));
+        assert_eq!(served.status, 200);
+    }
+
+    #[test]
+    fn degrade_rejects_unknown_modes() {
+        let shared = shared();
+        let response = route(&shared, &post("/admin/degrade", &[("mode", "maybe")], b""));
+        assert_eq!(response.status, 400);
+        assert!(!shared.is_degraded());
+    }
+
+    #[test]
+    fn healthz_splits_liveness_from_readiness() {
+        let shared = shared();
+        // Healthy: both views 200 and ready.
+        let live = route(&shared, &get("/healthz"));
+        assert_eq!(live.status, 200);
+        assert!(String::from_utf8(live.body)
+            .unwrap()
+            .contains("\"ready\":true"));
+
+        shared.set_degraded(true);
+        // Liveness stays 200 (the process is fine) …
+        let live = route(&shared, &get("/healthz"));
+        assert_eq!(live.status, 200);
+        let body = String::from_utf8(live.body).unwrap();
+        assert!(body.contains("\"ready\":false"), "{body}");
+        assert!(body.contains("\"degraded\":true"), "{body}");
+        // … while the readiness probe reports 503.
+        let ready = route(
+            &shared,
+            &HttpRequest {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                query: vec![("ready".into(), "1".into())],
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(ready.status, 503);
+    }
+
+    #[test]
+    fn sustained_queue_saturation_trips_degraded_mode() {
+        let shared = shared_with(ServerOptions {
+            saturation_trip: 3,
+            ..ServerOptions::default()
+        });
+        shared.note_queue_full();
+        shared.note_queue_full();
+        assert!(!shared.is_degraded());
+        // An admission in between resets the streak.
+        shared.note_admitted();
+        shared.note_queue_full();
+        shared.note_queue_full();
+        assert!(!shared.is_degraded());
+        shared.note_queue_full();
+        assert!(shared.is_degraded());
+        // Clearing degraded mode also clears the streak.
+        shared.set_degraded(false);
+        shared.note_queue_full();
+        assert!(!shared.is_degraded());
+    }
+
+    #[test]
+    fn reload_without_checkpoint_answers_409() {
+        let shared = shared();
+        let response = route(&shared, &post("/admin/reload", &[], b""));
+        assert_eq!(response.status, 409);
+        assert!(!shared.is_degraded());
+    }
+
+    #[test]
+    fn failed_reload_degrades_and_successful_reload_recovers() {
+        let dir = std::env::temp_dir().join(format!("deepseq-reload-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.dsqm");
+        let model = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        std::fs::write(&path, model.save_binary()).expect("write checkpoint");
+
+        let shared = shared_with(ServerOptions {
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            ..ServerOptions::default()
+        });
+        // Good checkpoint: reload succeeds, stays healthy.
+        let ok = route(&shared, &post("/admin/reload", &[], b""));
+        assert_eq!(ok.status, 200, "{:?}", String::from_utf8(ok.body));
+        assert!(!shared.is_degraded());
+
+        // Corrupt the checkpoint (single bit flip in the body): reload
+        // fails with the CRC guard and the server degrades.
+        let mut bytes = std::fs::read(&path).expect("read checkpoint");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("rewrite checkpoint");
+        let bad = route(&shared, &post("/admin/reload", &[], b""));
+        assert_eq!(bad.status, 500);
+        assert!(shared.is_degraded());
+        let body = String::from_utf8(bad.body).unwrap();
+        assert!(body.starts_with("{\"error\":"), "{body}");
+
+        // Restore the file: the next reload succeeds and clears degraded.
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("restore checkpoint");
+        let ok = route(&shared, &post("/admin/reload", &[], b""));
+        assert_eq!(ok.status, 200);
+        assert!(!shared.is_degraded());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
