@@ -79,6 +79,7 @@ fn boot() -> HttpServer {
         EngineOptions {
             workers: 1,
             cache_capacity: 64,
+            ..EngineOptions::default()
         },
         Arc::new(Pool::new(1)),
     );

@@ -20,9 +20,9 @@ use deepseq_core::encoding::initial_states;
 use deepseq_core::{CircuitGraph, DeepSeq, DeepSeqConfig};
 use deepseq_data::designs::ptc;
 use deepseq_data::random::{random_circuit, CircuitSpec};
-use deepseq_netlist::{lower_to_aig, SeqAig};
+use deepseq_netlist::{lower_to_aig, structural_hash, SeqAig};
 use deepseq_nn::{Kernel, Matrix, Pool};
-use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest, Workspace};
+use deepseq_serve::{Engine, EngineOptions, InferenceModel, ServeRequest, ShardRouter, Workspace};
 use deepseq_sim::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,6 +108,7 @@ fn bench_cache_hit(c: &mut Criterion) {
             EngineOptions {
                 workers: 1,
                 cache_capacity: 8,
+                cone_capacity: 0,
             },
             Arc::new(Pool::new(1)),
         );
@@ -132,9 +133,134 @@ fn bench_cache_hit(c: &mut Criterion) {
     }
 }
 
+/// A circuit of `blocks` self-contained blocks (one PI, one FF, `gates`
+/// gates each, fanins drawn only within the block) — `blocks`
+/// weakly-connected components, the reuse unit of the cone memo. `variant`
+/// reseeds the last block only, producing the near-duplicate edit the
+/// memo is built for.
+fn blocky_aig(blocks: usize, gates: usize, variant: u64) -> SeqAig {
+    let mut aig = SeqAig::new("blocky");
+    for b in 0..blocks {
+        let mut state = if b + 1 == blocks {
+            (b as u64).wrapping_add(variant << 32) | 1
+        } else {
+            b as u64 | 1
+        };
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let pi = aig.add_pi(format!("b{b}pi"));
+        let ff = aig.add_ff(format!("b{b}ff"), next(2) == 1);
+        let mut nodes = vec![pi, ff];
+        for _ in 0..gates {
+            let a = nodes[next(nodes.len())];
+            let c = nodes[next(nodes.len())];
+            nodes.push(if next(3) == 0 {
+                aig.add_not(a)
+            } else {
+                aig.add_and(a, c)
+            });
+        }
+        aig.connect_ff(ff, *nodes.last().unwrap())
+            .expect("ff connect");
+    }
+    aig
+}
+
+/// Near-duplicate serving: a 16-component circuit warms the cone memo,
+/// then a one-component edit of it is served with the memo
+/// (`serve_cone_hit_*`: unchanged components splice their memoized
+/// final-state rows) and without (`serve_cone_full_*`: full recompute).
+/// The derived `cone_speedup_blocks16` ratio is the acceptance number for
+/// cone-granularity caching; the exact-match cache is disabled in both so
+/// the comparison isolates the cone path.
+fn bench_cone_reuse(c: &mut Criterion) {
+    let config = DeepSeqConfig {
+        hidden_dim: 32,
+        iterations: 4,
+        ..DeepSeqConfig::default()
+    };
+    let model = DeepSeq::new(config);
+    let frozen = InferenceModel::from_model(&model).expect("canonical params");
+    let base = blocky_aig(16, 24, 0);
+    let edited = blocky_aig(16, 24, 1);
+    let make = |aig: &SeqAig, id| ServeRequest {
+        id,
+        aig: aig.clone(),
+        workload: Workload::uniform(aig.num_pis(), 0.5),
+        init_seed: 0,
+    };
+    for (name, cones) in [
+        ("serve_cone_hit_blocks16", 4096),
+        ("serve_cone_full_blocks16", 0),
+    ] {
+        let engine = Engine::with_pool(
+            frozen.clone(),
+            EngineOptions {
+                workers: 1,
+                cache_capacity: 0,
+                cone_capacity: cones,
+            },
+            Arc::new(Pool::new(1)),
+        );
+        engine.serve_batch(vec![make(&base, 0)]); // warm (no-op without memo)
+        let mut id = 1u64;
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                id += 1;
+                let r = engine.serve_batch(vec![make(&edited, id)]);
+                let served = r[0].result.as_ref().expect("serves");
+                assert_eq!(served.cones_reused > 0, cones > 0);
+            })
+        });
+    }
+}
+
+/// The shard router's cache-hit path through 1 and 4 shards: the delta is
+/// pure routing overhead (structural hash → home, ring state, per-shard
+/// counters), pinned near 1.0× by the derived `shard_hit_ratio_s4_*`.
+fn bench_shard_hit(c: &mut Criterion) {
+    let f = fixtures().pop().expect("ptc fixture");
+    for shards in [1usize, 4] {
+        let engine = Engine::with_pool(
+            f.frozen.clone(),
+            EngineOptions {
+                workers: 1,
+                cache_capacity: 8,
+                cone_capacity: 0,
+            },
+            Arc::new(Pool::new(1)),
+        );
+        let router = ShardRouter::new(engine, shards);
+        let hash = structural_hash(&f.aig);
+        let make = |id| ServeRequest {
+            id,
+            aig: f.aig.clone(),
+            workload: Workload::uniform(f.aig.num_pis(), 0.5),
+            init_seed: 0,
+        };
+        // Warm the home shard's cache, then measure route + hit.
+        let home = router.home(hash);
+        router.engine(home).serve_batch(vec![make(0)]);
+        let mut id = 1u64;
+        c.bench_function(&format!("serve_shard_hit_s{shards}_{}", f.tag), |b| {
+            b.iter(|| {
+                id += 1;
+                let decision = router.route(hash).expect("no shard degraded");
+                let r = router.engine(decision.shard).serve_batch(vec![make(id)]);
+                assert!(r[0].result.as_ref().expect("serves").cache_hit);
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_tape_forward, bench_tapefree_forward, bench_tapefree_per_kernel, bench_cache_hit
+    targets = bench_tape_forward, bench_tapefree_forward, bench_tapefree_per_kernel, bench_cache_hit,
+        bench_cone_reuse, bench_shard_hit
 }
 criterion_main!(benches);

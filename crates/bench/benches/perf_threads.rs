@@ -117,6 +117,7 @@ fn bench_mt_batch(c: &mut Criterion) {
                 EngineOptions {
                     workers: threads,
                     cache_capacity: 0,
+                    cone_capacity: 0,
                 },
                 Arc::new(Pool::new(threads)),
             );

@@ -342,6 +342,60 @@ impl SeqAig {
         lists
     }
 
+    /// Partitions the circuit into **weakly connected components** over
+    /// combinational fanin edges *and* sequential (FF D-input) edges.
+    ///
+    /// Returns `(component_of, count)` where `component_of[i]` is the dense
+    /// component id of node `i`; components are numbered by first occurrence
+    /// in id order, so component 0 contains node 0. Two nodes share a
+    /// component exactly when structure can influence both during
+    /// propagation — the weakly connected component is the smallest unit
+    /// whose node states are a pure function of its own structure and
+    /// initial rows, which is what makes it the reuse granule of the serving
+    /// layer's cone memo.
+    pub fn weak_components(&self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let union = |parent: &mut [u32], a: u32, b: u32| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                // Root at the smaller id, keeping first-occurrence numbering
+                // cheap to produce below.
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                parent[hi as usize] = lo;
+            }
+        };
+        for (id, node) in self.iter() {
+            match *node {
+                AigNode::And(a, b) => {
+                    union(&mut parent, id.0, a.0);
+                    union(&mut parent, id.0, b.0);
+                }
+                AigNode::Not(a) => union(&mut parent, id.0, a.0),
+                AigNode::Ff { d: Some(d), .. } => union(&mut parent, id.0, d.0),
+                _ => {}
+            }
+        }
+        let mut component = vec![u32::MAX; n];
+        let mut count = 0usize;
+        for i in 0..n as u32 {
+            let root = find(&mut parent, i) as usize;
+            if component[root] == u32::MAX {
+                component[root] = count as u32;
+                count += 1;
+            }
+            component[i as usize] = component[root];
+        }
+        (component, count)
+    }
+
     /// Checks the structural invariants.
     ///
     /// # Errors
@@ -450,6 +504,37 @@ mod tests {
         aig.connect_ff(q, nq).unwrap();
         aig.set_output(q, "out");
         aig
+    }
+
+    #[test]
+    fn weak_components_split_and_merge() {
+        // Two toggle FFs (independent components) plus one isolated PI.
+        let mut aig = SeqAig::new("c");
+        let q0 = aig.add_ff("q0", false); // 0
+        let n0 = aig.add_not(q0); // 1
+        aig.connect_ff(q0, n0).unwrap();
+        let _free = aig.add_pi("free"); // 2
+        let q1 = aig.add_ff("q1", false); // 3
+        let n1 = aig.add_not(q1); // 4
+        aig.connect_ff(q1, n1).unwrap();
+        let (comp, count) = aig.weak_components();
+        assert_eq!(count, 3);
+        assert_eq!(comp, vec![0, 0, 1, 2, 2]);
+
+        // Bridging the two toggles with an AND merges their components.
+        let y = aig.add_and(n0, n1);
+        let _ = y;
+        let (comp, count) = aig.weak_components();
+        assert_eq!(count, 2);
+        assert_eq!(comp, vec![0, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn weak_components_empty() {
+        let aig = SeqAig::new("e");
+        let (comp, count) = aig.weak_components();
+        assert!(comp.is_empty());
+        assert_eq!(count, 0);
     }
 
     #[test]

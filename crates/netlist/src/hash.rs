@@ -98,6 +98,77 @@ pub fn structural_hash(aig: &SeqAig) -> u64 {
     if n == 0 {
         return mix(0);
     }
+    let label = wl_final_labels(aig);
+
+    // Order-invariant aggregation of the final label multiset: a commutative
+    // sum/xor pair of mixed labels, plus counts and named outputs.
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for &l in &label {
+        let m = mix(l);
+        sum = sum.wrapping_add(m);
+        xor ^= m.rotate_left((m % 63) as u32);
+    }
+    let mut out_sum = 0u64;
+    for (node, name) in aig.outputs() {
+        out_sum = out_sum.wrapping_add(mix(combine(
+            combine(TAG_OUT, hash_bytes(name.as_bytes())),
+            label[node.index()],
+        )));
+    }
+
+    let mut digest = mix(n as u64);
+    digest = combine(digest, aig.num_pis() as u64);
+    digest = combine(digest, aig.num_ffs() as u64);
+    digest = combine(digest, aig.num_ands() as u64);
+    digest = combine(digest, aig.num_nots() as u64);
+    digest = combine(digest, sum);
+    digest = combine(digest, xor);
+    digest = combine(digest, out_sum);
+    digest
+}
+
+/// Per-node canonical **fanin-cone hashes**.
+///
+/// `cone_hashes(aig)[i]` digests the structure feeding node `i`: its own
+/// kind (PI name, FF power-on state, gate type) refined over the same
+/// Weisfeiler–Lehman rounds as [`structural_hash`], so it covers the whole
+/// combinational cone behind the node plus `num_ffs + 1` (clamped to
+/// `[2, 16]`) sequential boundaries. Two nodes whose fanin cones are
+/// isomorphic — within one circuit or across circuits — get equal hashes,
+/// and the hash of a node is invariant under renumbering of its circuit.
+///
+/// The serving layer uses these as the content address of its
+/// cone-granularity memo: a circuit that shares sub-structure with a cached
+/// one reuses the cached cones and only recomputes the changed ones.
+///
+/// # Example
+/// ```
+/// use deepseq_netlist::{cone_hashes, SeqAig};
+///
+/// // Two identical NOT cones over same-named PIs, one extra AND.
+/// let mut g = SeqAig::new("g");
+/// let a = g.add_pi("x");
+/// let b = g.add_pi("x");
+/// let na = g.add_not(a);
+/// let nb = g.add_not(b);
+/// let y = g.add_and(na, nb);
+/// let h = cone_hashes(&g);
+/// assert_eq!(h[na.index()], h[nb.index()]); // isomorphic cones
+/// assert_ne!(h[na.index()], h[y.index()]);
+/// ```
+pub fn cone_hashes(aig: &SeqAig) -> Vec<u64> {
+    wl_final_labels(aig).into_iter().map(mix).collect()
+}
+
+/// Runs the Weisfeiler–Lehman refinement of the [module docs](self) and
+/// returns the final per-node labels. [`structural_hash`] aggregates them
+/// order-invariantly; [`cone_hashes`] exposes them per node.
+fn wl_final_labels(aig: &SeqAig) -> Vec<u64> {
+    let n = aig.len();
+    if n == 0 {
+        return Vec::new();
+    }
 
     // Combinational depth per node — renumbering-invariant because it is a
     // property of the DAG, computable in one id-order scan (ordered
@@ -163,33 +234,7 @@ pub fn structural_hash(aig: &SeqAig) -> u64 {
         let _ = round;
         std::mem::swap(&mut label, &mut next);
     }
-
-    // Order-invariant aggregation of the final label multiset: a commutative
-    // sum/xor pair of mixed labels, plus counts and named outputs.
-    let mut sum = 0u64;
-    let mut xor = 0u64;
-    for &l in &label {
-        let m = mix(l);
-        sum = sum.wrapping_add(m);
-        xor ^= m.rotate_left((m % 63) as u32);
-    }
-    let mut out_sum = 0u64;
-    for (node, name) in aig.outputs() {
-        out_sum = out_sum.wrapping_add(mix(combine(
-            combine(TAG_OUT, hash_bytes(name.as_bytes())),
-            label[node.index()],
-        )));
-    }
-
-    let mut digest = mix(n as u64);
-    digest = combine(digest, aig.num_pis() as u64);
-    digest = combine(digest, aig.num_ffs() as u64);
-    digest = combine(digest, aig.num_ands() as u64);
-    digest = combine(digest, aig.num_nots() as u64);
-    digest = combine(digest, sum);
-    digest = combine(digest, xor);
-    digest = combine(digest, out_sum);
-    digest
+    label
 }
 
 #[cfg(test)]
@@ -269,5 +314,60 @@ mod tests {
     fn empty_graph_hashes() {
         let g = SeqAig::new("empty");
         assert_eq!(structural_hash(&g), structural_hash(&g));
+        assert!(cone_hashes(&g).is_empty());
+    }
+
+    #[test]
+    fn cone_hashes_invariant_under_renumbering() {
+        // y = AND(NOT(a), b) built in two node orders: corresponding nodes
+        // must carry identical cone hashes.
+        let mut g1 = SeqAig::new("g1");
+        let a1 = g1.add_pi("a");
+        let b1 = g1.add_pi("b");
+        let n1 = g1.add_not(a1);
+        let y1 = g1.add_and(n1, b1);
+
+        let mut g2 = SeqAig::new("g2");
+        let b2 = g2.add_pi("b");
+        let a2 = g2.add_pi("a");
+        let n2 = g2.add_not(a2);
+        let y2 = g2.add_and(b2, n2);
+
+        let h1 = cone_hashes(&g1);
+        let h2 = cone_hashes(&g2);
+        assert_eq!(h1[a1.index()], h2[a2.index()]);
+        assert_eq!(h1[b1.index()], h2[b2.index()]);
+        assert_eq!(h1[n1.index()], h2[n2.index()]);
+        assert_eq!(h1[y1.index()], h2[y2.index()]);
+    }
+
+    #[test]
+    fn cone_hashes_distinguish_cone_structure() {
+        // Same node kind, different fanin cones.
+        let mut g = SeqAig::new("g");
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let na = g.add_not(a);
+        let nb = g.add_not(b); // NOT over a differently-named PI
+        let nna = g.add_not(na); // NOT over a deeper cone
+        let h = cone_hashes(&g);
+        assert_ne!(h[na.index()], h[nb.index()]);
+        assert_ne!(h[na.index()], h[nna.index()]);
+    }
+
+    #[test]
+    fn cone_hashes_cross_sequential_boundaries() {
+        // Toggle FFs with different init values: the NOT gates behind them
+        // see the difference through the FF edge.
+        let mk = |init| {
+            let mut g = SeqAig::new("t");
+            let q = g.add_ff("q", init);
+            let n = g.add_not(q);
+            g.connect_ff(q, n).unwrap();
+            g
+        };
+        let h0 = cone_hashes(&mk(false));
+        let h1 = cone_hashes(&mk(true));
+        assert_ne!(h0[1], h1[1]);
     }
 }

@@ -82,8 +82,8 @@ pub use layers::{AdditiveAttention, GruCell, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use params::{
-    append_crc_trailer, crc32, verify_crc_trailer, write_atomic, BinReader, GradStore, ParamId,
-    Params, ParamsError,
+    append_crc_trailer, crc32, verify_crc_trailer, write_atomic, BinReader, CheckpointMap,
+    GradStore, ParamId, Params, ParamsError,
 };
 pub use pool::{Pool, PoolStats};
 pub use tape::{Tape, VarId};

@@ -328,6 +328,178 @@ pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()>
     Ok(())
 }
 
+/// Raw `mmap`/`munmap` bindings for the private read-only checkpoint
+/// mapping. std already links libc on every unix target, so declaring the
+/// two symbols here adds no dependency. Constants are identical on Linux
+/// and the BSD family (including macOS): `PROT_READ = 1`,
+/// `MAP_PRIVATE = 2`, `MAP_FAILED = -1`.
+#[cfg(unix)]
+mod mmap_sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// The storage behind a [`CheckpointMap`]: a private read-only memory
+/// mapping where the platform provides one, a plain owned buffer otherwise.
+enum MapBacking {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::os::raw::c_void,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+/// A zero-copy, read-only view of a checkpoint file.
+///
+/// On unix the file is mapped `PROT_READ`/`MAP_PRIVATE`, so N engine
+/// shards (or N processes) opening the same checkpoint share one set of
+/// physical pages instead of N heap copies, and opening is O(1) in the
+/// file size. Everywhere else — and whenever the mapping fails or the file
+/// is empty — it transparently falls back to a buffered read into an owned
+/// buffer; [`CheckpointMap::bytes`] behaves identically either way, so the
+/// CRC check and the decoder never know the difference.
+///
+/// # Mapping rules
+///
+/// The bytes of a mapped file must not change underneath the mapping.
+/// Checkpoints written through [`write_atomic`] are safe by construction:
+/// replacement happens by `rename`, which swaps the *directory entry* and
+/// leaves the mapped old inode intact until the last mapping drops.
+/// Truncating or rewriting a checkpoint **in place** while it is mapped is
+/// outside the contract (on most platforms reads then fault). `MAP_PRIVATE`
+/// additionally isolates the view from in-place appends.
+///
+/// No alignment is guaranteed for the interior weight payloads (parameter
+/// records carry variable-length names), so decoders must — and ours do —
+/// read floats byte-wise rather than reinterpreting the mapping as `[f32]`.
+pub struct CheckpointMap {
+    backing: MapBacking,
+}
+
+// SAFETY: the mapping is immutable for the lifetime of the value (PROT_READ,
+// never remapped), so shared references to its bytes are as safe across
+// threads as any &[u8]; the owned variant is a plain Vec.
+unsafe impl Send for CheckpointMap {}
+unsafe impl Sync for CheckpointMap {}
+
+impl CheckpointMap {
+    /// Opens `path` read-only, mapping it when possible (see the type
+    /// docs).
+    ///
+    /// # Errors
+    /// Any I/O error opening or (in the fallback) reading the file.
+    pub fn open(path: &std::path::Path) -> std::io::Result<CheckpointMap> {
+        let mut file = std::fs::File::open(path)?;
+        #[cfg(unix)]
+        {
+            let len = file.metadata()?.len();
+            if len > 0 && len <= usize::MAX as u64 {
+                use std::os::unix::io::AsRawFd;
+                let len = len as usize;
+                // SAFETY: len > 0, the fd is a freshly opened readable
+                // file, and the result is checked against MAP_FAILED.
+                let ptr = unsafe {
+                    mmap_sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        mmap_sys::PROT_READ,
+                        mmap_sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != mmap_sys::map_failed() && !ptr.is_null() {
+                    return Ok(CheckpointMap {
+                        backing: MapBacking::Mapped { ptr, len },
+                    });
+                }
+                // Mapping refused (exotic filesystem, resource limits) —
+                // fall through to the copying path.
+            }
+        }
+        let mut bytes = Vec::new();
+        std::io::Read::read_to_end(&mut file, &mut bytes)?;
+        Ok(CheckpointMap {
+            backing: MapBacking::Owned(bytes),
+        })
+    }
+
+    /// The checkpoint bytes (mapped or owned — identical semantics).
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            MapBacking::Mapped { ptr, len } => {
+                // SAFETY: the mapping is PROT_READ, `len` bytes long, and
+                // lives until Drop; see the Send/Sync note above.
+                unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) }
+            }
+            MapBacking::Owned(bytes) => bytes,
+        }
+    }
+
+    /// Length of the checkpoint in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True for an empty checkpoint file.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the bytes come from a memory mapping (false on the
+    /// buffered-read fallback) — surfaced in logs so operators can tell
+    /// which path a reload took.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            MapBacking::Mapped { .. } => true,
+            MapBacking::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for CheckpointMap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MapBacking::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len are exactly what mmap returned; the slice
+            // handed out by `bytes` cannot outlive self.
+            unsafe {
+                mmap_sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CheckpointMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointMap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
 impl Params {
     /// Serializes all parameters to the binary checkpoint format.
     ///
@@ -931,6 +1103,83 @@ mod tests {
             .filter(|e| e.file_name() != "ckpt.bin")
             .collect();
         assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_map_round_trips_binary_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("deepseq-map-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let p = sample_params(1);
+        let bytes = p.save_binary();
+        write_atomic(&path, &bytes).unwrap();
+
+        let map = CheckpointMap::open(&path).unwrap();
+        assert_eq!(map.bytes(), &bytes[..]);
+        assert_eq!(map.len(), bytes.len());
+        assert!(!map.is_empty());
+        #[cfg(unix)]
+        assert!(map.is_mapped(), "unix should take the mmap path");
+
+        // The decoder consumes the mapped bytes like any slice.
+        let mut q = sample_params(2);
+        q.load_binary(map.bytes()).unwrap();
+        for (_, name, value) in p.iter() {
+            assert_eq!(value, q.get(q.find(name).unwrap()), "{name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_map_survives_atomic_replacement() {
+        // The mapping rule the zero-copy path depends on: write_atomic
+        // replaces by rename, so a live mapping keeps reading the *old*
+        // inode's bytes while new opens see the new file.
+        let dir = std::env::temp_dir().join(format!("deepseq-map-swap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        write_atomic(&path, b"generation-one").unwrap();
+        let old = CheckpointMap::open(&path).unwrap();
+        write_atomic(&path, b"generation-TWO!").unwrap();
+        assert_eq!(old.bytes(), b"generation-one");
+        let new = CheckpointMap::open(&path).unwrap();
+        assert_eq!(new.bytes(), b"generation-TWO!");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_map_handles_empty_files_via_fallback() {
+        let dir = std::env::temp_dir().join(format!("deepseq-map-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = CheckpointMap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped()); // zero-length maps are invalid; Vec path
+        assert_eq!(map.bytes(), b"");
+        assert!(CheckpointMap::open(&dir.join("missing.bin")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_map_is_shareable_across_threads() {
+        let dir = std::env::temp_dir().join(format!("deepseq-map-share-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let bytes = sample_params(3).save_binary();
+        write_atomic(&path, &bytes).unwrap();
+        let map = std::sync::Arc::new(CheckpointMap::open(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let map = std::sync::Arc::clone(&map);
+                let want = bytes.clone();
+                std::thread::spawn(move || assert_eq!(map.bytes(), &want[..]))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

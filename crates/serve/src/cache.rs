@@ -1,4 +1,6 @@
-//! Content-addressed LRU cache of inference results.
+//! Content-addressed LRU caches of inference results, at two granularities:
+//! whole circuits ([`EmbeddingCache`]) and fanin-cone components
+//! ([`ConeMemo`]).
 //!
 //! The serving workload described by the paper's downstream tasks (power
 //! estimation, reliability) hammers a *frozen* model with repeated queries
@@ -24,8 +26,22 @@
 //! numbering (or disable the cache); callers treating the model as a
 //! content-addressed embedding provider get exactly the determinism they
 //! want: one circuit structure + workload + seed ⇒ one stable answer.
+//!
+//! # Cone granularity
+//!
+//! The [`ConeMemo`] caches *below* whole-circuit granularity: the final
+//! propagated state rows of one weakly connected component, keyed by an
+//! order-sensitive structural fingerprint of the component plus a content
+//! hash of its actual initial-state rows (see
+//! [`ConeKey`]). Because per-node updates are row-independent within a
+//! level and a component's levels are intrinsic to it, those rows are a
+//! pure function of the key — a request whose circuit shares components
+//! with a cached one reuses their rows bitwise-identically and only
+//! recomputes the changed components. The engine's cone path
+//! (`crate::cone`) does the partitioning, extraction and reassembly.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 use std::sync::Arc;
 
 use deepseq_core::Predictions;
@@ -44,6 +60,10 @@ pub struct CacheKey {
     /// Seed of the random non-PI rows of the initial state matrix.
     pub init_seed: u64,
 }
+
+/// Tag separating trailing (beyond-the-PI-list) stimuli from the per-PI
+/// hash stream in [`CacheKey::for_request`].
+const TAG_TRAILING: u64 = 0x74726C; // "trl"
 
 impl CacheKey {
     /// Computes the content address of a request.
@@ -70,6 +90,15 @@ impl CacheKey {
             // triples is what matters, not PI id order.
             wsum = wsum.wrapping_add(mix(h));
         }
+        // Stimuli beyond the PI list never reach the model, but they are
+        // part of the request: hash them by index so two oversized workloads
+        // of equal length cannot collide into one key (a false hit).
+        for (i, s) in stimuli.iter().enumerate().skip(aig.pis().len()) {
+            let mut h = combine(mix(TAG_TRAILING), i as u64);
+            h = combine(h, s.p1.to_bits());
+            h = combine(h, s.density.to_bits());
+            wsum = wsum.wrapping_add(mix(h));
+        }
         CacheKey {
             structural: structural_hash(aig),
             workload: combine(wsum, stimuli.len() as u64),
@@ -93,7 +122,7 @@ pub struct CachedInference {
     pub num_nodes: usize,
 }
 
-/// Hit/miss/eviction counters of an [`EmbeddingCache`].
+/// Hit/miss/eviction counters of an [`EmbeddingCache`] or [`ConeMemo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups that found an entry.
@@ -120,11 +149,139 @@ impl CacheStats {
     }
 }
 
+/// The shared LRU machinery of both cache granularities: a `HashMap` for
+/// O(1) lookup plus a `BTreeMap` keyed by last-used tick for O(log n)
+/// eviction of the minimum — ticks are unique (every touch bumps the
+/// counter), so the tree is a faithful recency order and eviction never
+/// scans. Counter semantics match the original O(capacity) scan exactly.
+#[derive(Debug)]
+struct Lru<K, V> {
+    map: HashMap<K, LruEntry<V>>,
+    by_tick: BTreeMap<u64, K>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct LruEntry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<K, V> Default for Lru<K, V> {
+    fn default() -> Self {
+        Lru {
+            map: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            capacity: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            by_tick: BTreeMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                self.by_tick.remove(&entry.last_used);
+                entry.last_used = self.tick;
+                self.by_tick.insert(self.tick, *key);
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                // Refresh in place.
+                self.by_tick.remove(&entry.last_used);
+                entry.value = value;
+                entry.last_used = self.tick;
+                self.by_tick.insert(self.tick, key);
+                return;
+            }
+            None => {
+                if self.map.len() >= self.capacity {
+                    if let Some((&oldest_tick, &oldest_key)) = self.by_tick.iter().next() {
+                        self.by_tick.remove(&oldest_tick);
+                        self.map.remove(&oldest_key);
+                        self.evictions += 1;
+                    }
+                }
+            }
+        }
+        self.map.insert(
+            key,
+            LruEntry {
+                value,
+                last_used: self.tick,
+            },
+        );
+        self.by_tick.insert(self.tick, key);
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|entry| {
+            self.by_tick.remove(&entry.last_used);
+            entry.value
+        })
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.by_tick.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
 /// Bounded LRU of [`CachedInference`] results keyed by [`CacheKey`].
 ///
-/// Recency is tracked with a monotonic tick per entry; eviction scans for
-/// the minimum tick, which is O(capacity) — irrelevant next to a forward
-/// pass and free of unsafe pointer juggling. Wrap it in a `Mutex` to share
+/// Recency is tracked with a monotonic tick per entry; a `BTreeMap` over
+/// the (unique) ticks gives O(log n) eviction of the least recently used
+/// entry — the O(capacity) min-scan it replaces became a hot loop once the
+/// cone memo multiplied entry counts. Wrap it in a `Mutex` to share
 /// (the [`Engine`](crate::Engine) does).
 ///
 /// # Example
@@ -147,103 +304,143 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct EmbeddingCache {
-    map: HashMap<CacheKey, Entry>,
-    capacity: usize,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-}
-
-#[derive(Debug)]
-struct Entry {
-    value: Arc<CachedInference>,
-    last_used: u64,
+    lru: Lru<CacheKey, Arc<CachedInference>>,
 }
 
 impl EmbeddingCache {
     /// A cache holding at most `capacity` results (0 disables caching).
     pub fn new(capacity: usize) -> Self {
         EmbeddingCache {
-            map: HashMap::with_capacity(capacity.min(1024)),
-            capacity,
-            ..EmbeddingCache::default()
+            lru: Lru::new(capacity),
         }
     }
 
     /// Looks a key up, refreshing its recency and counting hit/miss.
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CachedInference>> {
-        self.tick += 1;
-        match self.map.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = self.tick;
-                self.hits += 1;
-                Some(Arc::clone(&entry.value))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.lru.get(key)
     }
 
     /// Inserts (or refreshes) a result, evicting the least recently used
     /// entry when full.
     pub fn insert(&mut self, key: CacheKey, value: Arc<CachedInference>) {
-        if self.capacity == 0 {
-            return;
-        }
-        self.tick += 1;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
-                self.map.remove(&oldest);
-                self.evictions += 1;
-            }
-        }
-        self.map.insert(
-            key,
-            Entry {
-                value,
-                last_used: self.tick,
-            },
-        );
+        self.lru.insert(key, value);
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-            entries: self.map.len(),
-            capacity: self.capacity,
-        }
+        self.lru.stats()
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.lru.len()
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.lru.len() == 0
     }
 
     /// Drops one entry if present (the `cache_evict` fault hook uses this
     /// to force a recompute path). Does not count as an eviction.
     pub fn remove(&mut self, key: &CacheKey) -> Option<Arc<CachedInference>> {
-        self.map.remove(key).map(|entry| entry.value)
+        self.lru.remove(key)
     }
 
     /// Drops all entries, keeping the counters.
     pub fn clear(&mut self) {
-        self.map.clear();
+        self.lru.clear();
+    }
+}
+
+/// Content address of one weakly-connected component's propagated states.
+///
+/// Soundness: the final state rows of a component are a pure function of
+/// (weights, config, component structure, its initial rows). The `model`
+/// generation pins the weights+config, `structure` is an order-sensitive
+/// fingerprint of the component's nodes in ascending-id order with local
+/// fanin ordinals (capturing exactly the level structure, gather order and
+/// accumulation order of propagation), and `h0` hashes the component's
+/// actual initial-state row bytes (capturing the workload values, the
+/// node-index-seeded random rows and the hidden dimension). Anything that
+/// could change a bit of the result changes the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConeKey {
+    /// Generation of the [`InferenceModel`](crate::InferenceModel) the rows
+    /// were computed under (unique per loaded model, shared by shards
+    /// serving the same weights).
+    pub model: u64,
+    /// Order-sensitive structural fingerprint of the component.
+    pub structure: u64,
+    /// Content hash of the component's initial-state rows.
+    pub h0: u64,
+}
+
+/// The final propagated state rows of one component, in ascending-node-id
+/// order of the populating circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConeStates {
+    /// `k×d` state rows (`k` = component size).
+    pub rows: Matrix,
+}
+
+/// Bounded LRU of per-component propagated states keyed by [`ConeKey`] —
+/// the cone-granularity memo layer under the whole-circuit
+/// [`EmbeddingCache`].
+///
+/// A request that misses the exact cache but shares components with cached
+/// traffic reuses their rows and only propagates the changed components;
+/// reassembled results are bitwise-identical to a full recompute (see the
+/// [module docs](self) and the property tests). Entries computed under a
+/// replaced model die out naturally: the [`ConeKey`] carries the model
+/// generation, so stale rows can never hit and LRU pressure reclaims them.
+#[derive(Debug, Default)]
+pub struct ConeMemo {
+    lru: Lru<ConeKey, Arc<ConeStates>>,
+}
+
+impl ConeMemo {
+    /// A memo holding at most `capacity` component entries (0 disables the
+    /// cone path entirely — the engine then always runs whole circuits).
+    pub fn new(capacity: usize) -> Self {
+        ConeMemo {
+            lru: Lru::new(capacity),
+        }
+    }
+
+    /// Looks a component up, refreshing its recency and counting hit/miss.
+    pub fn get(&mut self, key: &ConeKey) -> Option<Arc<ConeStates>> {
+        self.lru.get(key)
+    }
+
+    /// Inserts (or refreshes) a component's rows.
+    pub fn insert(&mut self, key: ConeKey, value: Arc<ConeStates>) {
+        self.lru.insert(key, value);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.lru.len() == 0
+    }
+
+    /// True if the memo can hold entries (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.lru.capacity > 0
+    }
+
+    /// Drops all entries, keeping the counters.
+    pub fn clear(&mut self) {
+        self.lru.clear();
     }
 }
 
@@ -306,6 +503,57 @@ mod tests {
     }
 
     #[test]
+    fn eviction_order_survives_refreshing_inserts() {
+        // Re-inserting an existing key must refresh its recency, not grow
+        // the tick index: the stalest *other* entry is evicted next.
+        let mut cache = EmbeddingCache::new(2);
+        cache.insert(key(1), dummy(1));
+        cache.insert(key(2), dummy(2));
+        cache.insert(key(1), dummy(10)); // refresh 1 ⇒ 2 is LRU
+        cache.insert(key(3), dummy(3));
+        assert!(cache.get(&key(2)).is_none());
+        assert_eq!(cache.get(&key(1)).unwrap().num_nodes, 10);
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_clear_keep_the_tick_index_consistent() {
+        let mut cache = EmbeddingCache::new(3);
+        cache.insert(key(1), dummy(1));
+        cache.insert(key(2), dummy(2));
+        assert!(cache.remove(&key(1)).is_some());
+        assert!(cache.remove(&key(1)).is_none());
+        assert_eq!(cache.stats().evictions, 0); // remove is not an eviction
+        cache.clear();
+        assert!(cache.is_empty());
+        // Reuse after clear: no stale tick entries can evict a live key.
+        cache.insert(key(4), dummy(4));
+        cache.insert(key(5), dummy(5));
+        cache.insert(key(6), dummy(6));
+        cache.insert(key(7), dummy(7));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&key(4)).is_none()); // 4 was the LRU
+        assert!(cache.get(&key(7)).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_is_log_time_under_pressure() {
+        // Sanity: a large churn loop completes quickly and keeps exactly
+        // `capacity` entries with the newest keys resident.
+        let mut cache = EmbeddingCache::new(64);
+        for i in 0..10_000u64 {
+            cache.insert(key(i), dummy(1));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 64);
+        assert_eq!(stats.evictions, 10_000 - 64);
+        assert!(cache.get(&key(9_999)).is_some());
+        assert!(cache.get(&key(0)).is_none());
+    }
+
+    #[test]
     fn key_binds_workload_to_pi_names() {
         let mut aig = SeqAig::new("k");
         aig.add_pi("a");
@@ -355,5 +603,82 @@ mod tests {
             CacheKey::for_request(&aig, &w1, 0),
             CacheKey::for_request(&aig, &w2, 0)
         );
+    }
+
+    #[test]
+    fn key_hashes_trailing_stimuli_beyond_the_pi_list() {
+        // Regression: a workload longer than the PI list used to contribute
+        // its trailing stimuli only via the total length, so two different
+        // oversized workloads of equal length collided into one key — a
+        // false cache hit. Trailing stimuli must be hashed by index.
+        let mut aig = SeqAig::new("short");
+        aig.add_pi("a");
+        let covered = PiStimulus::independent(0.5);
+        let w1 = Workload::new(vec![covered, PiStimulus::independent(0.1)]);
+        let w2 = Workload::new(vec![covered, PiStimulus::independent(0.9)]);
+        assert_ne!(
+            CacheKey::for_request(&aig, &w1, 0),
+            CacheKey::for_request(&aig, &w2, 0)
+        );
+        // Swapping two trailing stimuli changes the key too (index-bound).
+        let w3 = Workload::new(vec![
+            covered,
+            PiStimulus::independent(0.1),
+            PiStimulus::independent(0.9),
+        ]);
+        let w4 = Workload::new(vec![
+            covered,
+            PiStimulus::independent(0.9),
+            PiStimulus::independent(0.1),
+        ]);
+        assert_ne!(
+            CacheKey::for_request(&aig, &w3, 0),
+            CacheKey::for_request(&aig, &w4, 0)
+        );
+    }
+
+    #[test]
+    fn cone_memo_counts_and_evicts() {
+        let mut memo = ConeMemo::new(2);
+        let ck = |s| ConeKey {
+            model: 1,
+            structure: s,
+            h0: 0,
+        };
+        let rows = |k| {
+            Arc::new(ConeStates {
+                rows: Matrix::zeros(k, 4),
+            })
+        };
+        assert!(memo.get(&ck(1)).is_none());
+        memo.insert(ck(1), rows(1));
+        memo.insert(ck(2), rows(2));
+        assert!(memo.get(&ck(1)).is_some()); // refresh ⇒ 2 is LRU
+        memo.insert(ck(3), rows(3));
+        assert!(memo.get(&ck(2)).is_none());
+        let s = memo.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(memo.is_enabled());
+        assert!(!ConeMemo::new(0).is_enabled());
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn cone_key_separates_model_generations() {
+        let mut memo = ConeMemo::new(8);
+        let rows = Arc::new(ConeStates {
+            rows: Matrix::zeros(1, 4),
+        });
+        let k1 = ConeKey {
+            model: 1,
+            structure: 7,
+            h0: 9,
+        };
+        let k2 = ConeKey { model: 2, ..k1 };
+        memo.insert(k1, rows);
+        assert!(memo.get(&k1).is_some());
+        assert!(memo.get(&k2).is_none());
     }
 }

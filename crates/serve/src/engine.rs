@@ -27,8 +27,11 @@ use deepseq_nn::trace;
 use deepseq_nn::Pool;
 use deepseq_sim::Workload;
 
-use crate::cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
-use crate::infer::{InferenceModel, Workspace};
+use crate::cache::{
+    CacheKey, CacheStats, CachedInference, ConeKey, ConeMemo, ConeStates, EmbeddingCache,
+};
+use crate::cone;
+use crate::infer::{InferenceModel, InferenceOutput, Workspace};
 use crate::ServeError;
 
 /// Internal engine failures: the request did not fail validation — the
@@ -101,6 +104,9 @@ pub struct ServedInference {
     pub num_nodes: usize,
     /// True if the result came from the embedding cache.
     pub cache_hit: bool,
+    /// Number of fanin-cone components whose propagated states came from
+    /// the cone memo (0 on exact cache hits and fully cold requests).
+    pub cones_reused: usize,
     /// Shared predictions + embedding. On a cache hit these are the outputs
     /// of the request that populated the entry, computed under *that*
     /// request's node numbering — see the
@@ -129,6 +135,10 @@ pub struct EngineOptions {
     pub workers: usize,
     /// Embedding-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Cone-memo capacity in component entries (0 disables the
+    /// cone-granularity reuse path; requests then always run whole
+    /// circuits). Shards forked from this engine share one memo.
+    pub cone_capacity: usize,
 }
 
 impl Default for EngineOptions {
@@ -143,6 +153,7 @@ impl Default for EngineOptions {
         EngineOptions {
             workers,
             cache_capacity: 256,
+            cone_capacity: 1024,
         }
     }
 }
@@ -159,7 +170,8 @@ impl Default for EngineOptions {
 /// let model = DeepSeq::new(DeepSeqConfig { hidden_dim: 8, iterations: 2,
 ///                                          ..DeepSeqConfig::default() });
 /// let engine = Engine::new(InferenceModel::from_model(&model).unwrap(),
-///                          EngineOptions { workers: 2, cache_capacity: 16 });
+///                          EngineOptions { workers: 2, cache_capacity: 16,
+///                                          ..EngineOptions::default() });
 ///
 /// let mut aig = SeqAig::new("toggle");
 /// let q = aig.add_ff("q", false);
@@ -183,11 +195,16 @@ pub struct Engine {
     /// so in-flight requests finish on the model they began with.
     model: Arc<Mutex<Arc<InferenceModel>>>,
     cache: Arc<Mutex<EmbeddingCache>>,
+    /// Cone-granularity memo, shared by every shard forked from this
+    /// engine (keys carry the model generation, so sharing stays sound
+    /// across per-shard reloads).
+    cones: Arc<Mutex<ConeMemo>>,
     pool: Arc<Pool>,
     workspaces: Arc<Mutex<Vec<Workspace>>>,
     served: Arc<AtomicU64>,
     hook: Arc<Mutex<Option<ServedHook>>>,
     max_concurrent: usize,
+    options: EngineOptions,
 }
 
 /// Observer invoked after every processed request (both the [`Engine::submit`]
@@ -251,11 +268,34 @@ impl Engine {
         Engine {
             model: Arc::new(Mutex::new(Arc::new(model))),
             cache: Arc::new(Mutex::new(EmbeddingCache::new(options.cache_capacity))),
+            cones: Arc::new(Mutex::new(ConeMemo::new(options.cone_capacity))),
             pool,
             workspaces: Arc::new(Mutex::new(Vec::new())),
             served: Arc::new(AtomicU64::new(0)),
             hook: Arc::new(Mutex::new(None)),
             max_concurrent: options.workers.max(1),
+            options,
+        }
+    }
+
+    /// Forks a shard off this engine: the new engine starts on the same
+    /// model snapshot and shares the worker pool and the cone memo, but
+    /// owns a fresh embedding cache, request counter and model slot — so
+    /// [`Engine::swap_model`] on one shard never disturbs another, while
+    /// near-duplicate traffic landing on different shards still reuses
+    /// component states through the shared memo. The served-request hook
+    /// installed at fork time is carried over.
+    pub fn fork_shard(&self) -> Engine {
+        Engine {
+            model: Arc::new(Mutex::new(lock_recover(&self.model).clone())),
+            cache: Arc::new(Mutex::new(EmbeddingCache::new(self.options.cache_capacity))),
+            cones: Arc::clone(&self.cones),
+            pool: Arc::clone(&self.pool),
+            workspaces: Arc::new(Mutex::new(Vec::new())),
+            served: Arc::new(AtomicU64::new(0)),
+            hook: Arc::new(Mutex::new(lock_recover(&self.hook).clone())),
+            max_concurrent: self.max_concurrent,
+            options: self.options,
         }
     }
 
@@ -277,13 +317,14 @@ impl Engine {
         let design = request.aig.name().to_string();
         let model = lock_recover(&self.model).clone();
         let cache = Arc::clone(&self.cache);
+        let cones = Arc::clone(&self.cones);
         let workspaces = Arc::clone(&self.workspaces);
         let served = Arc::clone(&self.served);
         let pool = Arc::clone(&self.pool);
         let hook = lock_recover(&self.hook).clone();
         self.pool.spawn(move || {
             let mut ws = checkout(&workspaces, &pool);
-            let response = process(&model, &cache, request, &mut ws, &hook);
+            let response = process(&model, &cache, &cones, request, &mut ws, &hook);
             served.fetch_add(1, Ordering::Relaxed);
             if fault::should_inject(FaultPoint::EngineReplyDrop) {
                 drop(reply); // the caller sees a typed ReplyDropped
@@ -329,6 +370,7 @@ impl Engine {
                 let reply = reply.clone();
                 let model = &model;
                 let cache = &self.cache;
+                let cones = &self.cones;
                 let served = &self.served;
                 let workspaces = &self.workspaces;
                 let pool = &self.pool;
@@ -338,7 +380,7 @@ impl Engine {
                     loop {
                         let next = lock_recover(queue).pop_front();
                         let Some((index, request)) = next else { break };
-                        let response = process(model, cache, request, &mut ws, hook);
+                        let response = process(model, cache, cones, request, &mut ws, hook);
                         served.fetch_add(1, Ordering::Relaxed);
                         if fault::should_inject(FaultPoint::EngineReplyDrop) {
                             continue; // the slot fills with ReplyDropped
@@ -384,6 +426,7 @@ impl Engine {
             result: Ok(ServedInference {
                 num_nodes: data.num_nodes,
                 cache_hit: true,
+                cones_reused: 0,
                 data,
             }),
         })
@@ -394,13 +437,33 @@ impl Engine {
     /// old weights. In-flight requests finish on the model they started
     /// with; new requests see the new one.
     pub fn swap_model(&self, model: InferenceModel) {
-        *lock_recover(&self.model) = Arc::new(model);
+        self.swap_model_arc(Arc::new(model));
+    }
+
+    /// [`Engine::swap_model`] without re-wrapping: shards serving one
+    /// reloaded checkpoint pass clones of a single `Arc`, so N shards share
+    /// one set of frozen weights in memory. The cone memo is *not* cleared:
+    /// its keys carry the model generation, so entries from the old model
+    /// can never hit and age out under LRU pressure.
+    pub fn swap_model_arc(&self, model: Arc<InferenceModel>) {
+        *lock_recover(&self.model) = model;
         lock_recover(&self.cache).clear();
     }
 
     /// Current embedding-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         lock_recover(&self.cache).stats()
+    }
+
+    /// Current cone-memo counters (shared across forked shards).
+    pub fn cone_stats(&self) -> CacheStats {
+        lock_recover(&self.cones).stats()
+    }
+
+    /// Generation tag of the currently served model (see
+    /// [`InferenceModel::generation`]).
+    pub fn model_generation(&self) -> u64 {
+        lock_recover(&self.model).generation()
     }
 
     /// Total requests processed since construction.
@@ -425,6 +488,7 @@ fn checkout(workspaces: &Mutex<Vec<Workspace>>, pool: &Arc<Pool>) -> Workspace {
 fn process(
     model: &InferenceModel,
     cache: &Mutex<EmbeddingCache>,
+    cones: &Mutex<ConeMemo>,
     request: ServeRequest,
     ws: &mut Workspace,
     hook: &Option<ServedHook>,
@@ -436,19 +500,21 @@ fn process(
     // or an injected `task_panic` fault) becomes a typed 500 for *its*
     // client, not a hung connection or a dead worker. The workspace is
     // rebuilt rather than reused — a panic may have left it mid-update.
-    let result = catch_unwind(AssertUnwindSafe(|| serve_one(model, cache, request, ws)))
-        .unwrap_or_else(|payload| {
-            PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
-            *ws = Workspace::with_pool(ws.kernel(), Arc::clone(ws.pool()));
-            let detail = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_string()
-            };
-            Err(ServeError::Engine(EngineError::Panicked { detail }))
-        });
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        serve_one(model, cache, cones, request, ws)
+    }))
+    .unwrap_or_else(|payload| {
+        PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+        *ws = Workspace::with_pool(ws.kernel(), Arc::clone(ws.pool()));
+        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Err(ServeError::Engine(EngineError::Panicked { detail }))
+    });
     let response = ServeResponse { id, design, result };
     if let Some(hook) = hook {
         hook(&response, start.elapsed());
@@ -459,6 +525,7 @@ fn process(
 fn serve_one(
     model: &InferenceModel,
     cache: &Mutex<EmbeddingCache>,
+    cones: &Mutex<ConeMemo>,
     request: ServeRequest,
     ws: &mut Workspace,
 ) -> Result<ServedInference, ServeError> {
@@ -486,6 +553,7 @@ fn serve_one(
         return Ok(ServedInference {
             num_nodes: data.num_nodes,
             cache_hit: true,
+            cones_reused: 0,
             data,
         });
     }
@@ -499,7 +567,11 @@ fn serve_one(
     if let Some(delay) = fault::slow_stage_delay("forward") {
         std::thread::sleep(delay);
     }
-    let out = model.run(&graph, &h0, ws);
+    let (out, cones_reused) = if lock_recover(cones).is_enabled() && graph.num_nodes > 0 {
+        run_with_cones(model, cones, &request.aig, &graph, &h0, ws)
+    } else {
+        (model.run(&graph, &h0, ws), 0)
+    };
     let data = Arc::new(CachedInference {
         predictions: out.predictions,
         embedding: out.embedding,
@@ -509,8 +581,96 @@ fn serve_one(
     Ok(ServedInference {
         num_nodes: graph.num_nodes,
         cache_hit: false,
+        cones_reused,
         data,
     })
+}
+
+/// The cone-granularity compute path of a cache-missing request: partition
+/// the circuit into weakly connected components, reuse the memoized state
+/// rows of every component seen before, propagate *only* the missed
+/// components (merged into one sub-circuit), and read the heads out over
+/// the assembled full state matrix.
+///
+/// Bitwise identity with `model.run(graph, h0, ws)` rests on the invariants
+/// laid out in the [`cone` module docs](crate::cone): component rows are a
+/// pure function of the [`ConeKey`], and the readout is row-pure with an
+/// order-stable pool. The property suite asserts it end to end across
+/// thread counts.
+fn run_with_cones(
+    model: &InferenceModel,
+    cones: &Mutex<ConeMemo>,
+    aig: &SeqAig,
+    graph: &CircuitGraph,
+    h0: &deepseq_nn::Matrix,
+    ws: &mut Workspace,
+) -> (InferenceOutput, usize) {
+    let parts = cone::partition(aig);
+    let generation = model.generation();
+    let keys: Vec<ConeKey> = parts
+        .iter()
+        .map(|c| ConeKey {
+            model: generation,
+            structure: cone::component_fingerprint(aig, &c.members),
+            h0: cone::component_h0_hash(h0, &c.members),
+        })
+        .collect();
+    let hits: Vec<Option<Arc<ConeStates>>> = {
+        let mut memo = lock_recover(cones);
+        keys.iter().map(|k| memo.get(k)).collect()
+    };
+    let reused = hits.iter().flatten().count();
+
+    if reused == 0 {
+        // Fully cold: run the whole circuit (no extraction overhead) and
+        // seed the memo with every component's final rows.
+        let out = model.run(graph, h0, ws);
+        let mut memo = lock_recover(cones);
+        for (c, key) in parts.iter().zip(&keys) {
+            memo.insert(
+                *key,
+                Arc::new(ConeStates {
+                    rows: cone::gather_rows(ws.state(), &c.members),
+                }),
+            );
+        }
+        return (out, 0);
+    }
+
+    // Assemble the final state: memoized rows verbatim, missed components
+    // propagated together as one extracted sub-circuit.
+    let mut state = h0.clone();
+    let mut missed: Vec<u32> = Vec::new();
+    for (c, hit) in parts.iter().zip(&hits) {
+        match hit {
+            Some(states) => cone::scatter_rows(&mut state, &c.members, &states.rows),
+            None => missed.extend(&c.members),
+        }
+    }
+    if !missed.is_empty() {
+        // Components interleave in id space; ascending order preserves the
+        // relative member order of each (the bitwise-identity condition).
+        missed.sort_unstable();
+        let sub = cone::extract(aig, &missed);
+        let sub_graph = CircuitGraph::build(&sub);
+        let sub_h0 = cone::gather_rows(h0, &missed);
+        model.propagate(&sub_graph, &sub_h0, ws);
+        let mut memo = lock_recover(cones);
+        for ((c, key), hit) in parts.iter().zip(&keys).zip(&hits) {
+            if hit.is_some() {
+                continue;
+            }
+            let local: Vec<u32> = c
+                .members
+                .iter()
+                .map(|m| missed.binary_search(m).expect("missed member") as u32)
+                .collect();
+            let rows = cone::gather_rows(ws.state(), &local);
+            cone::scatter_rows(&mut state, &c.members, &rows);
+            memo.insert(*key, Arc::new(ConeStates { rows }));
+        }
+    }
+    (model.readout(&state, ws), reused)
 }
 
 #[cfg(test)]
@@ -537,6 +697,7 @@ mod tests {
             EngineOptions {
                 workers,
                 cache_capacity: 8,
+                cone_capacity: 64,
             },
             pool,
         )

@@ -124,6 +124,23 @@ pub fn read_request(
     writer: &mut impl Write,
     limits: &HttpLimits,
 ) -> Result<HttpRequest, HttpError> {
+    read_request_with(reader, writer, limits, |_| {})
+}
+
+/// [`read_request`] with an `on_head` hook, called once after the head is
+/// parsed and validated but before any body byte is read.
+///
+/// The hook is how the server distinguishes *idle* time (waiting for the
+/// next request line on a keep-alive connection) from *mid-request* time
+/// (a client trickling a `Content-Length` body): it fires exactly at that
+/// boundary, so the caller can switch the socket from its idle-keepalive
+/// timeout to the request's remaining deadline budget.
+pub fn read_request_with(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    limits: &HttpLimits,
+    on_head: impl FnOnce(&HttpRequest),
+) -> Result<HttpRequest, HttpError> {
     let head = read_head(reader, limits.max_head_bytes)?;
     let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
     let request_line = lines.next().unwrap_or("");
@@ -190,6 +207,7 @@ pub fn read_request(
             limits.max_body_bytes
         )));
     }
+    on_head(&request);
     if content_length > 0 {
         if request
             .header("expect")
@@ -529,6 +547,30 @@ mod tests {
         let req = read_request(&mut reader, &mut interim, &HttpLimits::default()).unwrap();
         assert_eq!(req.body, b"ok");
         assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn on_head_fires_after_the_head_but_before_the_body() {
+        let mut reader =
+            Cursor::new(b"POST /v1/embed HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec());
+        let mut sink = Vec::new();
+        let mut seen_at = None;
+        let req = read_request_with(&mut reader, &mut sink, &HttpLimits::default(), |head| {
+            assert_eq!(head.path, "/v1/embed");
+            assert!(head.body.is_empty(), "hook must run before the body read");
+            seen_at = Some(head.header("content-length").unwrap().to_string());
+        })
+        .unwrap();
+        assert_eq!(seen_at.as_deref(), Some("5"));
+        assert_eq!(req.body, b"hello");
+        // Malformed heads never reach the hook.
+        let mut reader = Cursor::new(b"GARBAGE\r\n\r\n".to_vec());
+        let mut fired = false;
+        let result = read_request_with(&mut reader, &mut sink, &HttpLimits::default(), |_| {
+            fired = true;
+        });
+        assert!(result.is_err());
+        assert!(!fired);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! `tests/properties.rs` over pools of 1, 2, 4 and 7 threads).
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use deepseq_core::{Aggregator, CircuitGraph, DeepSeq, DeepSeqConfig, LevelBatch, Predictions};
@@ -128,11 +129,16 @@ struct DirectionWeights {
 #[derive(Debug, Clone)]
 pub struct InferenceModel {
     config: DeepSeqConfig,
+    generation: u64,
     forward: DirectionWeights,
     reverse: DirectionWeights,
     tr_head: Vec<LinearWeights>,
     lg_head: Vec<LinearWeights>,
 }
+
+/// Process-wide counter behind [`InferenceModel::generation`]. Starts at 1
+/// so 0 can mean "no model" in diagnostics.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// Predictions plus the mean-pooled circuit embedding of one forward pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +161,7 @@ impl InferenceModel {
         let params = model.params();
         Ok(InferenceModel {
             config,
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
             forward: direction_weights(params, "fwd", config.aggregator)?,
             reverse: direction_weights(params, "rev", config.aggregator)?,
             tr_head: mlp_weights(params, "tr_head", 3)?,
@@ -185,6 +192,17 @@ impl InferenceModel {
         &self.config
     }
 
+    /// A process-unique generation tag, assigned when the model was frozen.
+    ///
+    /// Two `InferenceModel` values never share a generation unless one is a
+    /// [`Clone`] of the other (clones carry identical weights, so sharing
+    /// is sound). The cone memo keys cached state rows by this tag, which
+    /// makes a memo shared across shards safe even when shards reload
+    /// models independently — stale entries can never hit.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Runs one forward pass into `ws` and returns predictions plus the
     /// pooled circuit embedding. `init_h` is the `n×d` initial state matrix
     /// from [`initial_states`](deepseq_core::encoding::initial_states).
@@ -198,6 +216,25 @@ impl InferenceModel {
         init_h: &Matrix,
         ws: &mut Workspace,
     ) -> InferenceOutput {
+        self.propagate(graph, init_h, ws);
+        // Temporarily move the state out so the heads can borrow it next to
+        // the mutable head scratch; `readout` on the workspace's own state
+        // is exactly the pre-split `run` tail, bitwise.
+        let state = std::mem::take(&mut ws.state);
+        let out = self.readout(&state, ws);
+        ws.state = state;
+        out
+    }
+
+    /// Runs the iterative propagation only, leaving the final `n×d` node
+    /// states in the workspace ([`Workspace::state`]). Together with
+    /// [`InferenceModel::readout`] this is exactly [`InferenceModel::run`];
+    /// the split exists so the cone-granularity cache can propagate a
+    /// sub-circuit and read out an assembled full-state matrix.
+    ///
+    /// # Panics
+    /// Panics if `init_h` is not `n×hidden_dim`.
+    pub fn propagate(&self, graph: &CircuitGraph, init_h: &Matrix, ws: &mut Workspace) {
         let _span = trace::span_with(trace::SpanKind::Forward, graph.num_nodes as u64);
         let d = self.config.hidden_dim;
         assert_eq!(
@@ -226,13 +263,21 @@ impl InferenceModel {
                 }
             }
         }
+    }
 
+    /// Runs the prediction heads and mean-pool readout over a propagated
+    /// `n×d` state matrix. Both heads are row-pure (row `i` of the output
+    /// depends only on row `i` of `state`) and the pool sums rows in
+    /// ascending order, so reading out an assembled state matrix is
+    /// bitwise-identical to reading out one produced by a single
+    /// [`InferenceModel::propagate`] over the whole circuit.
+    pub fn readout(&self, state: &Matrix, ws: &mut Workspace) -> InferenceOutput {
         let head_span = trace::span(trace::SpanKind::Head);
         let tr = run_head(
             ws.kernel,
             &ws.pool,
             &self.tr_head,
-            &ws.state,
+            state,
             &mut ws.head_a,
             &mut ws.head_b,
         );
@@ -240,12 +285,12 @@ impl InferenceModel {
             ws.kernel,
             &ws.pool,
             &self.lg_head,
-            &ws.state,
+            state,
             &mut ws.head_a,
             &mut ws.head_b,
         );
         drop(head_span);
-        let embedding = mean_pool(&ws.state);
+        let embedding = mean_pool(state);
         InferenceOutput {
             predictions: Predictions { tr, lg },
             embedding,
@@ -688,6 +733,12 @@ impl Workspace {
     /// The worker pool level chunks and large products fan out across.
     pub fn pool(&self) -> &Arc<Pool> {
         &self.pool
+    }
+
+    /// The `n×d` node states left by the last
+    /// [`propagate`](InferenceModel::propagate) (empty before the first).
+    pub fn state(&self) -> &Matrix {
+        &self.state
     }
 
     /// Grows the per-chunk scratch list to at least `chunks` entries.

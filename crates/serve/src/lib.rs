@@ -53,7 +53,8 @@
 //! let model = DeepSeq::new(DeepSeqConfig { hidden_dim: 8, iterations: 2,
 //!                                          ..DeepSeqConfig::default() });
 //! let engine = Engine::new(InferenceModel::from_model(&model).unwrap(),
-//!                          EngineOptions { workers: 2, cache_capacity: 32 });
+//!                          EngineOptions { workers: 2, cache_capacity: 32,
+//!                                          ..EngineOptions::default() });
 //!
 //! // Serve a circuit under a workload.
 //! let mut aig = SeqAig::new("toggle");
@@ -71,12 +72,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cone;
 pub mod engine;
 pub mod http;
 pub mod infer;
 pub mod json;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 
 use std::error::Error;
 use std::fmt;
@@ -84,7 +87,9 @@ use std::fmt;
 use deepseq_netlist::NetlistError;
 use deepseq_nn::ParamsError;
 
-pub use cache::{CacheKey, CacheStats, CachedInference, EmbeddingCache};
+pub use cache::{
+    CacheKey, CacheStats, CachedInference, ConeKey, ConeMemo, ConeStates, EmbeddingCache,
+};
 pub use engine::{
     panics_caught, Engine, EngineError, EngineOptions, PendingResponse, ServeRequest,
     ServeResponse, ServedInference,
@@ -93,6 +98,7 @@ pub use http::{HttpLimits, HttpRequest, HttpResponse};
 pub use infer::{InferenceModel, InferenceOutput, Workspace};
 pub use metrics::Metrics;
 pub use server::{DrainReport, HttpServer, ServerOptions};
+pub use shard::{ShardRouter, ShardStat};
 
 /// Errors of the serving subsystem.
 #[derive(Debug, Clone, PartialEq)]

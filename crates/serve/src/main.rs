@@ -46,6 +46,8 @@ predict options:
                          pool size; the pool itself is sized by the
                          DEEPSEQ_THREADS environment variable)
     --cache <N>          embedding-cache capacity (default 256)
+    --cones <N>          cone-memo capacity in fanin cones (default 1024;
+                         0 disables cone-granularity reuse)
     --repeat <N>         serve the file batch N times (default 1; >1 shows
                          the cache-hit path)
     --summary            emit mean predictions instead of full matrices
@@ -63,7 +65,12 @@ serve options:
     --hidden <D>         hidden dim for the fresh model (default 32)
     --iters <T>          propagation iterations for the fresh model (default 4)
     --workers <N>        max requests processed concurrently (default: pool size)
-    --cache <N>          embedding-cache capacity (default 256)
+    --cache <N>          embedding-cache capacity per shard (default 256)
+    --cones <N>          cone-memo capacity shared by all shards (default
+                         1024; 0 disables cone-granularity reuse)
+    --shards <N>         engine shards behind the structural-hash router
+                         (default 1); `/admin/reload?shard=K` and
+                         `/admin/degrade?shard=K` target one shard
     --max-inflight <N>   admission: concurrent embed requests (default: pool size)
     --max-queue <N>      admission: waiting embed requests before 429 (default 64)
     --deadline-ms <MS>   per-request deadline, 504 on expiry (default 30000)
@@ -123,6 +130,7 @@ struct PredictArgs {
     seed: u64,
     workers: Option<usize>,
     cache: usize,
+    cones: usize,
     repeat: usize,
     summary: bool,
     stats: bool,
@@ -139,6 +147,7 @@ fn parse_predict_args(args: &[String]) -> Result<PredictArgs, String> {
         seed: 0,
         workers: None,
         cache: 256,
+        cones: EngineOptions::default().cone_capacity,
         repeat: 1,
         summary: false,
         stats: false,
@@ -162,6 +171,7 @@ fn parse_predict_args(args: &[String]) -> Result<PredictArgs, String> {
             "--seed" => out.seed = parse_num(value("--seed")?, "--seed")? as u64,
             "--workers" => out.workers = Some(parse_num(value("--workers")?, "--workers")?),
             "--cache" => out.cache = parse_num(value("--cache")?, "--cache")?,
+            "--cones" => out.cones = parse_num(value("--cones")?, "--cones")?,
             "--repeat" => out.repeat = parse_num(value("--repeat")?, "--repeat")?.max(1),
             "--summary" => out.summary = true,
             "--stats" => out.stats = true,
@@ -231,6 +241,7 @@ fn predict(args: &[String]) -> Result<(), String> {
     let options = EngineOptions {
         workers: args.workers.unwrap_or(EngineOptions::default().workers),
         cache_capacity: args.cache,
+        cone_capacity: args.cones,
     };
     let engine = Engine::new(model, options);
 
@@ -280,6 +291,8 @@ struct ServeArgs {
     iters: usize,
     workers: Option<usize>,
     cache: usize,
+    cones: usize,
+    shards: usize,
     max_inflight: usize,
     max_queue: usize,
     deadline_ms: u64,
@@ -296,6 +309,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         iters: 4,
         workers: None,
         cache: 256,
+        cones: EngineOptions::default().cone_capacity,
+        shards: defaults.shards,
         max_inflight: defaults.max_inflight,
         max_queue: defaults.max_queue,
         deadline_ms: defaults.deadline.as_millis() as u64,
@@ -314,6 +329,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--iters" => out.iters = parse_num(value("--iters")?, "--iters")?,
             "--workers" => out.workers = Some(parse_num(value("--workers")?, "--workers")?),
             "--cache" => out.cache = parse_num(value("--cache")?, "--cache")?,
+            "--cones" => out.cones = parse_num(value("--cones")?, "--cones")?,
+            "--shards" => out.shards = parse_num(value("--shards")?, "--shards")?.max(1),
             "--max-inflight" => {
                 out.max_inflight = parse_num(value("--max-inflight")?, "--max-inflight")?
             }
@@ -351,6 +368,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         EngineOptions {
             workers: args.workers.unwrap_or(EngineOptions::default().workers),
             cache_capacity: args.cache,
+            cone_capacity: args.cones,
         },
     );
     let server = HttpServer::bind(
@@ -362,6 +380,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             deadline: Duration::from_millis(args.deadline_ms),
             checkpoint_path: args.checkpoint.clone(),
             saturation_trip: args.degrade_after,
+            shards: args.shards,
             ..ServerOptions::default()
         },
     )
@@ -382,14 +401,18 @@ fn serve(args: &[String]) -> Result<(), String> {
 }
 
 fn load_checkpoint(path: &str) -> Result<InferenceModel, String> {
-    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // Zero-copy: the checkpoint is mapped, not read into a heap buffer —
+    // decoding streams straight out of the page cache.
+    let map = deepseq_nn::CheckpointMap::open(path.as_ref())
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    let bytes = map.bytes();
     if bytes.starts_with(&deepseq_core::model::MODEL_MAGIC) {
-        InferenceModel::from_binary_checkpoint(&bytes)
+        InferenceModel::from_binary_checkpoint(bytes)
             .map_err(|e| format!("loading binary checkpoint {path}: {e}"))
     } else {
         let text =
-            String::from_utf8(bytes).map_err(|_| format!("{path} is neither binary nor text"))?;
-        InferenceModel::from_text_checkpoint(&text)
+            std::str::from_utf8(bytes).map_err(|_| format!("{path} is neither binary nor text"))?;
+        InferenceModel::from_text_checkpoint(text)
             .map_err(|e| format!("loading text checkpoint {path}: {e}"))
     }
 }

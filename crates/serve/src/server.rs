@@ -60,16 +60,21 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use deepseq_netlist::{lower_to_aig, parse_aiger, SeqAig};
+use deepseq_netlist::{lower_to_aig, parse_aiger, structural_hash, SeqAig};
 use deepseq_nn::fault::{self, FaultPoint};
 use deepseq_nn::trace;
+use deepseq_nn::CheckpointMap;
 use deepseq_sim::Workload;
 
+use crate::cache::CacheStats;
 use crate::engine::{Engine, EngineError, ServeRequest, ServeResponse};
-use crate::http::{read_request, write_response, HttpError, HttpLimits, HttpRequest, HttpResponse};
+use crate::http::{
+    read_request_with, write_response, HttpError, HttpLimits, HttpRequest, HttpResponse,
+};
 use crate::infer::InferenceModel;
 use crate::json::response_to_json;
 use crate::metrics::Metrics;
+use crate::shard::ShardRouter;
 use crate::ServeError;
 
 /// Locks a mutex, recovering the guard if a panicking holder poisoned it.
@@ -111,6 +116,10 @@ pub struct ServerOptions {
     /// its own. `0` disables the automatic trip (the default); explicit
     /// `POST /admin/degrade` and failed reloads still degrade.
     pub saturation_trip: u64,
+    /// Engine shards behind the [`ShardRouter`] (clamped to at least 1).
+    /// Requests partition across them by structural hash; `/admin/reload`
+    /// and `/admin/degrade` accept `?shard=K` to target one shard.
+    pub shards: usize,
 }
 
 impl Default for ServerOptions {
@@ -125,6 +134,7 @@ impl Default for ServerOptions {
             drain_grace: Duration::from_secs(30),
             checkpoint_path: None,
             saturation_trip: 0,
+            shards: 1,
         }
     }
 }
@@ -246,14 +256,15 @@ impl Admission {
 /// State shared between the accept thread, every connection handler, and
 /// the [`HttpServer`] handle.
 struct ServerShared {
-    engine: Engine,
+    /// The engine shards and the structural-hash routing between them.
+    /// Degraded (cache-only) mode lives per shard inside the router; the
+    /// whole server is degraded exactly when every shard is.
+    router: ShardRouter,
     metrics: Arc<Metrics>,
     options: ServerOptions,
     max_inflight: usize,
     admission: Admission,
     draining: AtomicBool,
-    /// Cache-only mode: misses shed with 503 (see the [module docs](self)).
-    degraded: AtomicBool,
     /// Consecutive queue-full rejections since the last admission; trips
     /// degraded mode at `options.saturation_trip`.
     queue_full_streak: AtomicU64,
@@ -265,6 +276,12 @@ struct ServerShared {
 }
 
 impl ServerShared {
+    /// Shard 0 — the engine the server was built from. All shards share
+    /// its worker pool and cone memo.
+    fn primary(&self) -> &Engine {
+        self.router.engine(0)
+    }
+
     fn request_drain(&self) {
         self.draining.store(true, Ordering::Release);
         self.notify_drain_waiters();
@@ -274,15 +291,20 @@ impl ServerShared {
         self.draining.load(Ordering::Acquire)
     }
 
+    /// Sets every shard's degraded flag at once (the whole-server toggle of
+    /// `POST /admin/degrade` without `?shard=`).
     fn set_degraded(&self, on: bool) {
-        self.degraded.store(on, Ordering::Release);
+        for index in 0..self.router.len() {
+            self.router.set_degraded(index, on);
+        }
         if !on {
             self.queue_full_streak.store(0, Ordering::Relaxed);
         }
     }
 
+    /// True when the whole server is cache-only: every shard degraded.
     fn is_degraded(&self) -> bool {
-        self.degraded.load(Ordering::Acquire)
+        self.router.all_degraded()
     }
 
     /// Records one queue-full rejection; a long enough streak with no
@@ -340,7 +362,8 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Binds `options.addr` and starts accepting connections on a
-    /// dedicated thread. The engine's pool runs the connection handlers.
+    /// dedicated thread. The engine becomes shard 0 of a [`ShardRouter`]
+    /// (`options.shards` total); its pool runs the connection handlers.
     pub fn bind(engine: Engine, options: ServerOptions) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(&options.addr)?;
         listener.set_nonblocking(true)?;
@@ -354,20 +377,21 @@ impl HttpServer {
         {
             // Feed the engine-side latency histogram from the engine's own
             // instrumentation hook, so it covers every path into the
-            // engine, cache hits included.
+            // engine, cache hits included. Installed before the shards are
+            // forked — forks copy the hook, so every shard reports here.
             let histogram = Arc::clone(&metrics);
             engine.set_served_hook(Arc::new(move |_response, latency| {
                 histogram.engine_latency.observe(latency);
             }));
         }
+        let router = ShardRouter::new(engine, options.shards);
         let shared = Arc::new(ServerShared {
-            engine,
+            router,
             metrics,
             options,
             max_inflight,
             admission: Admission::new(),
             draining: AtomicBool::new(false),
-            degraded: AtomicBool::new(false),
             queue_full_streak: AtomicU64::new(0),
             drain_lock: Mutex::new(()),
             drain_cv: Condvar::new(),
@@ -395,9 +419,14 @@ impl HttpServer {
         Arc::clone(&self.shared.metrics)
     }
 
-    /// The engine behind the server.
+    /// The primary engine behind the server (shard 0).
     pub fn engine(&self) -> &Engine {
-        &self.shared.engine
+        self.shared.primary()
+    }
+
+    /// The shard router behind the server.
+    pub fn router(&self) -> &ShardRouter {
+        &self.shared.router
     }
 
     /// True once a drain has been requested.
@@ -470,7 +499,7 @@ impl HttpServer {
             }
         }
         DrainReport {
-            requests_served: self.shared.engine.requests_served(),
+            requests_served: self.shared.router.stats().iter().map(|s| s.served).sum(),
             connections_abandoned: self.shared.metrics.connections_open.load(Ordering::Relaxed),
         }
     }
@@ -498,8 +527,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
                 // A 1-thread pool has no workers and runs spawned jobs
                 // inline, which would wedge the accept loop behind one
                 // connection — give those connections their own thread.
-                if shared.engine.pool().threads() > 1 {
-                    shared.engine.pool().spawn(handler);
+                if shared.primary().pool().threads() > 1 {
+                    shared.primary().pool().spawn(handler);
                 } else {
                     let _ = std::thread::Builder::new()
                         .name("deepseq-http-conn".to_string())
@@ -516,13 +545,27 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
 
 /// Serves one connection: keep-alive request loop, routing, error
 /// rendering. Never panics the worker on a bad peer.
+///
+/// # Socket timeouts
+///
+/// The read timeout distinguishes two very different waits. *Between*
+/// requests, the socket may sit idle only `idle_keepalive` before the
+/// connection is reclaimed. *Within* a request — from the moment the head
+/// is parsed — body reads and the response write instead run against the
+/// request's own deadline budget: a client legitimately trickling a large
+/// body is not killed by the (much shorter) keepalive timeout, and a stuck
+/// peer cannot pin a worker past the deadline either.
 fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
     let _guard = ConnectionGuard {
         shared: Arc::clone(&shared),
     };
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.options.idle_keepalive));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    // Timeout-control handle: `set_read_timeout`/`set_write_timeout` act on
+    // the shared socket, so this clone adjusts the reader and writer halves
+    // below without borrowing either.
+    let Ok(control) = stream.try_clone() else {
+        return;
+    };
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -530,26 +573,36 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
     let mut writer = BufWriter::new(stream);
 
     loop {
-        let request = match read_request(&mut reader, &mut writer, &shared.options.limits) {
-            Ok(request) => request,
-            Err(HttpError::Closed) => return,
-            Err(HttpError::Io(_)) => return, // timeout/reset: nothing to answer
-            Err(HttpError::BadRequest(msg)) => {
-                // Malformed input answers 400 with a JSON error body — the
-                // connection is closed (framing may be lost) but never
-                // dropped without a response.
-                let response = HttpResponse::error(400, &msg).closing();
-                shared.metrics.count_status(400);
-                let _ = write_response(&mut writer, &response);
-                return;
-            }
-            Err(HttpError::NotImplemented(msg)) => {
-                let response = HttpResponse::error(501, &msg).closing();
-                shared.metrics.count_status(501);
-                let _ = write_response(&mut writer, &response);
-                return;
-            }
-        };
+        // Waiting for the next request head is the only *idle* period.
+        let _ = control.set_read_timeout(Some(shared.options.idle_keepalive));
+        let mut head_parsed_at = None;
+        let request =
+            match read_request_with(&mut reader, &mut writer, &shared.options.limits, |_head| {
+                // The head is in: the request's deadline clock starts now,
+                // and body reads share its budget instead of the keepalive
+                // timeout.
+                head_parsed_at = Some(Instant::now());
+                let _ = control.set_read_timeout(Some(clamp_timeout(shared.options.deadline)));
+            }) {
+                Ok(request) => request,
+                Err(HttpError::Closed) => return,
+                Err(HttpError::Io(_)) => return, // timeout/reset: nothing to answer
+                Err(HttpError::BadRequest(msg)) => {
+                    // Malformed input answers 400 with a JSON error body — the
+                    // connection is closed (framing may be lost) but never
+                    // dropped without a response.
+                    let response = HttpResponse::error(400, &msg).closing();
+                    shared.metrics.count_status(400);
+                    let _ = write_response(&mut writer, &response);
+                    return;
+                }
+                Err(HttpError::NotImplemented(msg)) => {
+                    let response = HttpResponse::error(501, &msg).closing();
+                    shared.metrics.count_status(501);
+                    let _ = write_response(&mut writer, &response);
+                    return;
+                }
+            };
         let mut response = route(&shared, &request);
         // During a drain, finish the request we already read but close the
         // connection; new requests belong on a live instance.
@@ -557,6 +610,12 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
             response.close = true;
         }
         shared.metrics.count_status(response.status);
+        // The response write runs against what is left of the request's
+        // deadline budget — a stalled peer cannot pin this worker for
+        // longer than the request was allowed to live.
+        let deadline = head_parsed_at.unwrap_or_else(Instant::now) + shared.options.deadline;
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let _ = control.set_write_timeout(Some(clamp_timeout(remaining)));
         let wrote = {
             // Re-enter the request's trace (echoed on the response) so
             // the socket-write span joins its span tree.
@@ -579,6 +638,13 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
             return;
         }
     }
+}
+
+/// Clamps a socket timeout to at least 100 ms: `set_read_timeout(Some(0))`
+/// is an `Err` by contract, and even a request whose budget just expired
+/// deserves the few syscalls it takes to push its `504` out.
+fn clamp_timeout(budget: Duration) -> Duration {
+    budget.max(Duration::from_millis(100))
 }
 
 /// Scope for the trace id a response carries in its `deepseq-trace-id`
@@ -631,11 +697,29 @@ fn route(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
         }
         ("GET", "/metrics") => {
             metrics.requests_metrics.fetch_add(1, Ordering::Relaxed);
-            let cache = shared.engine.cache_stats();
-            let pool = shared.engine.pool().stats();
+            let stats = shared.router.stats();
+            // Aggregate the embedding-cache view across shards; the
+            // per-shard split is in the deepseq_shard_* families.
+            let mut cache = CacheStats::default();
+            for stat in &stats {
+                cache.hits += stat.cache.hits;
+                cache.misses += stat.cache.misses;
+                cache.evictions += stat.cache.evictions;
+                cache.entries += stat.cache.entries;
+                cache.capacity += stat.cache.capacity;
+            }
+            let cones = shared.primary().cone_stats();
+            let pool = shared.primary().pool().stats();
             HttpResponse::text(
                 200,
-                metrics.render(&cache, &pool, shared.is_draining(), shared.is_degraded()),
+                metrics.render(
+                    &cache,
+                    &cones,
+                    &pool,
+                    &stats,
+                    shared.is_draining(),
+                    shared.is_degraded(),
+                ),
             )
         }
         ("POST", "/admin/drain") => {
@@ -645,23 +729,11 @@ fn route(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
         }
         ("POST", "/admin/degrade") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            match request.query_param("mode") {
-                None | Some("on") => {
-                    shared.set_degraded(true);
-                    HttpResponse::json(200, "{\"status\":\"degraded\"}")
-                }
-                Some("off") => {
-                    shared.set_degraded(false);
-                    HttpResponse::json(200, "{\"status\":\"ok\"}")
-                }
-                Some(other) => {
-                    HttpResponse::error(400, &format!("unknown mode {other:?} (on | off)"))
-                }
-            }
+            admin_degrade(shared, request)
         }
         ("POST", "/admin/reload") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            admin_reload(shared)
+            admin_reload(shared, request)
         }
         (_, "/v1/embed")
         | (_, "/healthz")
@@ -717,10 +789,15 @@ fn debug_trace(request: &HttpRequest) -> HttpResponse {
 fn healthz(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
     let draining = shared.is_draining();
     let degraded = shared.is_degraded();
+    let shards = shared.router.len();
+    let shards_degraded = (0..shards)
+        .filter(|&i| shared.router.is_degraded(i))
+        .count();
     let ready = !draining && !degraded;
     let body = format!(
         "{{\"status\":\"{}\",\"live\":true,\"ready\":{ready},\"draining\":{draining},\
-         \"degraded\":{degraded},\"uptime_ms\":{}}}",
+         \"degraded\":{degraded},\"shards\":{shards},\"shards_degraded\":{shards_degraded},\
+         \"uptime_ms\":{}}}",
         if ready { "ok" } else { "degraded" },
         shared.started.elapsed().as_millis()
     );
@@ -729,13 +806,78 @@ fn healthz(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
     HttpResponse::json(status, body)
 }
 
+/// Parses the optional `?shard=K` target of the admin endpoints: `Ok(None)`
+/// without the parameter (whole server), `Ok(Some(k))` for a valid index,
+/// `Err(response)` — a ready-to-send `400` — otherwise.
+fn shard_param(
+    shared: &Arc<ServerShared>,
+    request: &HttpRequest,
+) -> Result<Option<usize>, HttpResponse> {
+    match request.query_param("shard") {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(index) if index < shared.router.len() => Ok(Some(index)),
+            Ok(index) => Err(HttpResponse::error(
+                400,
+                &format!(
+                    "shard {index} out of range (server has {} shards)",
+                    shared.router.len()
+                ),
+            )),
+            Err(_) => Err(HttpResponse::error(
+                400,
+                &format!("malformed shard index {raw:?}"),
+            )),
+        },
+    }
+}
+
+/// `POST /admin/degrade`: enters (`?mode=on`, the default) or leaves
+/// (`?mode=off`) degraded mode — for the whole server, or for one shard
+/// with `?shard=K` (healthy shards keep computing; the router probes past
+/// the degraded one).
+fn admin_degrade(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
+    let shard = match shard_param(shared, request) {
+        Ok(shard) => shard,
+        Err(response) => return response,
+    };
+    let on = match request.query_param("mode") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return HttpResponse::error(400, &format!("unknown mode {other:?} (on | off)"))
+        }
+    };
+    let status = if on { "degraded" } else { "ok" };
+    match shard {
+        None => {
+            shared.set_degraded(on);
+            HttpResponse::json(200, format!("{{\"status\":\"{status}\"}}"))
+        }
+        Some(index) => {
+            shared.router.set_degraded(index, on);
+            HttpResponse::json(
+                200,
+                format!("{{\"status\":\"{status}\",\"shard\":{index}}}"),
+            )
+        }
+    }
+}
+
 /// `POST /admin/reload`: re-reads the checkpoint the server was started
-/// from and swaps it into the engine (clearing the cache). A failed reload
-/// — missing file, corrupt bytes, checksum mismatch — leaves the old model
-/// serving but flips the server into degraded mode: the operator asked for
-/// weights the server cannot vouch for, so only cache hits keep flowing
-/// until a reload succeeds or degraded mode is cleared explicitly.
-fn admin_reload(shared: &Arc<ServerShared>) -> HttpResponse {
+/// from and swaps it in — into every shard (one decode, one shared model
+/// `Arc`) by default, or into one shard with `?shard=K` (canary reloads:
+/// the other shards keep their weights and caches). A failed reload —
+/// missing file, corrupt bytes, checksum mismatch — leaves the old model
+/// serving but flips the targeted shard(s) into degraded mode: the
+/// operator asked for weights the server cannot vouch for, so only cache
+/// hits keep flowing there until a reload succeeds or degraded mode is
+/// cleared explicitly.
+fn admin_reload(shared: &Arc<ServerShared>, request: &HttpRequest) -> HttpResponse {
+    let shard = match shard_param(shared, request) {
+        Ok(shard) => shard,
+        Err(response) => return response,
+    };
     let Some(path) = shared.options.checkpoint_path.as_deref() else {
         return HttpResponse::error(
             409,
@@ -744,27 +886,56 @@ fn admin_reload(shared: &Arc<ServerShared>) -> HttpResponse {
     };
     match reload_checkpoint(path) {
         Ok(model) => {
-            shared.engine.swap_model(model);
-            shared.set_degraded(false);
-            HttpResponse::json(200, "{\"status\":\"reloaded\"}")
+            let model = Arc::new(model);
+            match shard {
+                None => {
+                    // One decode serves every shard: they share the Arc
+                    // (and its generation), not N copies of the weights.
+                    for index in 0..shared.router.len() {
+                        shared
+                            .router
+                            .engine(index)
+                            .swap_model_arc(Arc::clone(&model));
+                    }
+                    shared.set_degraded(false);
+                    HttpResponse::json(200, "{\"status\":\"reloaded\"}")
+                }
+                Some(index) => {
+                    shared.router.engine(index).swap_model_arc(model);
+                    shared.router.set_degraded(index, false);
+                    HttpResponse::json(
+                        200,
+                        format!("{{\"status\":\"reloaded\",\"shard\":{index}}}"),
+                    )
+                }
+            }
         }
         Err(msg) => {
-            shared.set_degraded(true);
+            match shard {
+                None => shared.set_degraded(true),
+                Some(index) => {
+                    shared.router.set_degraded(index, true);
+                }
+            }
             HttpResponse::error(500, &format!("checkpoint reload failed ({msg}); degraded"))
         }
     }
 }
 
 /// Loads a checkpoint for [`admin_reload`], sniffing binary (`DSQM`)
-/// versus text by the magic.
+/// versus text by the magic. The file is mapped ([`CheckpointMap`]), not
+/// copied into a heap buffer — decoding reads straight out of the page
+/// cache, and N-shard reloads never hold two transient copies of the
+/// weights.
 fn reload_checkpoint(path: &str) -> Result<InferenceModel, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let map = CheckpointMap::open(path.as_ref()).map_err(|e| format!("reading {path}: {e}"))?;
+    let bytes = map.bytes();
     if bytes.starts_with(&deepseq_core::model::MODEL_MAGIC) {
-        InferenceModel::from_binary_checkpoint(&bytes).map_err(|e| e.to_string())
+        InferenceModel::from_binary_checkpoint(bytes).map_err(|e| e.to_string())
     } else {
         let text =
-            String::from_utf8(bytes).map_err(|_| format!("{path} is neither binary nor text"))?;
-        InferenceModel::from_text_checkpoint(&text).map_err(|e| e.to_string())
+            std::str::from_utf8(bytes).map_err(|_| format!("{path} is neither binary nor text"))?;
+        InferenceModel::from_text_checkpoint(text).map_err(|e| e.to_string())
     }
 }
 
@@ -782,22 +953,29 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
     };
     drop(parse_span);
     let summary = matches!(request.query_param("summary"), Some("1" | "true"));
-    if shared.is_degraded() {
-        // Cache-only mode: hits still flow (the cached result is known
-        // good), misses shed immediately — no compute on a server that
-        // cannot vouch for its weights or is saturated.
-        return match shared.engine.lookup_cached(&serve_request) {
-            Some(response) => {
-                let body = response_to_json(&response, summary);
-                HttpResponse::json(200, body)
+    // Partition by the circuit's canonical structural hash: the same
+    // circuit always computes on the same home shard (so its exact-cache
+    // entry is where its requests land), with ring-probe failover past
+    // degraded shards.
+    let hash = structural_hash(&serve_request.aig);
+    let Some(decision) = shared.router.route(hash) else {
+        // Every shard is degraded — the whole server is cache-only: hits
+        // still flow (the cached result is known good), misses shed
+        // immediately. No compute runs on a server that cannot vouch for
+        // its weights or is saturated. Earlier failovers may have cached
+        // the result away from home, so every shard's cache is probed in
+        // ring order from the home shard.
+        let (home, n) = (shared.router.home(hash), shared.router.len());
+        for probe in 0..n {
+            let engine = shared.router.engine((home + probe) % n);
+            if let Some(response) = engine.lookup_cached(&serve_request) {
+                return HttpResponse::json(200, response_to_json(&response, summary));
             }
-            None => {
-                metrics.rejected_degraded.fetch_add(1, Ordering::Relaxed);
-                HttpResponse::error(503, "server is degraded; cache miss shed")
-                    .with_header("retry-after", "5".to_string())
-            }
-        };
-    }
+        }
+        metrics.rejected_degraded.fetch_add(1, Ordering::Relaxed);
+        return HttpResponse::error(503, "server is degraded; cache miss shed")
+            .with_header("retry-after", "5".to_string());
+    };
     // Requests may tighten the configured deadline, never extend it.
     let deadline_budget = match request.query_param("deadline_ms") {
         None => shared.options.deadline,
@@ -837,7 +1015,12 @@ fn embed(shared: &Arc<ServerShared>, request: &HttpRequest, start: Instant) -> H
             // serve_batch with one request runs it inline on this thread;
             // level fan-out inside the engine still spreads across the
             // pool's scoped queues.
-            let mut responses = shared.engine.serve_batch(vec![serve_request]);
+            let in_flight = shared.router.track(decision.shard);
+            let mut responses = shared
+                .router
+                .engine(decision.shard)
+                .serve_batch(vec![serve_request]);
+            drop(in_flight);
             shared.admission.release(metrics);
             shared.notify_drain_waiters();
             // serve_batch answers every request (typed errors included);
@@ -933,6 +1116,7 @@ mod tests {
             EngineOptions {
                 workers: 2,
                 cache_capacity: 8,
+                ..EngineOptions::default()
             },
             Arc::new(Pool::new(2)),
         )
@@ -966,14 +1150,14 @@ mod tests {
     }
 
     fn shared_with(options: ServerOptions) -> Arc<ServerShared> {
+        let shards = options.shards.max(1);
         Arc::new(ServerShared {
-            engine: test_engine(),
+            router: ShardRouter::new(test_engine(), shards),
             metrics: Arc::new(Metrics::default()),
             options,
             max_inflight: 2,
             admission: Admission::new(),
             draining: AtomicBool::new(false),
-            degraded: AtomicBool::new(false),
             queue_full_streak: AtomicU64::new(0),
             drain_lock: Mutex::new(()),
             drain_cv: Condvar::new(),
@@ -1044,6 +1228,15 @@ mod tests {
         assert_eq!(metrics.status, 200);
         let text = String::from_utf8(metrics.body).unwrap();
         assert!(text.contains("deepseq_cache_hit_ratio"), "{text}");
+        assert!(text.contains("deepseq_cone_hits_total"), "{text}");
+        assert!(
+            text.contains("deepseq_shard_served_total{shard=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("deepseq_shard_degraded{shard=\"0\"} 0"),
+            "{text}"
+        );
         assert!(
             text.contains("deepseq_http_request_duration_seconds_bucket"),
             "{text}"
@@ -1210,6 +1403,132 @@ mod tests {
         let ok = route(&shared, &post("/admin/reload", &[], b""));
         assert_eq!(ok.status, 200);
         assert!(!shared.is_degraded());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_shard_degrade_reroutes_instead_of_shedding() {
+        let shared = shared_with(ServerOptions {
+            shards: 2,
+            ..ServerOptions::default()
+        });
+        let aig = parse_aiger(std::str::from_utf8(TOGGLE_AAG).unwrap()).unwrap();
+        let home = shared.router.home(structural_hash(&aig));
+        let other = 1 - home;
+
+        // Degrade only the toggle circuit's home shard.
+        let resp = route(
+            &shared,
+            &post("/admin/degrade", &[("shard", &home.to_string())], b""),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(shared.router.is_degraded(home));
+        assert!(
+            !shared.is_degraded(),
+            "one healthy shard keeps the server up"
+        );
+
+        // Requests still compute — absorbed by the healthy shard.
+        let served = route(&shared, &post("/v1/embed", &[], TOGGLE_AAG));
+        assert_eq!(served.status, 200);
+        let stats = shared.router.stats();
+        assert_eq!(stats[other].served, 1);
+        assert_eq!(stats[other].rerouted, 1);
+        assert_eq!(stats[home].served, 0);
+
+        // healthz: still ready, but the shard detail shows the hole.
+        let health = route(&shared, &get("/healthz"));
+        assert_eq!(health.status, 200);
+        let body = String::from_utf8(health.body).unwrap();
+        assert!(body.contains("\"ready\":true"), "{body}");
+        assert!(body.contains("\"shards\":2"), "{body}");
+        assert!(body.contains("\"shards_degraded\":1"), "{body}");
+
+        // Degrade the absorber too: the server is now cache-only, but the
+        // hit cached on the absorber during failover still flows.
+        route(
+            &shared,
+            &post("/admin/degrade", &[("shard", &other.to_string())], b""),
+        );
+        assert!(shared.is_degraded());
+        let hit = route(&shared, &post("/v1/embed", &[], TOGGLE_AAG));
+        assert_eq!(hit.status, 200);
+        assert!(String::from_utf8(hit.body)
+            .unwrap()
+            .contains("\"cache_hit\":true"));
+        let miss = route(&shared, &post("/v1/embed", &[("seed", "9")], TOGGLE_AAG));
+        assert_eq!(miss.status, 503);
+        assert_eq!(shared.metrics.rejected_degraded.load(Ordering::Relaxed), 1);
+
+        // Per-shard recovery restores home routing.
+        let resp = route(
+            &shared,
+            &post(
+                "/admin/degrade",
+                &[("mode", "off"), ("shard", &home.to_string())],
+                b"",
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(!shared.router.is_degraded(home));
+        let served = route(&shared, &post("/v1/embed", &[("seed", "9")], TOGGLE_AAG));
+        assert_eq!(served.status, 200);
+        assert_eq!(shared.router.stats()[home].served, 1);
+    }
+
+    #[test]
+    fn shard_params_are_validated() {
+        let shared = shared();
+        for (path, query) in [
+            ("/admin/degrade", ("shard", "5")),
+            ("/admin/degrade", ("shard", "many")),
+            ("/admin/reload", ("shard", "5")),
+        ] {
+            let response = route(&shared, &post(path, &[query], b""));
+            assert_eq!(response.status, 400, "{path} {query:?}");
+        }
+        assert!(!shared.is_degraded());
+    }
+
+    #[test]
+    fn per_shard_reload_swaps_one_model_and_full_reload_shares_one() {
+        let dir =
+            std::env::temp_dir().join(format!("deepseq-shard-reload-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.dsqm");
+        let model = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        std::fs::write(&path, model.save_binary()).expect("write checkpoint");
+
+        let shared = shared_with(ServerOptions {
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            shards: 2,
+            ..ServerOptions::default()
+        });
+        let before: Vec<u64> = shared
+            .router
+            .stats()
+            .iter()
+            .map(|s| s.model_generation)
+            .collect();
+        assert_eq!(before[0], before[1], "forked shards start on one model");
+
+        // Canary reload: only shard 1 moves to new weights.
+        let ok = route(&shared, &post("/admin/reload", &[("shard", "1")], b""));
+        assert_eq!(ok.status, 200, "{:?}", String::from_utf8(ok.body));
+        let after = shared.router.stats();
+        assert_eq!(after[0].model_generation, before[0]);
+        assert_ne!(after[1].model_generation, before[1]);
+
+        // Full reload: both shards share one freshly decoded model.
+        let ok = route(&shared, &post("/admin/reload", &[], b""));
+        assert_eq!(ok.status, 200);
+        let after = shared.router.stats();
+        assert_eq!(after[0].model_generation, after[1].model_generation);
+        assert_ne!(after[0].model_generation, before[0]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

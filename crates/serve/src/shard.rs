@@ -1,0 +1,359 @@
+//! Structural-hash sharding across engine shards.
+//!
+//! A [`ShardRouter`] owns N [`Engine`] shards forked off one primary
+//! ([`Engine::fork_shard`]): they share the worker pool and the cone memo,
+//! but each has its own embedding cache, request counter and — crucially —
+//! its own model slot, so `/admin/reload` and degraded mode apply **per
+//! shard**. Requests are partitioned by the circuit's canonical
+//! [`structural_hash`](deepseq_netlist::structural_hash): one circuit
+//! always lands on the same home shard (maximizing its exact-cache hits),
+//! while near-duplicate circuits that land elsewhere still reuse component
+//! states through the shared cone memo.
+//!
+//! Routing degrades gracefully: a degraded shard is skipped by probing the
+//! next shards in ring order (the request counts as *rerouted* on the shard
+//! that absorbs it), and only when **all** shards are degraded does
+//! [`ShardRouter::route`] return `None` — the HTTP edge then serves
+//! cache-only from the home shard, exactly like single-engine degraded
+//! mode.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::cache::CacheStats;
+use crate::engine::Engine;
+
+/// One shard: an engine plus its routing state.
+struct Shard {
+    engine: Engine,
+    degraded: AtomicBool,
+    in_flight: AtomicU64,
+    rerouted: AtomicU64,
+}
+
+/// A point-in-time snapshot of one shard, for `/metrics` and tests.
+#[derive(Debug, Clone)]
+pub struct ShardStat {
+    /// Shard index (0-based).
+    pub index: usize,
+    /// True if the shard is in degraded (cache-only) mode.
+    pub degraded: bool,
+    /// Requests currently executing on the shard.
+    pub in_flight: u64,
+    /// Requests served by the shard since start.
+    pub served: u64,
+    /// Requests absorbed from degraded shards (failover landings).
+    pub rerouted: u64,
+    /// The shard's embedding-cache counters.
+    pub cache: CacheStats,
+    /// Generation of the model the shard currently serves.
+    pub model_generation: u64,
+}
+
+/// Routing outcome of [`ShardRouter::route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The shard chosen to execute the request.
+    pub shard: usize,
+    /// The structural-hash home shard (differs from `shard` after
+    /// failover).
+    pub home: usize,
+}
+
+/// Partitions requests across engine shards by structural hash, with
+/// ring-probing failover past degraded shards (see the
+/// [module docs](self)).
+pub struct ShardRouter {
+    shards: Vec<Shard>,
+}
+
+impl ShardRouter {
+    /// Builds a router of `count` shards (clamped to at least 1): the
+    /// primary engine becomes shard 0 and the rest are forked from it.
+    pub fn new(primary: Engine, count: usize) -> ShardRouter {
+        let count = count.max(1);
+        let mut shards = Vec::with_capacity(count);
+        for _ in 1..count {
+            shards.push(Shard::new(primary.fork_shard()));
+        }
+        shards.insert(0, Shard::new(primary));
+        ShardRouter { shards }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false — a router holds at least one shard.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The home shard of a structural hash.
+    pub fn home(&self, structural_hash: u64) -> usize {
+        (structural_hash % self.shards.len() as u64) as usize
+    }
+
+    /// Picks the serving shard for a structural hash: the home shard if
+    /// healthy, else the next healthy shard in ring order (counted as a
+    /// reroute on the absorber). `None` when every shard is degraded —
+    /// serve cache-only from [`RouteDecision::home`] via
+    /// [`ShardRouter::engine`] then.
+    pub fn route(&self, structural_hash: u64) -> Option<RouteDecision> {
+        let n = self.shards.len();
+        let home = self.home(structural_hash);
+        for probe in 0..n {
+            let shard = (home + probe) % n;
+            if !self.shards[shard].degraded.load(Ordering::Relaxed) {
+                if shard != home {
+                    self.shards[shard].rerouted.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(RouteDecision { shard, home });
+            }
+        }
+        None
+    }
+
+    /// The engine of one shard (panics on an out-of-range index).
+    pub fn engine(&self, index: usize) -> &Engine {
+        &self.shards[index].engine
+    }
+
+    /// Sets a shard's degraded flag, returning the previous value.
+    /// Out-of-range indices return `None`.
+    pub fn set_degraded(&self, index: usize, degraded: bool) -> Option<bool> {
+        self.shards
+            .get(index)
+            .map(|s| s.degraded.swap(degraded, Ordering::Relaxed))
+    }
+
+    /// True if the shard is degraded (out-of-range indices read as false).
+    pub fn is_degraded(&self, index: usize) -> bool {
+        self.shards
+            .get(index)
+            .is_some_and(|s| s.degraded.load(Ordering::Relaxed))
+    }
+
+    /// True when every shard is degraded (the whole service is
+    /// cache-only).
+    pub fn all_degraded(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.degraded.load(Ordering::Relaxed))
+    }
+
+    /// Marks a request in flight on `index`; the guard decrements on drop
+    /// (including on panic unwinds through the serving path).
+    pub fn track(&self, index: usize) -> InFlightGuard<'_> {
+        self.shards[index].in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard {
+            counter: &self.shards[index].in_flight,
+        }
+    }
+
+    /// Point-in-time snapshot of every shard.
+    pub fn stats(&self) -> Vec<ShardStat> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ShardStat {
+                index,
+                degraded: s.degraded.load(Ordering::Relaxed),
+                in_flight: s.in_flight.load(Ordering::Relaxed),
+                served: s.engine.requests_served(),
+                rerouted: s.rerouted.load(Ordering::Relaxed),
+                cache: s.engine.cache_stats(),
+                model_generation: s.engine.model_generation(),
+            })
+            .collect()
+    }
+}
+
+impl Shard {
+    fn new(engine: Engine) -> Shard {
+        Shard {
+            engine,
+            degraded: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+        }
+    }
+}
+
+/// RAII in-flight marker from [`ShardRouter::track`].
+pub struct InFlightGuard<'a> {
+    counter: &'a AtomicU64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineOptions, ServeRequest};
+    use crate::infer::InferenceModel;
+    use deepseq_core::{DeepSeq, DeepSeqConfig};
+    use deepseq_netlist::{structural_hash, SeqAig};
+    use deepseq_nn::Pool;
+    use deepseq_sim::Workload;
+    use std::sync::Arc;
+
+    fn router(count: usize) -> ShardRouter {
+        let model = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        let primary = Engine::with_pool(
+            InferenceModel::from_model(&model).unwrap(),
+            EngineOptions {
+                workers: 2,
+                cache_capacity: 8,
+                cone_capacity: 64,
+            },
+            Arc::new(Pool::new(2)),
+        );
+        ShardRouter::new(primary, count)
+    }
+
+    /// A ripple-counter family: member `i` has `i+1` toggle stages, so the
+    /// structural hashes differ.
+    fn counter(stages: usize) -> SeqAig {
+        let mut aig = SeqAig::new("ctr");
+        let mut carry = None;
+        for s in 0..stages {
+            let q = aig.add_ff(format!("q{s}"), false);
+            let nq = aig.add_not(q);
+            let d = match carry {
+                None => nq,
+                Some(c) => aig.add_and(nq, c),
+            };
+            aig.connect_ff(q, d).unwrap();
+            carry = Some(match carry {
+                None => q,
+                Some(c) => aig.add_and(q, c),
+            });
+        }
+        aig
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads_by_hash() {
+        let router = router(3);
+        assert_eq!(router.len(), 3);
+        let homes: Vec<usize> = (1..=24)
+            .map(|s| router.route(structural_hash(&counter(s))).unwrap().shard)
+            .collect();
+        // Same circuit ⇒ same shard.
+        assert_eq!(
+            router.route(structural_hash(&counter(3))).unwrap().shard,
+            homes[2]
+        );
+        // The hash spreads the family across more than one shard.
+        assert!(homes.iter().any(|&s| s != homes[0]));
+        // Healthy routing never reroutes.
+        assert!(router.stats().iter().all(|s| s.rerouted == 0));
+    }
+
+    #[test]
+    fn degraded_shards_are_probed_past_in_ring_order() {
+        let router = router(3);
+        // Find a hash homed on shard 1, then degrade shard 1.
+        let hash = (1..200)
+            .map(|s| structural_hash(&counter(s)))
+            .find(|h| router.home(*h) == 1)
+            .unwrap();
+        assert_eq!(router.set_degraded(1, true), Some(false));
+        let decision = router.route(hash).unwrap();
+        assert_eq!(decision.home, 1);
+        assert_eq!(decision.shard, 2); // next in ring order
+        assert_eq!(router.stats()[2].rerouted, 1);
+
+        // Degrade shard 2 as well: the probe wraps to shard 0.
+        router.set_degraded(2, true);
+        assert_eq!(router.route(hash).unwrap().shard, 0);
+
+        // All degraded ⇒ no compute shard at all.
+        router.set_degraded(0, true);
+        assert!(router.all_degraded());
+        assert!(router.route(hash).is_none());
+
+        // Recovery restores home routing.
+        router.set_degraded(1, false);
+        assert_eq!(router.route(hash).unwrap().shard, 1);
+    }
+
+    #[test]
+    fn in_flight_guard_counts_and_releases() {
+        let router = router(2);
+        {
+            let _a = router.track(0);
+            let _b = router.track(0);
+            assert_eq!(router.stats()[0].in_flight, 2);
+            assert_eq!(router.stats()[1].in_flight, 0);
+        }
+        assert_eq!(router.stats()[0].in_flight, 0);
+    }
+
+    #[test]
+    fn shards_serve_independently_and_share_the_cone_memo() {
+        let router = router(2);
+        let aig = counter(2);
+        let make = |id| ServeRequest {
+            id,
+            aig: aig.clone(),
+            workload: Workload::uniform(0, 0.5),
+            init_seed: 0,
+        };
+        let r0 = router.engine(0).submit(make(0)).wait();
+        let cold = r0.result.unwrap();
+        assert!(!cold.cache_hit);
+        // The other shard has a cold embedding cache, but every component
+        // of the same circuit hits the shared cone memo.
+        let r1 = router.engine(1).submit(make(1)).wait();
+        let warm = r1.result.unwrap();
+        assert!(!warm.cache_hit);
+        assert!(warm.cones_reused > 0);
+        // Predictions are bitwise identical across the two paths.
+        assert_eq!(cold.data.predictions, warm.data.predictions);
+        assert_eq!(cold.data.embedding.data(), warm.data.embedding.data());
+        let stats = router.stats();
+        assert_eq!(stats[0].served, 1);
+        assert_eq!(stats[1].served, 1);
+        assert_eq!(stats[0].model_generation, stats[1].model_generation);
+    }
+
+    #[test]
+    fn per_shard_reload_does_not_disturb_other_shards() {
+        let router = router(2);
+        let aig = counter(1);
+        let make = |id| ServeRequest {
+            id,
+            aig: aig.clone(),
+            workload: Workload::uniform(0, 0.5),
+            init_seed: 0,
+        };
+        router.engine(0).submit(make(0)).wait().result.unwrap();
+        router.engine(1).submit(make(1)).wait().result.unwrap();
+        let gen_before = router.stats()[1].model_generation;
+
+        let fresh = DeepSeq::new(DeepSeqConfig {
+            hidden_dim: 8,
+            iterations: 2,
+            ..DeepSeqConfig::default()
+        });
+        router
+            .engine(0)
+            .swap_model(InferenceModel::from_model(&fresh).unwrap());
+        let stats = router.stats();
+        assert_ne!(stats[0].model_generation, stats[1].model_generation);
+        assert_eq!(stats[1].model_generation, gen_before);
+        // Shard 0's exact cache was cleared by the reload; shard 1's kept.
+        assert!(router.engine(0).lookup_cached(&make(2)).is_none());
+        assert!(router.engine(1).lookup_cached(&make(3)).is_some());
+    }
+}

@@ -411,6 +411,91 @@ fn checkpoint_read_fault_degrades_reload_and_recovery_restores_service() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// One shard degraded while slow-stage faults fire: every request still
+/// answers 200 via ring failover to the healthy shard, the readiness probe
+/// stays up, the rerouted counter records the detour, and recovery restores
+/// home-shard service on the same live server.
+#[test]
+fn one_shard_degraded_under_chaos_reroutes_without_shedding() {
+    let armed = Armed::new(&format!("slow_stage@forward:1.0:{}", chaos_seed()));
+    let server = HttpServer::bind(
+        test_engine(4),
+        ServerOptions {
+            max_queue: 256,
+            shards: 2,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind sharded chaos server");
+    let addr = server.local_addr();
+
+    // Degrade the home shard of circuit 0 so at least a quarter of the
+    // load below has to fail over.
+    let home = server
+        .router()
+        .home(deepseq_netlist::structural_hash(&util::counter_aig(0)));
+    let degrade = exchange(addr, "POST", &format!("/admin/degrade?shard={home}"), b"");
+    assert_eq!(degrade.status, 200, "{}", degrade.body);
+
+    let (ok, internal, other) = fire_load(&server, 16, 48);
+    assert_eq!(
+        (ok, internal, other),
+        (48, 0, 0),
+        "one healthy shard must absorb the full load"
+    );
+    assert!(fault::injected_count(FaultPoint::SlowStage) > 0);
+
+    // Alive and ready: one degraded shard out of two is not an outage.
+    assert_eq!(exchange(addr, "GET", "/healthz?ready=1", b"").status, 200);
+    let health = exchange(addr, "GET", "/healthz", b"");
+    assert!(
+        health.body.contains("\"shards\":2") && health.body.contains("\"shards_degraded\":1"),
+        "{}",
+        health.body
+    );
+
+    // The detour shows up in the per-shard exposition.
+    let metrics = exchange(addr, "GET", "/metrics", b"");
+    util::assert_prometheus_contract(&metrics.body);
+    assert!(
+        metrics
+            .body
+            .lines()
+            .any(|line| line.starts_with(&format!("deepseq_shard_degraded{{shard=\"{home}\"}} 1"))),
+        "{}",
+        metrics.body
+    );
+    let rerouted: u64 = metrics
+        .body
+        .lines()
+        .filter_map(|line| line.strip_prefix("deepseq_shard_rerouted_total{shard="))
+        .filter_map(|rest| rest.split("} ").nth(1))
+        .filter_map(|value| value.trim().parse::<u64>().ok())
+        .sum();
+    assert!(
+        rerouted >= 12,
+        "expected ≥12 rerouted requests, saw {rerouted}"
+    );
+
+    // Recovery: clear the shard, disarm, full home-shard service returns.
+    let clear = exchange(
+        addr,
+        "POST",
+        &format!("/admin/degrade?mode=off&shard={home}"),
+        b"",
+    );
+    assert_eq!(clear.status, 200, "{}", clear.body);
+    armed.rearm(None);
+    let (ok, internal, other) = fire_load(&server, 8, 16);
+    assert_eq!((ok, internal, other), (16, 0, 0));
+
+    let report = server.shutdown();
+    assert_eq!(
+        report.connections_abandoned, 0,
+        "sharded chaos leaked connections"
+    );
+}
+
 #[test]
 fn disarmed_determinism_is_bitwise_against_a_never_faulted_engine() {
     let armed = Armed::no_fault();

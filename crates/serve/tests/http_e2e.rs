@@ -272,6 +272,43 @@ fn expired_deadline_answers_504() {
     server.shutdown();
 }
 
+/// A client that dribbles its body slower than the idle keep-alive window
+/// must not be cut off: the idle timeout applies *between* requests, and
+/// once the head is parsed the socket runs on the remaining per-request
+/// deadline budget instead. The old code re-armed `idle_keepalive` for the
+/// body read and killed slow uploads mid-request.
+#[test]
+fn slow_body_upload_survives_the_idle_keepalive_window() {
+    let (server, addr) = boot(ServerOptions {
+        idle_keepalive: Duration::from_millis(60),
+        deadline: Duration::from_secs(10),
+        ..ServerOptions::default()
+    });
+    use std::io::{Read, Write};
+    let body = counter_aiger(0);
+    let bytes = body.as_bytes();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let head = format!(
+        "POST /v1/embed HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        bytes.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    let (first, rest) = bytes.split_at(bytes.len() / 2);
+    stream.write_all(first).expect("send first half");
+    stream.flush().expect("flush");
+    // Several idle-keepalive windows pass with the body half-sent.
+    std::thread::sleep(Duration::from_millis(200));
+    stream.write_all(rest).expect("send second half");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let response = util::parse_response(&raw);
+    assert_eq!(response.status, 200, "{}", response.body);
+    server.shutdown();
+}
+
 /// Keep-alive: two requests over one connection, the second after the
 /// first's full response.
 #[test]

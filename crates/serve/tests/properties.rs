@@ -105,6 +105,38 @@ fn arb_wide_aig() -> impl Strategy<Value = SeqAig> {
     })
 }
 
+/// A circuit of self-contained blocks (each: one PI, one FF, four gates
+/// drawing fanins only from the block) — every block is exactly one
+/// weakly-connected component, so a K-block circuit partitions into K
+/// fanin cones for the cone memo.
+fn multi_block_aig(seeds: &[u64]) -> SeqAig {
+    let mut aig = SeqAig::new("blocks");
+    for (b, &seed) in seeds.iter().enumerate() {
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| -> usize {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % bound.max(1)
+        };
+        let pi = aig.add_pi(format!("b{b}pi"));
+        let ff = aig.add_ff(format!("b{b}ff"), next(2) == 1);
+        let mut nodes = vec![pi, ff];
+        for _ in 0..4 {
+            let a = nodes[next(nodes.len())];
+            let c = nodes[next(nodes.len())];
+            nodes.push(if next(3) == 0 {
+                aig.add_not(a)
+            } else {
+                aig.add_and(a, c)
+            });
+        }
+        aig.connect_ff(ff, *nodes.last().unwrap())
+            .expect("ff connect");
+    }
+    aig
+}
+
 /// Random valid topological renumbering (mirror of the netlist property
 /// helper; kept local so the crates' tests stay self-contained).
 fn renumber(aig: &SeqAig, seed: u64) -> SeqAig {
@@ -221,7 +253,8 @@ proptest! {
         let config = DeepSeqConfig { hidden_dim: 6, iterations: 2, ..DeepSeqConfig::default() };
         let model = DeepSeq::new(config);
         let frozen = InferenceModel::from_model(&model).unwrap();
-        let engine = Engine::new(frozen, EngineOptions { workers, cache_capacity: 8 });
+        let engine = Engine::new(frozen, EngineOptions { workers, cache_capacity: 8,
+                                                         ..EngineOptions::default() });
 
         let requests: Vec<ServeRequest> = aigs.iter().enumerate().map(|(i, aig)| ServeRequest {
             id: i as u64,
@@ -254,6 +287,72 @@ proptest! {
                     "engine diverged from the tape path on request {}: {:?}",
                     response.id, res
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn cone_reuse_is_bitwise_identical_to_full_recompute(
+        seeds in proptest::collection::vec(any::<u64>(), 2..5),
+        edit in any::<u64>(),
+    ) {
+        let config = DeepSeqConfig { hidden_dim: 8, iterations: 2, ..DeepSeqConfig::default() };
+        let model = DeepSeq::new(config);
+        let base = multi_block_aig(&seeds);
+        // Near-duplicate: rebuild with only the LAST block's seed changed, so
+        // every earlier block keeps its node ids — and, because the initial
+        // states are drawn row-sequentially from a seeded RNG, its exact h0
+        // rows. Those prefix cones must all hit the memo.
+        let mut edited_seeds = seeds.clone();
+        *edited_seeds.last_mut().unwrap() ^= edit | 1;
+        let edited = multi_block_aig(&edited_seeds);
+        let request = |aig: &SeqAig, id: u64| ServeRequest {
+            id,
+            aig: aig.clone(),
+            workload: Workload::uniform(aig.num_pis(), 0.5),
+            init_seed: 3,
+        };
+        // The memo must be bitwise-invisible at every thread count: a
+        // memo-warm answer for the edit equals a cold full recompute.
+        // cache_capacity: 0 disables the exact-match cache so the served
+        // result is forced through the cone path.
+        for threads in [1usize, 4] {
+            let pool = Arc::new(Pool::new(threads));
+            let memoed = Engine::with_pool(
+                InferenceModel::from_model(&model).unwrap(),
+                EngineOptions { workers: 2, cache_capacity: 0, cone_capacity: 64 },
+                Arc::clone(&pool),
+            );
+            let plain = Engine::with_pool(
+                InferenceModel::from_model(&model).unwrap(),
+                EngineOptions { workers: 2, cache_capacity: 0, cone_capacity: 0 },
+                pool,
+            );
+            memoed.serve_batch(vec![request(&base, 0)]); // warm the memo
+            let warm = memoed
+                .serve_batch(vec![request(&edited, 1)])
+                .pop().unwrap().result.expect("edited circuit serves");
+            let cold = plain
+                .serve_batch(vec![request(&edited, 2)])
+                .pop().unwrap().result.expect("edited circuit serves");
+            prop_assert!(
+                warm.cones_reused >= seeds.len() - 1,
+                "expected at least {} cones reused, got {}",
+                seeds.len() - 1, warm.cones_reused
+            );
+            for (tag, got_m, want_m) in [
+                ("tr", &warm.data.predictions.tr, &cold.data.predictions.tr),
+                ("lg", &warm.data.predictions.lg, &cold.data.predictions.lg),
+                ("embedding", &warm.data.embedding, &cold.data.embedding),
+            ] {
+                prop_assert_eq!(got_m.shape(), want_m.shape());
+                for (i, (x, y)) in got_m.data().iter().zip(want_m.data()).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "{} t{} elem {}: {} vs {}",
+                        tag, threads, i, x, y
+                    );
+                }
             }
         }
     }

@@ -102,6 +102,7 @@ fn engine_matches_in_process_forward_bitwise() {
         EngineOptions {
             workers: 3,
             cache_capacity: 8,
+            ..EngineOptions::default()
         },
     );
     let frozen = InferenceModel::from_model(&model).unwrap();

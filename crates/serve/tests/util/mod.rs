@@ -236,6 +236,7 @@ pub fn test_engine(threads: usize) -> Engine {
         EngineOptions {
             workers: threads,
             cache_capacity: 64,
+            ..EngineOptions::default()
         },
         Arc::new(Pool::new(threads)),
     )

@@ -45,6 +45,7 @@ fn main() {
         EngineOptions {
             workers: 4,
             cache_capacity: 64,
+            ..EngineOptions::default()
         },
     );
 
